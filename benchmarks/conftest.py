@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates a paper table/figure once (``pedantic`` with a
+single round): the interesting output is the experiment result, not
+timing statistics of the harness itself.
+"""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,104 @@
+"""Design-choice ablations beyond the paper's Table 5.
+
+Three knobs DESIGN.md calls out:
+
+* **Decoupled backward** (zero-bubble style): splitting backward into
+  dgrad + deferrable wgrad relaxes the dependency structure — the
+  custom-schedule extension the paper's related work points at.
+* **Memory-candidate budget S** (section 5.3 uses S=10): fewer
+  candidates shrink the ILP but cost schedule quality.
+* **Search budget**: how quickly schedule quality saturates with
+  MCTS evaluations (the knob behind the paper's 10-second budget).
+"""
+
+import pytest
+
+from repro.core.graphbuilder import build_iteration_graph
+from repro.core.memopt import generate_candidates, optimize_memory
+from repro.core.interleaver import interleave_stages
+from repro.core.searcher import ScheduleSearcher
+from repro.sim.pipeline import simulate_pipeline
+
+from common import dip_graph, make_setup, print_table, save_results
+
+NUM_MICROBATCHES = 8
+
+
+@pytest.mark.benchmark(group="ablation-ext")
+def test_ablation_decoupled_backward(benchmark):
+    def run():
+        setup = make_setup("VLM-S")
+        batch = setup.workload(NUM_MICROBATCHES, seed=2).next_batch()
+        out = {}
+        for decoupled in (False, True):
+            graph = build_iteration_graph(
+                setup.arch, setup.plan, batch, setup.cluster, setup.parallel,
+                setup.cost_model, partitioner=setup.partitioner,
+                decoupled_backward=decoupled,
+            )
+            searcher = ScheduleSearcher(setup.cluster, setup.parallel,
+                                        setup.cost_model,
+                                        budget_evaluations=25, seed=0)
+            out["decoupled" if decoupled else "coupled"] = (
+                searcher.search(graph).total_ms
+            )
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    gain = times["coupled"] / times["decoupled"] - 1.0
+    print(f"\ndecoupled backward: coupled={times['coupled'] / 1e3:.2f}s "
+          f"decoupled={times['decoupled'] / 1e3:.2f}s  gain={gain * 100:.1f}%")
+    save_results("ablation_decoupled", times)
+    # Relaxing dependencies never hurts the searched schedule.
+    assert times["decoupled"] <= times["coupled"] * 1.02
+
+
+@pytest.mark.benchmark(group="ablation-ext")
+def test_ablation_candidate_budget(benchmark):
+    def run():
+        setup = make_setup("VLM-S")
+        batch = setup.workload(NUM_MICROBATCHES, seed=2).next_batch()
+        rows = []
+        for s in (2, 4, 10):
+            graph = dip_graph(setup, batch)
+            generate_candidates(graph, num_candidates=s)
+            graph.select_most_memory_efficient()
+            inter = interleave_stages(graph, setup.cluster, setup.parallel,
+                                      setup.cost_model)
+            optimize_memory(graph, inter.start_ms, inter.end_ms, exact=False)
+            sim = simulate_pipeline(graph, inter.order, setup.cluster,
+                                    setup.parallel, setup.cost_model)
+            rows.append({"S": s, "iter (s)": sim.total_ms / 1e3,
+                         "peak GiB": max(sim.peak_memory_bytes) / 2**30})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: memory-candidate budget S (paper uses 10)",
+                rows, ["S", "iter (s)", "peak GiB"])
+    save_results("ablation_candidates", rows)
+    # More candidates never hurt.
+    times = [r["iter (s)"] for r in rows]
+    assert times[-1] <= times[0] * 1.02
+
+
+@pytest.mark.benchmark(group="ablation-ext")
+def test_ablation_search_budget(benchmark):
+    def run():
+        setup = make_setup("VLM-S")
+        batch = setup.workload(NUM_MICROBATCHES, seed=2).next_batch()
+        rows = []
+        for budget in (5, 20, 60):
+            graph = dip_graph(setup, batch)
+            searcher = ScheduleSearcher(setup.cluster, setup.parallel,
+                                        setup.cost_model,
+                                        budget_evaluations=budget, seed=0)
+            rows.append({"budget": budget,
+                         "iter (s)": searcher.search(graph).total_ms / 1e3})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: MCTS evaluation budget", rows,
+                ["budget", "iter (s)"])
+    save_results("ablation_budget", rows)
+    times = [r["iter (s)"] for r in rows]
+    assert times[-1] <= times[0] * 1.01  # more search never hurts

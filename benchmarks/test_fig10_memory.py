@@ -1,0 +1,95 @@
+"""Fig. 10: memory-usage timeline of the first pipeline rank (VLM-M).
+
+Paper's findings: Megatron-LM fluctuates through the 1F1B steady state;
+Optimus gradually accumulates encoder activations (higher peak); "DIP
+(non-adaptive)" (per-layer memory optimization disabled) stays low but
+underuses the GPU; full DIP fills available memory deliberately, with
+52.9% fewer fluctuations than Megatron and a higher sustained usage than
+the non-adaptive variant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.megatron import megatron_schedule
+from repro.baselines.optimus import optimus_schedule
+from repro.core.searcher import ScheduleSearcher
+
+from common import dip_graph, make_setup, print_table, save_results
+
+NUM_MICROBATCHES = 8
+
+
+def timeline_stats(timeline):
+    """Summarise a (time, bytes) step timeline.
+
+    "Fluctuation" is the mean absolute allocation step — how violently
+    usage swings per event; finer-grained scheduling shrinks it even
+    though more events occur.
+    """
+    values = np.array([b for _t, b in timeline], dtype=float)
+    if len(values) < 2:
+        return {"peak": float(values.max()) / 2**30,
+                "mean": float(values.mean()) / 2**30, "fluctuation": 0.0}
+    steps = np.abs(np.diff(values))
+    return {
+        "peak": float(values.max()) / 2**30,
+        "mean": float(values.mean()) / 2**30,
+        "fluctuation": float(steps.mean()) / 2**30,
+    }
+
+
+def run_fig10():
+    setup = make_setup("VLM-M")
+    batch = setup.workload(NUM_MICROBATCHES, seed=5).next_batch()
+
+    out = {}
+    megatron = megatron_schedule(setup.arch, batch, setup.cluster,
+                                 setup.parallel, setup.cost_model)
+    out["Megatron-LM"] = megatron.predicted.memory_timeline[0]
+
+    optimus = optimus_schedule(setup.arch, batch, setup.cluster,
+                               setup.parallel, setup.cost_model)
+    out["Optimus"] = optimus.predicted.memory_timeline[0]
+
+    nonadaptive = ScheduleSearcher(setup.cluster, setup.parallel,
+                                   setup.cost_model, budget_evaluations=20,
+                                   memopt_mode="lean", seed=0)
+    graph = dip_graph(setup, batch)
+    out["DIP (non-adaptive)"] = (
+        nonadaptive.search(graph).schedule.predicted.memory_timeline[0]
+    )
+
+    full = ScheduleSearcher(setup.cluster, setup.parallel, setup.cost_model,
+                            budget_evaluations=20, seed=0)
+    graph = dip_graph(setup, batch)
+    out["DIP"] = full.search(graph).schedule.predicted.memory_timeline[0]
+
+    limit = graph.memory_limit_bytes / 2**30
+    return out, limit
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_memory_timelines(benchmark):
+    timelines, limit_gb = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    stats = {name: timeline_stats(t) for name, t in timelines.items()}
+    rows = [{"System": name, **{k: round(v, 1) for k, v in s.items()}}
+            for name, s in stats.items()]
+    print_table(f"Fig 10: rank-0 memory (GiB), limit {limit_gb:.0f} GiB",
+                rows, ["System", "peak", "mean", "fluctuation"])
+    save_results("fig10", {"stats": stats, "limit_gb": limit_gb})
+
+    # Every system respects the device limit.
+    for name, s in stats.items():
+        assert s["peak"] <= limit_gb + 1e-6, name
+    # DIP uses the freed headroom: higher sustained usage than the
+    # non-adaptive variant, which "does not utilize all available GPU
+    # memory" (paper).
+    assert stats["DIP"]["mean"] > stats["DIP (non-adaptive)"]["mean"] * 1.05
+    # The non-adaptive variant swings least (everything checkpointed);
+    # Optimus accumulates the most encoder state before the backbone.
+    assert stats["DIP (non-adaptive)"]["fluctuation"] <= min(
+        s["fluctuation"] for name, s in stats.items()
+        if name != "DIP (non-adaptive)"
+    )
+    assert stats["Optimus"]["peak"] > stats["Megatron-LM"]["peak"]

@@ -1,0 +1,90 @@
+"""Fig. 14: large-scale simulations on H100 clusters (Table 6 models).
+
+The paper simulates VLM-XL (ViT 22B + GPT 175B) on 8192/16384 H100s and
+T2V-XL (Qwen2 72B + DiT 30B) on 3072/6144 H100s: DIP reaches MFU 0.36 /
+0.39 and outperforms baselines by up to 82.8%, with larger gains at the
+larger pipeline depths.  Exactly like the paper, these numbers come from
+the training simulator — one DP replica is simulated (replicas are
+homogeneous; the DP all-reduce overlaps with backward).
+"""
+
+import pytest
+
+from repro.baselines.megatron import megatron_schedule
+from repro.core.searcher import ScheduleSearcher
+
+from common import (
+    dip_graph,
+    make_setup,
+    print_table,
+    representative_batch,
+    run_system,
+    save_results,
+)
+from repro.baselines.nnscaler import NnScalerPlan
+from repro.metrics import mfu
+
+SETUPS = ("VLM-XL-8k", "VLM-XL-16k", "T2V-XL-3k", "T2V-XL-6k")
+
+
+def run_setup(name):
+    setup = make_setup(name)
+    num_microbatches = 2 * setup.parallel.pp
+    batch = setup.workload(num_microbatches, seed=0).next_batch()
+    graph_flops = dip_graph(setup, batch).model_flops
+
+    systems = ["megatron", "nnscaler", "dip"]
+    if setup.arch.kind == "vlm":
+        systems.insert(2, "optimus")
+    nn_plan = NnScalerPlan(setup.arch, setup.cluster, setup.parallel,
+                           setup.cost_model)
+    nn_plan.fit(representative_batch(setup, num_microbatches, seed=55))
+
+    out = {}
+    for system in systems:
+        ms = run_system(setup, system, batch, nnscaler_plan=nn_plan,
+                        budget=25, seed=0)
+        out[system] = mfu(graph_flops, ms, setup.cluster.gpu, setup.parallel)
+    return out
+
+
+RESULTS = {}
+
+
+@pytest.mark.benchmark(group="fig14")
+@pytest.mark.parametrize("name", SETUPS)
+def test_fig14_setup(benchmark, name):
+    mfus = benchmark.pedantic(run_setup, args=(name,), rounds=1, iterations=1)
+    RESULTS[name] = mfus
+    print(f"\nFig 14 [{name}]: " + "  ".join(
+        f"{s}={v:.3f}" for s, v in mfus.items()))
+    save_results(f"fig14_{name}", mfus)
+
+    # DIP reaches the highest MFU in every configuration.
+    assert mfus["dip"] == max(mfus.values())
+    # And the improvement over the weakest baseline is substantial
+    # (paper: up to 82.8%).
+    assert mfus["dip"] / min(mfus.values()) - 1.0 > 0.15
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_summary(benchmark):
+    def summarize():
+        for name in SETUPS:
+            if name not in RESULTS:
+                RESULTS[name] = run_setup(name)
+        return RESULTS
+
+    results = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    rows = [{"Setup": name, **{s: round(v, 3) for s, v in r.items()}}
+            for name, r in results.items()]
+    print_table("Fig 14: MFU on large-scale H100 clusters", rows,
+                ["Setup", "megatron", "nnscaler", "optimus", "dip"])
+    save_results("fig14_summary", results)
+
+    # Larger pipeline depth favours DIP more (paper: "particularly with
+    # larger pipeline parallelism sizes").
+    vlm_gain_8k = results["VLM-XL-8k"]["dip"] / results["VLM-XL-8k"]["megatron"]
+    vlm_gain_16k = (results["VLM-XL-16k"]["dip"]
+                    / results["VLM-XL-16k"]["megatron"])
+    assert vlm_gain_16k > vlm_gain_8k * 0.95

@@ -1,0 +1,79 @@
+"""Fig. 8a: average end-to-end performance across the five Table 3 setups.
+
+The paper normalises iteration time to Megatron-LM (=1.0) and reports
+nnScaler* around 0.74-0.80, Optimus 0.65-0.75 (VLMs only) and DIP
+0.51-0.64 — improvements of 15.6-76.2% (VLM) and 36.6-97.3% (T2V).
+
+Scale note: the paper averages 100 iterations on the 64-GPU testbed; we
+average fewer iterations per setup on the simulator (the iteration-time
+*distribution* is stationary, so a handful suffices for the mean).
+"""
+
+import pytest
+
+from common import average_times, make_setup, print_table, save_results
+
+ITERATIONS = 3
+
+VLM_SETUPS = ("VLM-S", "VLM-M", "VLM-L")
+T2V_SETUPS = ("T2V-S", "T2V-L")
+
+
+def run_setup(name):
+    setup = make_setup(name)
+    # Keep the microbatch count proportional to pipeline depth (the
+    # paper uses 64 microbatches on 8-16 ranks); too few starves every
+    # system with warm-up bubbles.
+    num_microbatches = 2 * setup.parallel.pp
+    systems = ["megatron", "nnscaler", "dip"]
+    if setup.arch.kind == "vlm":
+        systems.insert(2, "optimus")
+    times = average_times(setup, systems, ITERATIONS, num_microbatches, seed=0)
+    base = times["megatron"]
+    return {system: ms / base for system, ms in times.items()}, times
+
+
+RESULTS = {}
+
+
+@pytest.mark.benchmark(group="fig8a")
+@pytest.mark.parametrize("name", VLM_SETUPS + T2V_SETUPS)
+def test_fig8a_setup(benchmark, name):
+    normalized, raw = benchmark.pedantic(run_setup, args=(name,), rounds=1,
+                                         iterations=1)
+    RESULTS[name] = normalized
+    print(f"\nFig 8a [{name}]: " + "  ".join(
+        f"{s}={v:.3f}" for s, v in normalized.items()))
+    save_results(f"fig8a_{name}", {"normalized": normalized, "raw_ms": raw})
+
+    # DIP always wins; static baselines land between DIP and Megatron.
+    assert normalized["dip"] < 1.0
+    assert normalized["dip"] <= normalized["nnscaler"] + 0.02
+    if "optimus" in normalized:
+        assert normalized["dip"] <= normalized["optimus"] + 0.02
+    # The improvement is substantial: paper reports 15.6%-97.3%; require
+    # at least 10% over Megatron everywhere.
+    assert 1.0 / normalized["dip"] - 1.0 > 0.10
+
+
+@pytest.mark.benchmark(group="fig8a")
+def test_fig8a_summary(benchmark):
+    def summarize():
+        # Ensure every setup ran (ordering within a pytest session).
+        missing = [n for n in VLM_SETUPS + T2V_SETUPS if n not in RESULTS]
+        for name in missing:
+            RESULTS[name] = run_setup(name)[0]
+        return RESULTS
+
+    results = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    rows = []
+    for name, normalized in results.items():
+        rows.append({"Setup": name, **{s: round(v, 3)
+                                       for s, v in normalized.items()}})
+    print_table("Fig 8a: normalized iteration time (Megatron-LM = 1.0)",
+                rows, ["Setup", "megatron", "nnscaler", "optimus", "dip"])
+    save_results("fig8a_summary", results)
+    best_gain = max(1.0 / r["dip"] - 1.0 for r in results.values())
+    print(f"max DIP improvement: {best_gain * 100:.1f}% "
+          "(paper: up to 97.3%)")
+    assert best_gain > 0.25

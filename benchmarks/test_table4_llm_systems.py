@@ -1,0 +1,57 @@
+"""Table 4: FSDP vs Megatron-LM vs DIP on the 16x H20 cluster (VLM-S).
+
+The paper: FSDP is ~3% slower than Megatron-LM; DIP is ~27% faster
+(relative time 1.03 / 1.00 / 0.73).
+"""
+
+import pytest
+
+from repro.baselines.fsdp import fsdp_iteration_ms
+from repro.cluster.topology import ParallelConfig, cluster_h20
+from repro.core.searcher import ScheduleSearcher
+from repro.baselines.megatron import megatron_schedule
+
+from common import dip_graph, make_setup, print_table, save_results
+
+# One microbatch per FSDP worker: with fewer, data-parallel GPUs idle
+# and the comparison against the 16-GPU pipeline replica is unfair.
+NUM_MICROBATCHES = 16
+
+
+def run_table4():
+    cluster = cluster_h20(num_nodes=2)
+    parallel = ParallelConfig(dp=1, tp=4, pp=4)
+    setup = make_setup("VLM-S", cluster=cluster, parallel=parallel)
+    batch = setup.workload(NUM_MICROBATCHES, seed=0).next_batch()
+
+    fsdp_ms = fsdp_iteration_ms(setup.arch, batch, cluster,
+                                setup.cost_model, world_size=16)
+    megatron_ms = megatron_schedule(setup.arch, batch, cluster, parallel,
+                                    setup.cost_model).total_ms
+    searcher = ScheduleSearcher(cluster, parallel, setup.cost_model,
+                                budget_evaluations=30, seed=0)
+    dip_ms = searcher.search(dip_graph(setup, batch)).total_ms
+    return {"FSDP": fsdp_ms, "Megatron-LM": megatron_ms, "DIP": dip_ms}
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_llm_system_comparison(benchmark):
+    times = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    base = times["Megatron-LM"]
+    rows = [
+        {"System": name, "Iteration time (s)": ms / 1e3,
+         "Relative time": ms / base}
+        for name, ms in times.items()
+    ]
+    print_table("Table 4: VLM-S on 16 H20 GPUs", rows,
+                ["System", "Iteration time (s)", "Relative time"])
+    save_results("table4", rows)
+
+    # Paper shape: FSDP roughly at parity with Megatron (1.03x); DIP
+    # clearly fastest.  FSDP loses to data imbalance across workers,
+    # Megatron to pipeline bubbles — comparable magnitudes.
+    assert times["DIP"] < times["Megatron-LM"]
+    assert times["DIP"] < times["FSDP"]
+    assert 0.6 < times["FSDP"] / base < 1.5
+    # DIP's advantage is substantial (paper: 27%).
+    assert times["Megatron-LM"] / times["DIP"] - 1.0 > 0.10

@@ -1,0 +1,91 @@
+"""Composing a custom LMM: two parallel encoders feeding one backbone.
+
+DIP's machinery is not limited to the paper's two-module models.  This
+example builds the general Fig. 1 architecture — an image encoder *and*
+an audio-style second encoder feeding an LLM backbone — and shows that
+partitioning, scheduling, simulation and deployment all work unchanged.
+
+Run with::
+
+    python examples/custom_model.py
+"""
+
+from repro.cluster.topology import ParallelConfig, cluster_h800
+from repro.core.graphbuilder import build_iteration_graph
+from repro.core.partitioner import ModalityPartitioner
+from repro.core.searcher import ScheduleSearcher
+from repro.data.batching import GlobalBatch, Microbatch
+from repro.models.config import Modality, ModalityModuleSpec, ModuleRole
+from repro.models.lmm import LMMArchitecture, ModuleBinding
+from repro.models.zoo import LLAMA3_8B, VIT_5B
+from repro.runtime.compiler import compile_schedule
+from repro.runtime.engine import execute_plan
+from repro.sim.costmodel import CostModel
+
+AUDIO_ENCODER = ModalityModuleSpec(
+    name="audio-1b",
+    role=ModuleRole.ENCODER,
+    modality=Modality.VIDEO,  # instance-parallel, clip-like inputs
+    num_layers=24,
+    hidden_size=1536,
+    ffn_hidden_size=6144,
+    num_attention_heads=12,
+    num_query_groups=12,
+    gated_mlp=False,
+)
+
+
+def main() -> None:
+    arch = LMMArchitecture(
+        name="omni-14b",
+        kind="vlm",
+        bindings=(
+            ModuleBinding(VIT_5B, ModuleRole.ENCODER, level=0),
+            ModuleBinding(AUDIO_ENCODER, ModuleRole.ENCODER, level=0),
+            ModuleBinding(LLAMA3_8B, ModuleRole.BACKBONE, level=1),
+        ),
+    )
+    print(f"model: {arch.name}, {arch.parameters_billion():.1f}B parameters")
+    print("dataflow levels:",
+          [" | ".join(b.name for b in level) for level in arch.levels()])
+
+    parallel = ParallelConfig(dp=1, tp=4, pp=4)
+    cluster = cluster_h800(num_nodes=2)
+    cost_model = CostModel()
+
+    # A mixed microbatch: images for the ViT, audio clips for the second
+    # encoder (reusing the clip fields), text for the backbone.
+    reference = Microbatch(index=0, kind="vlm", num_images=24,
+                           text_tokens=4136, num_clips=4,
+                           video_seconds=12.0, caption_tokens=0)
+    partitioner = ModalityPartitioner(arch, cluster, parallel, cost_model)
+    plan = partitioner.plan(reference)
+    print(f"partition plan: {plan.describe()}\n")
+
+    batch = GlobalBatch([
+        Microbatch(index=i, kind="vlm", num_images=6 + 4 * i,
+                   text_tokens=8192 - (6 + 4 * i) * 169,
+                   num_clips=2 + i, video_seconds=4.0 + 2.5 * i)
+        for i in range(4)
+    ])
+    graph = build_iteration_graph(arch, plan, batch, cluster, parallel,
+                                  cost_model, partitioner=partitioner)
+    print(f"iteration graph: {len(graph.stages)} stages, "
+          f"{len(graph.groups())} segment groups")
+
+    searcher = ScheduleSearcher(cluster, parallel, cost_model,
+                                budget_evaluations=25, seed=0)
+    result = searcher.search(graph)
+    print(f"searched schedule: {result.total_ms / 1e3:.2f}s, "
+          f"bubble {result.schedule.predicted.bubble_ratio * 100:.1f}%")
+
+    exec_plan = compile_schedule(graph, result.schedule.order, cluster,
+                                 parallel, cost_model)
+    engine = execute_plan(exec_plan)
+    print(f"deployed replay: {engine.total_ms / 1e3:.2f}s over "
+          f"{engine.messages} P2P messages — matches the prediction: "
+          f"{abs(engine.total_ms - result.total_ms) < 1e-6}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Dynamic-workload adaptation: the Fig. 8b experiment as a script.
+
+Replays one rise-and-fall image-count pattern against both DIP and
+Megatron-LM, printing an ASCII timeline of the gap.  The Megatron/DIP
+ratio should peak with the image count and shrink towards text-only
+batches.
+
+Run with::
+
+    python examples/dynamic_workload.py
+"""
+
+from repro.baselines.megatron import megatron_schedule
+from repro.cluster.topology import ParallelConfig, cluster_h800
+from repro.core.graphbuilder import build_iteration_graph
+from repro.core.partitioner import ModalityPartitioner
+from repro.core.planner import reference_microbatch
+from repro.core.searcher import ScheduleSearcher
+from repro.data.workload import DynamicImageBoundsSchedule
+from repro.models.lmm import build_vlm
+from repro.models.zoo import LLAMA3_8B, VIT_5B
+from repro.sim.costmodel import CostModel
+
+MICROBATCHES = 4
+
+
+def main() -> None:
+    arch = build_vlm(VIT_5B, LLAMA3_8B, "VLM-S")
+    parallel = ParallelConfig(dp=1, tp=4, pp=4)
+    cluster = cluster_h800(num_nodes=2)
+    cost_model = CostModel()
+    partitioner = ModalityPartitioner(arch, cluster, parallel, cost_model)
+    plan = partitioner.plan(reference_microbatch("vlm"))
+    searcher = ScheduleSearcher(cluster, parallel, cost_model,
+                                budget_evaluations=20, seed=0)
+
+    schedule = DynamicImageBoundsSchedule(
+        num_microbatches=MICROBATCHES, num_patterns=1, seed=0
+    )
+    print(f"{'iter':>4} {'avg #img':>9} {'DIP (s)':>8} {'Megatron (s)':>13} "
+          f"{'gap':>6}  timeline")
+    for iteration in range(schedule.total_iterations):
+        batch = schedule.batch(iteration)
+        graph = build_iteration_graph(arch, plan, batch, cluster, parallel,
+                                      cost_model, partitioner=partitioner)
+        dip_ms = searcher.search(graph).total_ms
+        meg_ms = megatron_schedule(arch, batch, cluster, parallel,
+                                   cost_model).total_ms
+        gap = meg_ms / dip_ms
+        bar = "#" * int(round(batch.average_images))
+        print(f"{iteration + 1:>4} {batch.average_images:>9.1f} "
+              f"{dip_ms / 1e3:>8.2f} {meg_ms / 1e3:>13.2f} "
+              f"{gap:>5.2f}x  {bar}")
+
+    print("\nThe Megatron/DIP gap follows the image count: static 1F1B")
+    print("cannot adapt, DIP re-plans every iteration.")
+
+
+if __name__ == "__main__":
+    main()

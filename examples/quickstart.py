@@ -1,0 +1,31 @@
+"""Quickstart: plan and simulate two iterations of VLM-S training.
+
+Run with::
+
+    python examples/quickstart.py
+
+This uses the one-call convenience API; see ``vlm_training.py`` for the
+full object-level workflow.
+"""
+
+from repro import quick_plan
+
+
+def main() -> None:
+    print("Planning 2 iterations of VLM-S (ViT 5B + Llama3 8B) ...")
+    reports = quick_plan("VLM-S", num_microbatches=4, iterations=2, seed=0)
+    for report in reports:
+        search = report.search
+        print(
+            f"iteration {report.iteration}: "
+            f"train {report.train_ms / 1e3:.2f}s  "
+            f"search {report.search_seconds:.2f}s  "
+            f"bubble {search.schedule.predicted.bubble_ratio * 100:.1f}%  "
+            f"avg images/microbatch {report.average_images:.1f}"
+        )
+    print("\nEach iteration received its own schedule, searched while the")
+    print("previous iteration was (simulated to be) running on the GPUs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Text-to-video diffusion training with DIP (T2V-S: Llama3 8B + DiT 5B).
+
+Video workloads stress the pipeline differently from VLMs: the DiT
+decoder dominates compute, batches land in different resolution buckets
+(up to ~4x FLOPs spread), and activation volumes are large enough that
+memory strategies matter.  This example shows DIP adapting its schedule
+per batch and prints what the memory optimizer chose.
+
+Run with::
+
+    python examples/t2v_training.py
+"""
+
+from collections import Counter
+
+from repro.cluster.topology import ParallelConfig, cluster_h800
+from repro.core.planner import OnlinePlanner
+from repro.core.searcher import ScheduleSearcher
+from repro.data.workload import t2v_workload
+from repro.models.lmm import build_t2v
+from repro.models.zoo import DIT_5B, LLAMA3_8B
+from repro.sim.costmodel import CostModel
+
+ITERATIONS = 3
+MICROBATCHES = 8
+
+
+def main() -> None:
+    arch = build_t2v(LLAMA3_8B, DIT_5B, "T2V-S")
+    parallel = ParallelConfig(dp=1, tp=4, pp=4)
+    cluster = cluster_h800(num_nodes=2)
+    cost_model = CostModel()
+
+    print(f"model: {arch.name}, {arch.parameters_billion():.1f}B parameters")
+    print(f"loss module: {arch.loss_module.name} "
+          f"(conditioned on {arch.bindings[0].name})\n")
+
+    searcher = ScheduleSearcher(cluster, parallel, cost_model,
+                                budget_evaluations=25, seed=0)
+    planner = OnlinePlanner(arch, cluster, parallel, cost_model,
+                            searcher=searcher)
+    print(f"offline partition plan: {planner.plan.describe()}\n")
+
+    stream = t2v_workload(MICROBATCHES, seed=0)
+    for iteration in range(ITERATIONS):
+        batch = stream.next_batch()
+        result = planner.plan_iteration(batch)
+        graph = result.schedule.graph
+        strategies = Counter(
+            pair.strategy.label.split("/")[0] for pair in graph.pairs
+        )
+        tokens = sum(m.video_tokens for m in batch)
+        peak = max(result.schedule.predicted.peak_memory_bytes) / 2**30
+        print(f"iteration {iteration}: "
+              f"{tokens / 1e3:.0f}k video tokens, "
+              f"iter {result.total_ms / 1e3:.2f}s, "
+              f"bubble {result.schedule.predicted.bubble_ratio * 100:.0f}%, "
+              f"peak {peak:.0f} GiB, "
+              f"strategies {dict(strategies)}")
+
+    print("\nheavier (high-resolution) batches trigger more checkpointing")
+    print("and finer DiT sub-microbatches; light batches keep activations")
+    print("resident and run faster — all decided per iteration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setup shim for environments whose setuptools lacks PEP 517 wheel support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of DIP: Efficient Large Multimodal Model Training "
+        "with Dynamic Interleaved Pipeline (ASPLOS '26)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

@@ -1,0 +1,82 @@
+"""repro: reproduction of DIP - Dynamic Interleaved Pipeline (ASPLOS '26).
+
+A dynamic, modality-aware pipeline-parallel scheduling framework for
+large multimodal model (LMM) training, evaluated end-to-end on an
+analytic cluster simulator.
+
+Quickstart::
+
+    from repro import quick_plan
+
+    report = quick_plan("VLM-S", num_microbatches=4, iterations=2)
+    for r in report:
+        print(r.iteration, r.train_ms)
+
+Package map:
+
+* :mod:`repro.core` - DIP itself (partitioner, searcher, planner).
+* :mod:`repro.models` / :mod:`repro.data` / :mod:`repro.cluster` - the
+  model, data and hardware substrates.
+* :mod:`repro.sim` - the operator-level training simulator.
+* :mod:`repro.baselines` - Megatron-LM 1F1B/VPP, nnScaler*, Optimus and
+  FSDP comparison systems.
+* :mod:`repro.runtime` - execution-plan compilation and replay.
+"""
+
+from repro.cluster import ClusterSpec, ParallelConfig
+from repro.core import OnlinePlanner, ScheduleSearcher
+from repro.core.autotuner import tune_layout
+from repro.core.visualize import ascii_timeline, chrome_trace
+from repro.data import vlm_workload, t2v_workload
+from repro.data.analysis import analyze_workload
+from repro.metrics import mfu, speedup
+from repro.models import build_t2v, build_vlm, combination_by_name
+from repro.models.lmm import build_combination
+from repro.sim import CostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSpec",
+    "ParallelConfig",
+    "OnlinePlanner",
+    "ScheduleSearcher",
+    "CostModel",
+    "build_vlm",
+    "build_t2v",
+    "build_combination",
+    "combination_by_name",
+    "vlm_workload",
+    "t2v_workload",
+    "mfu",
+    "speedup",
+    "quick_plan",
+    "tune_layout",
+    "analyze_workload",
+    "ascii_timeline",
+    "chrome_trace",
+]
+
+
+def quick_plan(combo_name: str, num_microbatches: int = 4, iterations: int = 1,
+               seed: int = 0, **searcher_kwargs):
+    """One-call demo: plan and simulate a few iterations of a Table 3 model.
+
+    Returns the planner reports (iteration time, search time, schedule).
+    """
+    from repro.cluster.topology import cluster_h800
+    from repro.models.zoo import combination_by_name as _combo
+
+    combo = _combo(combo_name)
+    arch = build_combination(combo)
+    parallel = ParallelConfig(dp=1, tp=combo.tp, pp=combo.pp)
+    nodes = max(1, parallel.world_size // 8)
+    cluster = cluster_h800(num_nodes=nodes)
+    searcher_kwargs.setdefault("budget_evaluations", 30)
+    searcher = ScheduleSearcher(cluster, parallel, seed=seed, **searcher_kwargs)
+    planner = OnlinePlanner(arch, cluster, parallel, searcher=searcher)
+    if combo.kind == "vlm":
+        stream = vlm_workload(num_microbatches, seed=seed)
+    else:
+        stream = t2v_workload(num_microbatches, seed=seed)
+    return planner.run(stream.batches(iterations))

@@ -1,0 +1,28 @@
+"""Baseline training systems the paper compares against (section 7.1).
+
+* :mod:`repro.baselines.megatron` — Megatron-LM with interleaved 1F1B
+  and approximately parameter-balanced chunk partitioning.
+* :mod:`repro.baselines.nnscaler` — nnScaler*: a static latency-balanced
+  plan pre-generated on a representative workload, restricted to 1F1B.
+* :mod:`repro.baselines.optimus` — Optimus' coarse-grained bubble
+  scheduling (all encoder computation sequenced around the backbone).
+* :mod:`repro.baselines.fsdp` — PyTorch FSDP (ZeRO-3) analytic model.
+
+All pipeline baselines produce schedules over the same stage/graph
+machinery DIP uses and are evaluated by the same simulator, so measured
+differences are differences in *schedule quality* — matching the paper's
+methodology of implementing every baseline inside one framework.
+"""
+
+from repro.baselines.megatron import megatron_schedule
+from repro.baselines.nnscaler import NnScalerPlan, nnscaler_schedule
+from repro.baselines.optimus import optimus_schedule
+from repro.baselines.fsdp import fsdp_iteration_ms
+
+__all__ = [
+    "megatron_schedule",
+    "nnscaler_schedule",
+    "NnScalerPlan",
+    "optimus_schedule",
+    "fsdp_iteration_ms",
+]

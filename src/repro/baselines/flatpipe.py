@@ -1,0 +1,238 @@
+"""Shared machinery for flat-partitioned pipeline baselines.
+
+Megatron-LM and nnScaler treat the LMM as one flat stack of layers:
+every microbatch makes a single traversal through ``P * V`` model chunks
+(V = virtual-pipeline degree), and chunks freely mix layers of different
+modality modules — the *intra-segment imbalance* DIP eliminates.
+
+This module builds :class:`IterationGraph` instances for such flat
+partitionings, so baseline schedules run through the exact same simulator
+as DIP's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.core.stages import (
+    Direction,
+    IterationGraph,
+    SegmentKey,
+    StagePair,
+    StageTask,
+)
+from repro.data.batching import GlobalBatch, Microbatch, iteration_flops, module_workload
+from repro.models.flops import training_state_bytes
+from repro.models.lmm import LMMArchitecture
+from repro.sim.costmodel import CostModel, StageCost
+
+
+@dataclass(frozen=True)
+class LayerSlice:
+    """A contiguous run of layers of one module inside a flat chunk."""
+
+    module: str
+    num_layers: int
+
+
+@dataclass
+class FlatPartition:
+    """A flat chunk partitioning: ``P * V`` chunks of layer slices."""
+
+    num_ranks: int
+    virtual: int
+    chunks: List[List[LayerSlice]]  # length P * V, traversal order
+
+    def __post_init__(self) -> None:
+        if len(self.chunks) != self.num_ranks * self.virtual:
+            raise ValueError("chunk count must equal P * V")
+
+
+def flat_layer_list(arch: LMMArchitecture) -> List[str]:
+    """The LMM's layers as a flat module-name sequence (dataflow order)."""
+    out: List[str] = []
+    for binding in arch.bindings:
+        out.extend([binding.name] * binding.spec.num_layers)
+    return out
+
+
+def partition_by_weight(
+    arch: LMMArchitecture,
+    num_ranks: int,
+    virtual: int,
+    weight_of: Dict[str, float],
+) -> FlatPartition:
+    """Split the flat layer list into chunks of near-equal total weight.
+
+    ``weight_of`` maps module name to per-layer weight: parameter counts
+    for Megatron's balanced-parameter partitioning, measured per-layer
+    latencies for nnScaler's latency-balanced plan.
+    """
+    layers = flat_layer_list(arch)
+    weights = [weight_of[m] for m in layers]
+    num_chunks = num_ranks * virtual
+    if len(layers) < num_chunks:
+        raise ValueError(
+            f"{len(layers)} layers cannot fill {num_chunks} chunks"
+        )
+    total = sum(weights)
+    target = total / num_chunks
+    # Greedy sweep: close a chunk when adding the next layer moves the
+    # running sum further from the target than stopping, while leaving
+    # enough layers for the remaining chunks.
+    chunks: List[List[LayerSlice]] = []
+    i = 0
+    for c in range(num_chunks):
+        remaining_chunks = num_chunks - c - 1
+        acc = 0.0
+        slice_counts: Dict[str, int] = {}
+        order: List[str] = []
+        # Must take at least one layer, and leave >= remaining_chunks.
+        while i < len(layers) - remaining_chunks:
+            w = weights[i]
+            if acc > 0 and abs(acc + w - target) > abs(acc - target):
+                break
+            module = layers[i]
+            if module not in slice_counts:
+                slice_counts[module] = 0
+                order.append(module)
+            slice_counts[module] += 1
+            acc += w
+            i += 1
+            if acc >= target and remaining_chunks > 0:
+                break
+        if not order:  # forced minimum of one layer
+            module = layers[i]
+            slice_counts = {module: 1}
+            order = [module]
+            i += 1
+        chunks.append([LayerSlice(m, slice_counts[m]) for m in order])
+    # Distribute any leftover layers onto the final chunk.
+    if i < len(layers):
+        tail = chunks[-1]
+        extra: Dict[str, int] = {}
+        t_order: List[str] = [s.module for s in tail]
+        counts = {s.module: s.num_layers for s in tail}
+        while i < len(layers):
+            module = layers[i]
+            if module not in counts:
+                counts[module] = 0
+                t_order.append(module)
+            counts[module] += 1
+            i += 1
+        chunks[-1] = [LayerSlice(m, counts[m]) for m in t_order]
+    return FlatPartition(num_ranks=num_ranks, virtual=virtual, chunks=chunks)
+
+
+def _combine_costs(parts: Sequence[StageCost]) -> StageCost:
+    """Sum stage costs of the slices inside one flat chunk."""
+    return StageCost(
+        forward_ms=sum(p.forward_ms for p in parts),
+        backward_ms=sum(p.backward_ms for p in parts),
+        act_bytes=sum(p.act_bytes for p in parts),
+        act_ckpt_bytes=sum(p.act_ckpt_bytes for p in parts),
+        recompute_ms=sum(p.recompute_ms for p in parts),
+        offload_ms=sum(p.offload_ms for p in parts),
+        p2p_bytes=parts[-1].p2p_bytes,
+    )
+
+
+def build_flat_iteration_graph(
+    arch: LMMArchitecture,
+    partition: FlatPartition,
+    batch: GlobalBatch,
+    cluster: ClusterSpec,
+    parallel: ParallelConfig,
+    cost_model: Optional[CostModel] = None,
+) -> IterationGraph:
+    """Stage DAG for a flat-partitioned pipeline (one traversal per mb)."""
+    cost_model = cost_model or CostModel()
+    p = partition.num_ranks
+    stages: List[StageTask] = []
+    pairs: List[StagePair] = []
+    cost_cache: Dict[Tuple, StageCost] = {}
+
+    def slice_cost(module: str, layers: int, mb: Microbatch) -> StageCost:
+        binding = arch.binding(module)
+        instances, seq, ctx = module_workload(binding, mb)
+        if instances == 0:
+            instances, seq = 1, 1  # empty modality: negligible epsilon work
+        key = (module, layers, instances, seq, ctx)
+        cached = cost_cache.get(key)
+        if cached is None:
+            cached = cost_model.stage_cost(
+                cluster.gpu, binding.spec, layers, instances, seq,
+                tp=parallel.tp, context=ctx,
+            )
+            cost_cache[key] = cached
+        return cached
+
+    for mb in batch:
+        fw_uids: List[int] = []
+        fw_pairs: List[int] = []
+        prev: Optional[int] = None
+        for position, chunk in enumerate(partition.chunks):
+            segment, rank = divmod(position, p)
+            parts = [slice_cost(s.module, s.num_layers, mb) for s in chunk]
+            cost = _combine_costs(parts)
+            pair = StagePair(
+                pair_id=len(pairs),
+                microbatch=mb.index,
+                module=chunk[0].module,
+                sub_index=0,
+                chunk=segment,
+                rank=rank,
+                num_layers=sum(s.num_layers for s in chunk),
+                cost=cost,
+            )
+            pairs.append(pair)
+            key = SegmentKey(mb.index, "flat", 0, segment, Direction.FORWARD)
+            deps = () if prev is None else (prev,)
+            stage = StageTask(
+                uid=len(stages),
+                key=key,
+                rank=rank,
+                pair_id=pair.pair_id,
+                deps=deps,
+                p2p_bytes=cost.p2p_bytes if prev is not None else 0.0,
+            )
+            stages.append(stage)
+            prev = stage.uid
+            fw_uids.append(stage.uid)
+            fw_pairs.append(pair.pair_id)
+        # Backward: exact reverse traversal.
+        prev_bw: Optional[int] = None
+        for position in range(len(partition.chunks) - 1, -1, -1):
+            segment, rank = divmod(position, p)
+            fw_uid = fw_uids[position]
+            deps = (fw_uid,) if prev_bw is None else (prev_bw, fw_uid)
+            key = SegmentKey(mb.index, "flat", 0, segment, Direction.BACKWARD)
+            stage = StageTask(
+                uid=len(stages),
+                key=key,
+                rank=rank,
+                pair_id=fw_pairs[position],
+                deps=deps,
+                p2p_bytes=pairs[fw_pairs[position]].cost.p2p_bytes,
+            )
+            stages.append(stage)
+            prev_bw = stage.uid
+
+    static = [0.0] * p
+    for position, chunk in enumerate(partition.chunks):
+        rank = position % p
+        for s in chunk:
+            per_layer = arch.binding(s.module).spec.layer_parameters()
+            static[rank] += training_state_bytes(
+                s.num_layers * per_layer, tp=parallel.tp
+            )
+    return IterationGraph(
+        num_ranks=p,
+        stages=stages,
+        pairs=pairs,
+        static_bytes_per_rank=static,
+        memory_limit_bytes=cluster.gpu.memory_bytes * 0.92,
+        model_flops=iteration_flops(arch, batch),
+    )

@@ -1,0 +1,87 @@
+"""PyTorch FSDP (ZeRO-3) analytic cost model.
+
+FSDP shards parameters, gradients and optimizer state across all data-
+parallel workers and materialises each layer's weights via all-gather
+just-in-time (``reshard_after_forward=True``).  There is no pipeline:
+every GPU runs the full depth over its local microbatches, overlapping
+parameter collectives with compute.  Iteration time is therefore the sum
+over layers of max(compute, communication), plus gradient
+reduce-scatter in the backward pass — the standard ZeRO-3 roofline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.topology import ClusterSpec
+from repro.data.batching import GlobalBatch, module_workload
+from repro.models.flops import BYTES_PER_ELEMENT
+from repro.models.lmm import LMMArchitecture
+from repro.sim.costmodel import CostModel
+
+
+def fsdp_iteration_ms(
+    arch: LMMArchitecture,
+    batch: GlobalBatch,
+    cluster: ClusterSpec,
+    cost_model: Optional[CostModel] = None,
+    world_size: Optional[int] = None,
+) -> float:
+    """Iteration latency of FSDP/ZeRO-3 training on ``world_size`` GPUs.
+
+    Microbatches spread evenly across workers; the slowest worker (most
+    loaded, by ceiling division) bounds the iteration.
+    """
+    cost_model = cost_model or CostModel()
+    world = cluster.world_size if world_size is None else world_size
+    if world < 1:
+        raise ValueError("world_size must be >= 1")
+    device = cluster.gpu
+    # Inter-node fabric bounds the collectives once world > one node.
+    if world > cluster.gpus_per_node:
+        coll_bandwidth = device.nic_bandwidth
+    else:
+        coll_bandwidth = device.nvlink_bandwidth
+
+    microbatches = list(batch)
+    local_count = -(-len(microbatches) // world)  # ceil: slowest worker
+    # The slowest worker sees the heaviest microbatches under any greedy
+    # assignment; approximate its load by the mean of the top-k.
+    per_mb_ms = []
+    for mb in microbatches:
+        fw = bw = 0.0
+        for binding in arch.bindings:
+            instances, seq, ctx = module_workload(binding, mb)
+            if instances == 0:
+                continue
+            cost = cost_model.stage_cost(
+                device, binding.spec, binding.spec.num_layers, instances,
+                seq, tp=1, context=ctx,
+            )
+            fw += cost.forward_ms
+            bw += cost.backward_ms
+        per_mb_ms.append((fw, bw))
+    per_mb_ms.sort(key=lambda t: -(t[0] + t[1]))
+    heavy = per_mb_ms[:local_count]
+    compute_fw = sum(t[0] for t in heavy)
+    compute_bw = sum(t[1] for t in heavy)
+
+    # Parameter all-gathers: once per layer per local microbatch in fw,
+    # once in bw (resharded in between); gradient reduce-scatter in bw.
+    ring = 2.0 * (world - 1) / world
+    gather_ms = 0.0
+    for binding in arch.bindings:
+        layer_bytes = binding.spec.layer_parameters() * BYTES_PER_ELEMENT
+        per_gather = cost_model.op_latency_ms(
+            device,
+            net_bytes=ring * layer_bytes / 2.0,  # all-gather moves half a ring
+            net_bandwidth=coll_bandwidth,
+        )
+        gather_ms += binding.spec.num_layers * per_gather
+    fw_comm = gather_ms * local_count
+    bw_comm = gather_ms * local_count * 2.0  # re-gather + reduce-scatter
+
+    # Compute/communication overlap: each phase is bounded by its max.
+    fw_ms = max(compute_fw, fw_comm) + 0.05 * min(compute_fw, fw_comm)
+    bw_ms = max(compute_bw, bw_comm) + 0.05 * min(compute_bw, bw_comm)
+    return fw_ms + bw_ms

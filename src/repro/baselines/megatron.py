@@ -1,0 +1,136 @@
+"""Megatron-LM baseline: (interleaved) 1F1B with parameter-balanced chunks.
+
+The paper's configuration (section 7.1): "interleaved pipeline
+parallelism (VPP) and partition LMM layers into model chunks with
+approximately balanced parameter distribution".  The schedule is the
+fixed 1F1B pattern — identical for every iteration regardless of batch
+content, which is exactly the static behaviour DIP improves upon.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.core.memopt import apply_uniform_memory_policy
+from repro.core.schedule import PipelineSchedule
+from repro.core.stages import Direction, IterationGraph
+from repro.data.batching import GlobalBatch
+from repro.models.lmm import LMMArchitecture
+from repro.baselines.flatpipe import (
+    FlatPartition,
+    build_flat_iteration_graph,
+    partition_by_weight,
+)
+from repro.sim.costmodel import CostModel
+
+
+def megatron_partition(
+    arch: LMMArchitecture, parallel: ParallelConfig, virtual: int = 2
+) -> FlatPartition:
+    """Parameter-balanced flat chunks (Megatron's default placement)."""
+    weight_of = {
+        b.name: float(b.spec.layer_parameters()) for b in arch.bindings
+    }
+    total_layers = sum(b.spec.num_layers for b in arch.bindings)
+    while virtual > 1 and total_layers < parallel.pp * virtual:
+        virtual -= 1
+    return partition_by_weight(arch, parallel.pp, virtual, weight_of)
+
+
+def one_f_one_b_order(
+    graph: IterationGraph, num_microbatches: int, virtual: int
+) -> List[List[int]]:
+    """The fixed (interleaved) 1F1B execution order.
+
+    For ``virtual == 1`` this is the classic schedule: rank ``r`` warms up
+    with ``P - 1 - r`` forwards, alternates fw/bw through the steady
+    state, then drains backwards.  For ``virtual > 1`` the interleaved
+    variant cycles chunks in groups of ``P`` microbatches (requires
+    ``num_microbatches % P == 0``; callers fall back to ``virtual=1``
+    otherwise).
+    """
+    p = graph.num_ranks
+    # Index stages by (microbatch, traversal position).
+    fw_uid = {}
+    bw_uid = {}
+    for stage in graph.stages:
+        mb = stage.key.microbatch
+        position = stage.key.chunk * p + stage.rank
+        if stage.direction is Direction.FORWARD:
+            fw_uid[(mb, position)] = stage.uid
+        else:
+            bw_uid[(mb, position)] = stage.uid
+    mb_indices = sorted({s.key.microbatch for s in graph.stages})
+    n = len(mb_indices)
+
+    order: List[List[int]] = []
+    for rank in range(p):
+        if virtual == 1:
+            fw_seq = [(m, rank) for m in mb_indices]
+            bw_seq = list(fw_seq)
+            warmup = min(n, p - 1 - rank)
+        else:
+            fw_seq = _interleaved_sequence(mb_indices, rank, p, virtual, False)
+            bw_seq = _interleaved_sequence(mb_indices, rank, p, virtual, True)
+            warmup = min(len(fw_seq), (p - 1 - rank) * 2 + (virtual - 1) * p)
+        uids: List[int] = []
+        total = len(fw_seq)
+        f = b = 0
+        for _ in range(warmup):
+            uids.append(fw_uid[fw_seq[f]])
+            f += 1
+        while f < total:
+            uids.append(fw_uid[fw_seq[f]])
+            f += 1
+            uids.append(bw_uid[bw_seq[b]])
+            b += 1
+        while b < total:
+            uids.append(bw_uid[bw_seq[b]])
+            b += 1
+        order.append(uids)
+    return order
+
+
+def _interleaved_sequence(
+    mb_indices: List[int], rank: int, p: int, virtual: int, backward: bool
+) -> List[Tuple[int, int]]:
+    """Interleaved-VPP visit order for one rank.
+
+    Microbatches advance in groups of ``P``; within each group the rank
+    runs chunk 0 for all P microbatches, then chunk 1, etc.  Backward
+    visits chunks in reverse order.
+    """
+    chunk_order = range(virtual - 1, -1, -1) if backward else range(virtual)
+    seq: List[Tuple[int, int]] = []
+    for group_start in range(0, len(mb_indices), p):
+        group = mb_indices[group_start: group_start + p]
+        for chunk in chunk_order:
+            for m in group:
+                seq.append((m, chunk * p + rank))
+    return seq
+
+
+def megatron_schedule(
+    arch: LMMArchitecture,
+    batch: GlobalBatch,
+    cluster: ClusterSpec,
+    parallel: ParallelConfig,
+    cost_model: Optional[CostModel] = None,
+    virtual: int = 2,
+) -> PipelineSchedule:
+    """Build and simulate Megatron-LM's schedule for one iteration."""
+    cost_model = cost_model or CostModel()
+    n = len(batch)
+    if virtual > 1 and n % parallel.pp != 0:
+        virtual = 1  # interleaved VPP requires n_mb % P == 0
+    partition = megatron_partition(arch, parallel, virtual)
+    virtual = partition.virtual
+    graph = build_flat_iteration_graph(
+        arch, partition, batch, cluster, parallel, cost_model
+    )
+    apply_uniform_memory_policy(graph)
+    order = one_f_one_b_order(graph, n, virtual)
+    schedule = PipelineSchedule(graph=graph, order=order, label="megatron-1f1b")
+    schedule.simulate(cluster, parallel, cost_model)
+    return schedule

@@ -1,0 +1,147 @@
+"""nnScaler* baseline: a static pre-generated parallelization plan.
+
+Following the paper's methodology, nnScaler's chunk partitioning and
+memory optimizations are re-implemented inside the common framework
+("nnScaler*").  nnScaler searches a high-quality plan *offline* on a
+representative workload — here: a latency-balanced flat partition, an
+optimised stage order found by search on the representative batch, and
+per-chunk memory strategies — and then reuses that frozen plan for every
+training iteration, because regenerating takes minutes and requires a
+restart.  Its 1F1B restriction keeps all modality modules inside one
+pipeline segment (section 7.2), and the frozen schedule cannot react to
+batch-content changes: both are exactly the weaknesses DIP addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.core.interleaver import interleave_stages
+from repro.core.memopt import generate_candidates, optimize_memory
+from repro.core.mcts import natural_ordering
+from repro.core.schedule import PipelineSchedule
+from repro.core.stages import IterationGraph
+from repro.data.batching import GlobalBatch, module_workload
+from repro.models.lmm import LMMArchitecture
+from repro.baselines.flatpipe import (
+    FlatPartition,
+    build_flat_iteration_graph,
+    partition_by_weight,
+)
+from repro.sim.costmodel import CostModel
+
+
+class NnScalerPlan:
+    """The static plan: balanced partition + frozen order + strategies.
+
+    Args:
+        arch: LMM architecture.
+        cluster / parallel: Hardware and layout.
+        cost_model: Latency model used for "profiling" the representative
+            workload.
+    """
+
+    def __init__(
+        self,
+        arch: LMMArchitecture,
+        cluster: ClusterSpec,
+        parallel: ParallelConfig,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.arch = arch
+        self.cluster = cluster
+        self.parallel = parallel
+        self.cost_model = cost_model or CostModel()
+        self.partition: Optional[FlatPartition] = None
+        self._frozen_order: Optional[List[List[int]]] = None
+        self._frozen_chunk_strategy: Dict[Tuple[int, int], str] = {}
+        self._num_microbatches: int = 0
+
+    def fit(self, representative: GlobalBatch) -> "NnScalerPlan":
+        """Generate the plan from a representative workload (offline)."""
+        # Per-layer latency under the representative batch's first
+        # microbatch drives the balanced partitioning.
+        mb = representative.microbatches[0]
+        weight_of: Dict[str, float] = {}
+        for binding in self.arch.bindings:
+            instances, seq, ctx = module_workload(binding, mb)
+            instances = max(instances, 1)
+            cost = self.cost_model.stage_cost(
+                self.cluster.gpu, binding.spec, 1, instances, max(seq, 1),
+                tp=self.parallel.tp, context=ctx,
+            )
+            weight_of[binding.name] = cost.forward_ms + cost.backward_ms
+        self.partition = partition_by_weight(
+            self.arch, self.parallel.pp, 1, weight_of
+        )
+        self._num_microbatches = len(representative)
+
+        # Offline schedule search on the representative iteration: an
+        # optimised but *static* stage order, frozen for reuse.
+        graph = self._graph(representative)
+        generate_candidates(graph)
+        graph.select_most_memory_efficient()
+        ordering = natural_ordering(list(graph.groups().keys()))
+        priorities = {g: len(ordering) - i for i, g in enumerate(ordering)}
+        graph.apply_group_priorities(priorities)
+        inter = interleave_stages(graph, self.cluster, self.parallel,
+                                  self.cost_model)
+        optimize_memory(graph, inter.start_ms, inter.end_ms, exact=False)
+        self._frozen_order = inter.order
+        self._frozen_chunk_strategy = {}
+        for pair in graph.pairs:
+            self._frozen_chunk_strategy[(pair.chunk, pair.rank)] = (
+                pair.strategy.label
+            )
+        return self
+
+    def _graph(self, batch: GlobalBatch) -> IterationGraph:
+        if self.partition is None:
+            raise RuntimeError("call fit() before scheduling")
+        return build_flat_iteration_graph(
+            self.arch, self.partition, batch, self.cluster, self.parallel,
+            self.cost_model,
+        )
+
+    def schedule(self, batch: GlobalBatch) -> PipelineSchedule:
+        """Apply the frozen plan to a new iteration's batch.
+
+        The batch must have the plan's microbatch count (stage uids of a
+        flat graph depend only on that), mirroring nnScaler's fixed
+        execution plan.
+        """
+        if len(batch) != self._num_microbatches:
+            raise ValueError(
+                f"frozen plan covers {self._num_microbatches} microbatches, "
+                f"got {len(batch)}"
+            )
+        graph = self._graph(batch)
+        generate_candidates(graph)
+        for pair in graph.pairs:
+            wanted = self._frozen_chunk_strategy.get((pair.chunk, pair.rank))
+            pair.selected = 0
+            if wanted is not None:
+                for i, cand in enumerate(pair.candidates):
+                    if cand.label == wanted:
+                        pair.selected = i
+                        break
+        schedule = PipelineSchedule(graph=graph, order=self._frozen_order,
+                                    label="nnscaler*")
+        schedule.simulate(self.cluster, self.parallel, self.cost_model)
+        return schedule
+
+
+def nnscaler_schedule(
+    arch: LMMArchitecture,
+    batch: GlobalBatch,
+    cluster: ClusterSpec,
+    parallel: ParallelConfig,
+    cost_model: Optional[CostModel] = None,
+    representative: Optional[GlobalBatch] = None,
+) -> PipelineSchedule:
+    """Convenience one-shot: fit on ``representative`` (or the batch
+    itself) and schedule ``batch``."""
+    plan = NnScalerPlan(arch, cluster, parallel, cost_model)
+    plan.fit(representative if representative is not None else batch)
+    return plan.schedule(batch)

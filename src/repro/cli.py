@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``plan``      — plan + simulate iterations of a Table 3/6 model and
+                  print per-iteration statistics and the schedule diagram.
+* ``compare``   — run all systems on a shared workload (a mini Fig. 8a).
+* ``models``    — list the model zoo and combinations.
+* ``trace``     — export a searched schedule as a Chrome trace JSON.
+
+Examples::
+
+    python -m repro models
+    python -m repro plan VLM-S --microbatches 6 --iterations 2 --diagram
+    python -m repro compare T2V-S --microbatches 8
+    python -m repro trace VLM-S --output /tmp/vlm_s.trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cluster.topology import ParallelConfig, cluster_h100, cluster_h800
+from repro.core.planner import OnlinePlanner
+from repro.core.searcher import ScheduleSearcher
+from repro.core.visualize import ascii_timeline, memory_sparkline, save_chrome_trace
+from repro.data.workload import t2v_workload, vlm_workload
+from repro.metrics import mfu
+from repro.models.lmm import build_combination
+from repro.models.zoo import COMBINATIONS, MODEL_ZOO, combination_by_name
+from repro.sim.costmodel import CostModel
+
+
+def _setup(combo_name: str, budget: int, seed: int):
+    combo = combination_by_name(combo_name)
+    arch = build_combination(combo)
+    parallel = ParallelConfig(dp=1, tp=combo.tp, pp=combo.pp)
+    nodes = max(1, parallel.world_size // 8)
+    if combo_name.endswith(("-8k", "-16k", "-3k", "-6k")):
+        cluster = cluster_h100(nodes)
+    else:
+        cluster = cluster_h800(nodes)
+    cost_model = CostModel()
+    searcher = ScheduleSearcher(cluster, parallel, cost_model,
+                                budget_evaluations=budget, seed=seed)
+    planner = OnlinePlanner(arch, cluster, parallel, cost_model,
+                            searcher=searcher)
+    return arch, cluster, parallel, planner
+
+
+def _workload(arch, microbatches: int, seed: int):
+    if arch.kind == "t2v":
+        return t2v_workload(microbatches, seed=seed)
+    return vlm_workload(microbatches, seed=seed)
+
+
+def cmd_models(_args) -> int:
+    print("Modules (Table 2):")
+    for name, spec in MODEL_ZOO.items():
+        print(f"  {name:12s} {spec.parameters_billion():7.2f}B  "
+              f"{spec.num_layers} layers, d={spec.hidden_size}")
+    print("\nCombinations (Tables 3 and 6):")
+    for name, combo in COMBINATIONS.items():
+        print(f"  {name:12s} {' + '.join(combo.module_names):24s} "
+              f"TP{combo.tp} PP{combo.pp} DP{combo.dp} "
+              f"({combo.num_gpus} GPUs)")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    arch, cluster, parallel, planner = _setup(args.model, args.budget,
+                                              args.seed)
+    print(f"{arch.name}: {arch.parameters_billion():.1f}B on "
+          f"{parallel.describe()}  |  plan: {planner.plan.describe()}")
+    stream = _workload(arch, args.microbatches, args.seed)
+    reports = planner.run(stream.batches(args.iterations))
+    for report in reports:
+        predicted = report.search.schedule.predicted
+        graph = report.search.schedule.graph
+        value = mfu(graph.model_flops, report.train_ms, cluster.gpu, parallel)
+        print(f"iter {report.iteration}: {report.train_ms / 1e3:6.2f}s  "
+              f"MFU {value:.3f}  bubble {predicted.bubble_ratio * 100:4.1f}%  "
+              f"search {report.search_seconds:.2f}s")
+        if args.diagram:
+            print(ascii_timeline(graph, predicted, width=args.width))
+            print("mem PP0: "
+                  + memory_sparkline(predicted, 0,
+                                     limit_bytes=graph.memory_limit_bytes))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    import importlib
+
+    sys.path.insert(0, "benchmarks")
+    try:
+        common = importlib.import_module("common")
+    except ImportError:
+        print("compare requires the benchmarks/ directory", file=sys.stderr)
+        return 2
+    setup = common.make_setup(args.model)
+    systems = ["megatron", "nnscaler", "dip"]
+    if setup.arch.kind == "vlm":
+        systems.insert(2, "optimus")
+    times = common.average_times(setup, systems, args.iterations,
+                                 args.microbatches, seed=args.seed,
+                                 budget=args.budget)
+    base = times["megatron"]
+    print(f"{args.model}: normalized iteration time (Megatron-LM = 1.0)")
+    for system, ms in times.items():
+        bar = "#" * int(round(ms / base * 40))
+        print(f"  {system:10s} {ms / base:5.3f}  {bar}")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.core.autotuner import tune_layout
+    from repro.models.lmm import build_combination
+
+    combo = combination_by_name(args.model)
+    arch = build_combination(combo)
+    nodes = max(1, combo.tp * combo.pp // 8)
+    cluster = cluster_h800(nodes)
+    candidates = tune_layout(arch, cluster, args.microbatches,
+                             world_size=combo.tp * combo.pp,
+                             min_pp=2, seed=args.seed,
+                             search_budget=args.budget if args.search else 0)
+    print(f"layout candidates for {arch.name} on "
+          f"{combo.tp * combo.pp} GPUs (best first):")
+    for cand in candidates:
+        print("  " + cand.describe())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    arch, cluster, parallel, planner = _setup(args.model, args.budget,
+                                              args.seed)
+    batch = _workload(arch, args.microbatches, args.seed).next_batch()
+    result = planner.plan_iteration(batch)
+    path = save_chrome_trace(result.schedule.graph, result.schedule.predicted,
+                             args.output, process_name=args.model)
+    print(f"wrote {path} — open in chrome://tracing or ui.perfetto.dev")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DIP (ASPLOS '26) reproduction — dynamic interleaved "
+                    "pipeline planning on a simulated cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo")
+
+    def common_args(p):
+        p.add_argument("model", help="combination name, e.g. VLM-S")
+        p.add_argument("--microbatches", type=int, default=6)
+        p.add_argument("--iterations", type=int, default=2)
+        p.add_argument("--budget", type=int, default=25,
+                       help="schedule-search evaluations per iteration")
+        p.add_argument("--seed", type=int, default=0)
+
+    plan = sub.add_parser("plan", help="plan + simulate training iterations")
+    common_args(plan)
+    plan.add_argument("--diagram", action="store_true",
+                      help="print ASCII pipeline diagrams")
+    plan.add_argument("--width", type=int, default=100)
+
+    compare = sub.add_parser("compare", help="compare all systems")
+    common_args(compare)
+
+    trace = sub.add_parser("trace", help="export a Chrome trace")
+    common_args(trace)
+    trace.add_argument("--output", default="schedule.trace.json")
+
+    tune = sub.add_parser("tune", help="rank DP x TP x PP layouts")
+    common_args(tune)
+    tune.add_argument("--search", action="store_true",
+                      help="run schedule search per layout (slower)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "models": cmd_models,
+        "plan": cmd_plan,
+        "compare": cmd_compare,
+        "trace": cmd_trace,
+        "tune": cmd_tune,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Hardware substrate: GPU device specifications and cluster topology.
+
+The paper evaluates DIP on 64x H800, 16x H20 and (in simulation) up to
+16384x H100 GPUs.  This package models those devices and the node/network
+topology analytically, which is the substrate the paper's own training
+simulator (section 6.1) runs against.
+"""
+
+from repro.cluster.devices import (
+    GPU_A100_80G,
+    GPU_H100_80G,
+    GPU_H20_96G,
+    GPU_H800_80G,
+    GpuSpec,
+    gpu_by_name,
+)
+from repro.cluster.topology import ClusterSpec, ParallelConfig, RankLocation
+
+__all__ = [
+    "GpuSpec",
+    "GPU_H800_80G",
+    "GPU_H20_96G",
+    "GPU_H100_80G",
+    "GPU_A100_80G",
+    "gpu_by_name",
+    "ClusterSpec",
+    "ParallelConfig",
+    "RankLocation",
+]

@@ -1,0 +1,131 @@
+"""GPU device specifications used by the analytic cost model.
+
+Numbers are public datasheet values (dense BF16 tensor-core throughput,
+HBM bandwidth, interconnect bandwidth).  The cost model multiplies these
+peaks by empirical efficiency factors (see :mod:`repro.sim.costmodel`), so
+only the *relative* magnitudes matter for schedule quality, mirroring the
+paper's simulator design (section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a single GPU device.
+
+    Attributes:
+        name: Human-readable device name, e.g. ``"H800-80G"``.
+        bf16_tflops: Peak dense BF16 tensor-core throughput in teraFLOPs.
+        memory_gb: HBM capacity in gibibytes usable for training state.
+        memory_bandwidth_gbps: HBM bandwidth in GB/s.
+        nvlink_gbps: Per-GPU unidirectional NVLink bandwidth in GB/s
+            (intra-node point-to-point and collectives).
+        nic_gbps: Per-GPU share of the inter-node network in GB/s.  The
+            paper's testbed uses an 8x200Gbps rail-optimised RoCEv2 fabric,
+            i.e. 25 GB/s per GPU.
+        pcie_gbps: Host<->device bandwidth in GB/s, used by activation
+            offloading strategies.
+    """
+
+    name: str
+    bf16_tflops: float
+    memory_gb: float
+    memory_bandwidth_gbps: float
+    nvlink_gbps: float
+    nic_gbps: float
+    pcie_gbps: float = 55.0
+
+    @property
+    def flops(self) -> float:
+        """Peak throughput in FLOP/s."""
+        return self.bf16_tflops * 1e12
+
+    @property
+    def memory_bytes(self) -> float:
+        """HBM capacity in bytes."""
+        return self.memory_gb * (1024.0**3)
+
+    @property
+    def memory_bandwidth(self) -> float:
+        """HBM bandwidth in bytes/s."""
+        return self.memory_bandwidth_gbps * 1e9
+
+    @property
+    def nvlink_bandwidth(self) -> float:
+        """NVLink bandwidth in bytes/s."""
+        return self.nvlink_gbps * 1e9
+
+    @property
+    def nic_bandwidth(self) -> float:
+        """Inter-node network bandwidth in bytes/s."""
+        return self.nic_gbps * 1e9
+
+    @property
+    def pcie_bandwidth(self) -> float:
+        """Host link bandwidth in bytes/s."""
+        return self.pcie_gbps * 1e9
+
+
+#: NVIDIA H800 80GB (the paper's main 64-GPU testbed).  H800 keeps H100's
+#: compute but caps NVLink at 400 GB/s bidirectional (200 GB/s per
+#: direction), matching the paper's "200 GB/s NVLink" description.
+GPU_H800_80G = GpuSpec(
+    name="H800-80G",
+    bf16_tflops=989.0,
+    memory_gb=80.0,
+    memory_bandwidth_gbps=3350.0,
+    nvlink_gbps=200.0,
+    nic_gbps=25.0,
+)
+
+#: NVIDIA H20 96GB (the paper's 16-GPU comparison cluster).  Low compute,
+#: large and fast memory.
+GPU_H20_96G = GpuSpec(
+    name="H20-96G",
+    bf16_tflops=148.0,
+    memory_gb=96.0,
+    memory_bandwidth_gbps=4000.0,
+    nvlink_gbps=450.0,
+    nic_gbps=25.0,
+)
+
+#: NVIDIA H100 80GB (the paper's large-scale simulation target, Fig. 14).
+GPU_H100_80G = GpuSpec(
+    name="H100-80G",
+    bf16_tflops=989.0,
+    memory_gb=80.0,
+    memory_bandwidth_gbps=3350.0,
+    nvlink_gbps=450.0,
+    nic_gbps=50.0,
+)
+
+#: NVIDIA A100 80GB, included for users reproducing on older clusters.
+GPU_A100_80G = GpuSpec(
+    name="A100-80G",
+    bf16_tflops=312.0,
+    memory_gb=80.0,
+    memory_bandwidth_gbps=2039.0,
+    nvlink_gbps=300.0,
+    nic_gbps=25.0,
+)
+
+_REGISTRY = {
+    spec.name: spec
+    for spec in (GPU_H800_80G, GPU_H20_96G, GPU_H100_80G, GPU_A100_80G)
+}
+
+
+def gpu_by_name(name: str) -> GpuSpec:
+    """Look up a registered GPU spec by its :attr:`GpuSpec.name`.
+
+    Raises:
+        KeyError: if ``name`` is not a registered device.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown GPU {name!r}; known devices: {known}") from None

@@ -1,0 +1,158 @@
+"""Cluster topology and 3D-parallel rank mapping.
+
+Follows Megatron-LM's convention: the world is factored as
+``DP x PP x TP`` with TP innermost (ranks within one tensor-parallel group
+are consecutive, hence co-located on NVLink), then PP, then DP outermost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cluster.devices import GpuSpec
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """A 3D parallelism layout.
+
+    Attributes:
+        dp: Data-parallel degree.
+        tp: Tensor-parallel degree.
+        pp: Pipeline-parallel degree (number of pipeline ranks).
+    """
+
+    dp: int
+    tp: int
+    pp: int
+
+    def __post_init__(self) -> None:
+        for field_name in ("dp", "tp", "pp"):
+            value = getattr(self, field_name)
+            if value < 1:
+                raise ValueError(f"{field_name} must be >= 1, got {value}")
+
+    @property
+    def world_size(self) -> int:
+        """Total number of GPUs the layout requires."""
+        return self.dp * self.tp * self.pp
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``"DP2,TP4,PP4"``."""
+        return f"DP{self.dp},TP{self.tp},PP{self.pp}"
+
+
+@dataclass(frozen=True)
+class RankLocation:
+    """Physical placement of a logical (dp, pp, tp) rank."""
+
+    global_rank: int
+    node: int
+    local_gpu: int
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous GPU cluster.
+
+    Attributes:
+        gpu: Per-device specification.
+        gpus_per_node: GPUs per server (8 on the paper's testbed).
+        num_nodes: Number of servers.
+        cpu_cores_per_node: Host cores available; DIP's planner uses at
+            most half of them for schedule search (section 6.2).
+    """
+
+    gpu: GpuSpec
+    gpus_per_node: int = 8
+    num_nodes: int = 1
+    cpu_cores_per_node: int = 128
+
+    @property
+    def world_size(self) -> int:
+        """Total GPU count."""
+        return self.gpus_per_node * self.num_nodes
+
+    @property
+    def search_worker_budget(self) -> int:
+        """CPU cores the planner may use (<=50% of one node, section 6.2)."""
+        return max(1, self.cpu_cores_per_node // 2)
+
+    def validate(self, parallel: ParallelConfig) -> None:
+        """Check that a parallel layout fits this cluster.
+
+        Raises:
+            ValueError: if the layout needs more GPUs than available, or
+                a TP group would span nodes (TP requires NVLink).
+        """
+        if parallel.world_size > self.world_size:
+            raise ValueError(
+                f"{parallel.describe()} needs {parallel.world_size} GPUs but "
+                f"cluster has {self.world_size}"
+            )
+        if parallel.tp > self.gpus_per_node:
+            raise ValueError(
+                f"TP={parallel.tp} exceeds GPUs per node "
+                f"({self.gpus_per_node}); TP groups must stay on NVLink"
+            )
+
+    def locate(self, parallel: ParallelConfig, dp: int, pp: int, tp: int) -> RankLocation:
+        """Map a logical (dp, pp, tp) coordinate to a physical GPU.
+
+        TP is the innermost dimension so TP groups occupy consecutive
+        local GPUs; PP next; DP outermost.
+        """
+        if not (0 <= dp < parallel.dp and 0 <= pp < parallel.pp and 0 <= tp < parallel.tp):
+            raise ValueError(
+                f"coordinate (dp={dp}, pp={pp}, tp={tp}) out of range for "
+                f"{parallel.describe()}"
+            )
+        global_rank = (dp * parallel.pp + pp) * parallel.tp + tp
+        return RankLocation(
+            global_rank=global_rank,
+            node=global_rank // self.gpus_per_node,
+            local_gpu=global_rank % self.gpus_per_node,
+        )
+
+    def pipeline_neighbors_same_node(self, parallel: ParallelConfig) -> List[bool]:
+        """For each pipeline hop ``pp -> pp+1``, whether it stays intra-node.
+
+        The result has ``parallel.pp - 1`` entries (for dp group 0; the
+        mapping is homogeneous across dp groups).
+        """
+        hops = []
+        for pp in range(parallel.pp - 1):
+            a = self.locate(parallel, 0, pp, 0)
+            b = self.locate(parallel, 0, pp + 1, 0)
+            hops.append(a.node == b.node)
+        return hops
+
+    def p2p_bandwidth(self, parallel: ParallelConfig, src_pp: int, dst_pp: int) -> float:
+        """Point-to-point bandwidth (bytes/s) between two pipeline ranks."""
+        a = self.locate(parallel, 0, src_pp % parallel.pp, 0)
+        b = self.locate(parallel, 0, dst_pp % parallel.pp, 0)
+        if a.node == b.node:
+            return self.gpu.nvlink_bandwidth
+        return self.gpu.nic_bandwidth
+
+
+def cluster_h800(num_nodes: int = 8) -> ClusterSpec:
+    """The paper's main testbed: ``num_nodes`` x 8 H800, 128 cores/node."""
+    from repro.cluster.devices import GPU_H800_80G
+
+    return ClusterSpec(gpu=GPU_H800_80G, gpus_per_node=8, num_nodes=num_nodes)
+
+
+def cluster_h20(num_nodes: int = 2) -> ClusterSpec:
+    """The paper's comparison cluster: ``num_nodes`` x 8 H20."""
+    from repro.cluster.devices import GPU_H20_96G
+
+    return ClusterSpec(gpu=GPU_H20_96G, gpus_per_node=8, num_nodes=num_nodes)
+
+
+def cluster_h100(num_nodes: int) -> ClusterSpec:
+    """Large-scale H100 cluster used by the paper's Fig. 14 simulations."""
+    from repro.cluster.devices import GPU_H100_80G
+
+    return ClusterSpec(gpu=GPU_H100_80G, gpus_per_node=8, num_nodes=num_nodes)

@@ -1,0 +1,150 @@
+"""Parallel-layout auto-tuning via the training simulator.
+
+The paper's Fig. 13 grid-searches DP x TP x PP for VLM-M by hand; this
+module offers that search as a first-class API: enumerate the valid
+3D-parallel layouts for a cluster, simulate each one on a representative
+workload, and rank them by MFU — the "automated training parallelization"
+capability the related-work section situates DIP against, powered by the
+same simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.core.graphbuilder import build_iteration_graph
+from repro.core.partitioner import ModalityPartitioner
+from repro.core.planner import reference_microbatch
+from repro.core.searcher import ScheduleSearcher
+from repro.data.batching import GlobalBatch
+from repro.metrics import mfu
+from repro.models.lmm import LMMArchitecture
+from repro.sim.costmodel import CostModel
+
+
+@dataclass(frozen=True)
+class LayoutCandidate:
+    """One evaluated layout."""
+
+    parallel: ParallelConfig
+    iteration_ms: float
+    mfu: float
+    peak_memory_gb: float
+    fits_memory: bool
+
+    def describe(self) -> str:
+        flag = "" if self.fits_memory else "  (OOM)"
+        return (f"{self.parallel.describe():16s} MFU {self.mfu:.3f}  "
+                f"{self.iteration_ms / 1e3:6.2f}s  "
+                f"peak {self.peak_memory_gb:5.1f} GiB{flag}")
+
+
+def enumerate_layouts(
+    cluster: ClusterSpec,
+    world_size: Optional[int] = None,
+    max_tp: int = 8,
+    min_pp: int = 1,
+    max_pp: int = 64,
+) -> List[ParallelConfig]:
+    """All power-of-two DP x TP x PP layouts filling ``world_size`` GPUs.
+
+    TP stays within a node (NVLink constraint); PP bounded by
+    ``[min_pp, max_pp]``.
+    """
+    world = world_size or cluster.world_size
+    layouts: List[ParallelConfig] = []
+    tp = 1
+    while tp <= min(max_tp, cluster.gpus_per_node):
+        dp = 1
+        while dp * tp <= world:
+            pp, rem = divmod(world, tp * dp)
+            if rem == 0 and min_pp <= pp <= max_pp:
+                layouts.append(ParallelConfig(dp=dp, tp=tp, pp=pp))
+            dp *= 2
+        tp *= 2
+    return layouts
+
+
+def evaluate_layout(
+    arch: LMMArchitecture,
+    cluster: ClusterSpec,
+    parallel: ParallelConfig,
+    batch: GlobalBatch,
+    cost_model: Optional[CostModel] = None,
+    search_budget: int = 0,
+    seed: int = 0,
+) -> LayoutCandidate:
+    """Simulate one layout on one (per-replica) batch.
+
+    ``search_budget=0`` uses the natural-order schedule (fast, adequate
+    for ranking layouts); a positive budget runs MCTS per layout.
+    """
+    cost_model = cost_model or CostModel()
+    partitioner = ModalityPartitioner(arch, cluster, parallel, cost_model)
+    plan = partitioner.plan(reference_microbatch(arch.kind))
+    graph = build_iteration_graph(arch, plan, batch, cluster, parallel,
+                                  cost_model, partitioner=partitioner)
+    strategy = "mcts" if search_budget > 0 else "natural"
+    searcher = ScheduleSearcher(cluster, parallel, cost_model,
+                                strategy=strategy,
+                                budget_evaluations=max(search_budget, 1),
+                                seed=seed)
+    result = searcher.search(graph)
+    predicted = result.schedule.predicted
+    peak = max(predicted.peak_memory_bytes)
+    return LayoutCandidate(
+        parallel=parallel,
+        iteration_ms=result.total_ms,
+        mfu=mfu(graph.model_flops, result.total_ms, cluster.gpu, parallel),
+        peak_memory_gb=peak / 2**30,
+        fits_memory=not predicted.memory_exceeded,
+    )
+
+
+def tune_layout(
+    arch: LMMArchitecture,
+    cluster: ClusterSpec,
+    global_microbatches: int,
+    cost_model: Optional[CostModel] = None,
+    world_size: Optional[int] = None,
+    layouts: Optional[Sequence[ParallelConfig]] = None,
+    search_budget: int = 0,
+    min_pp: int = 1,
+    seed: int = 0,
+) -> List[LayoutCandidate]:
+    """Rank candidate layouts for training ``arch`` on ``cluster``.
+
+    The global batch splits evenly across DP replicas, so deeper DP gets
+    fewer per-replica microbatches — the fundamental DP-vs-PP trade the
+    tuner navigates.  Returns candidates sorted best-first (memory-
+    feasible layouts before infeasible ones, then by MFU).
+
+    Raises:
+        ValueError: if no layout fits the cluster.
+    """
+    cost_model = cost_model or CostModel()
+    if layouts is None:
+        layouts = enumerate_layouts(cluster, world_size, min_pp=min_pp)
+    if not layouts:
+        raise ValueError("no candidate layouts for this cluster")
+
+    from repro.data.workload import t2v_workload, vlm_workload
+
+    results: List[LayoutCandidate] = []
+    for parallel in layouts:
+        per_replica = max(1, global_microbatches // parallel.dp)
+        if arch.kind == "t2v":
+            batch = t2v_workload(per_replica, seed=seed).next_batch()
+        else:
+            batch = vlm_workload(per_replica, seed=seed).next_batch()
+        try:
+            results.append(
+                evaluate_layout(arch, cluster, parallel, batch, cost_model,
+                                search_budget=search_budget, seed=seed)
+            )
+        except ValueError:
+            continue  # layout structurally invalid for this model
+    results.sort(key=lambda c: (not c.fits_memory, -c.mfu))
+    return results

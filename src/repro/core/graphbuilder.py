@@ -1,0 +1,341 @@
+"""Build the per-iteration stage DAG from a partition plan and a batch.
+
+Dataflow encoded here (matching Fig. 5c of the paper):
+
+* Within one (microbatch, module, sub-microbatch): forward stages chain
+  chunk 0 rank 0 -> rank P-1 -> chunk 1 rank 0 -> ... ; backward stages
+  chain in exact reverse.
+* Across modules: the first forward stage of a level-``l+1`` module
+  depends on the *last* forward stage of every level-``l`` sub-microbatch
+  of the same microbatch (adapter outputs gathered back to rank 0).
+  Backward mirrors this: upstream backward starts after downstream
+  backward finishes at rank 0.
+* The loss module's backward follows its own forward directly.
+
+Stages are emitted in a topological order (uid ascending), which the
+:class:`repro.core.stages.IterationGraph` constructor verifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.data.batching import GlobalBatch, Microbatch, iteration_flops, module_workload
+from repro.models.flops import boundary_p2p_bytes, training_state_bytes
+from repro.models.lmm import LMMArchitecture
+from repro.core.partitioner import ModalityPartitioner, PartitionPlan
+from repro.core.stages import (
+    Direction,
+    IterationGraph,
+    SegmentKey,
+    StagePair,
+    StageTask,
+)
+from repro.sim.costmodel import CostModel, StageCost
+
+#: Fraction of device memory usable for weights + activations (the rest
+#: covers CUDA context, NCCL buffers and fragmentation).
+MEMORY_UTILIZATION = 0.92
+
+#: Under decoupled backward, the input-gradient (dgrad) share of the
+#: backward latency; the remainder is the deferrable weight gradient.
+DGRAD_SHARE = 0.55
+
+
+class _Builder:
+    """Single-use helper accumulating stages and pairs for one batch."""
+
+    def __init__(
+        self,
+        arch: LMMArchitecture,
+        plan: PartitionPlan,
+        cluster: ClusterSpec,
+        parallel: ParallelConfig,
+        cost_model: CostModel,
+        decoupled_backward: bool = False,
+    ) -> None:
+        self.arch = arch
+        self.plan = plan
+        self.cluster = cluster
+        self.parallel = parallel
+        self.cost_model = cost_model
+        self.decoupled_backward = decoupled_backward
+        self.stages: List[StageTask] = []
+        self.pairs: List[StagePair] = []
+        self._cost_cache: Dict[Tuple, StageCost] = {}
+
+    def stage_cost(
+        self, module: str, layers: int, instances: int, seq: int, context: int
+    ) -> StageCost:
+        key = (module, layers, instances, seq, context)
+        cached = self._cost_cache.get(key)
+        if cached is None:
+            spec = self.arch.binding(module).spec
+            cached = self.cost_model.stage_cost(
+                self.cluster.gpu,
+                spec,
+                layers,
+                instances,
+                seq,
+                tp=self.parallel.tp,
+                context=context,
+            )
+            self._cost_cache[key] = cached
+        return cached
+
+    def _new_stage(
+        self,
+        key: SegmentKey,
+        rank: int,
+        pair_id: int,
+        deps: Tuple[int, ...],
+        p2p_bytes: float,
+    ) -> StageTask:
+        stage = StageTask(
+            uid=len(self.stages),
+            key=key,
+            rank=rank,
+            pair_id=pair_id,
+            deps=deps,
+            p2p_bytes=p2p_bytes,
+        )
+        self.stages.append(stage)
+        return stage
+
+    def emit_forward_chain(
+        self,
+        microbatch: Microbatch,
+        module: str,
+        sub_index: int,
+        instances: int,
+        entry_deps: Tuple[int, ...],
+        entry_bytes: float,
+    ) -> Tuple[List[int], List[int]]:
+        """Emit the forward traversal of one sub-microbatch.
+
+        Returns:
+            (stage_uids in traversal order, pair_ids in traversal order).
+        """
+        binding = self.arch.binding(module)
+        mp = self.plan.partition(module)
+        p = self.plan.num_ranks
+        _n, seq, context = module_workload(binding, microbatch)
+        uids: List[int] = []
+        pair_ids: List[int] = []
+        prev_uid: Optional[int] = None
+        hop_bytes = boundary_p2p_bytes(binding.spec, instances, seq)
+        for segment in range(mp.num_segments):
+            for rank in range(p):
+                layers = mp.chunk_layers(segment, rank, p)
+                cost = self.stage_cost(module, layers, instances, seq, context)
+                pair = StagePair(
+                    pair_id=len(self.pairs),
+                    microbatch=microbatch.index,
+                    module=module,
+                    sub_index=sub_index,
+                    chunk=segment,
+                    rank=rank,
+                    num_layers=layers,
+                    cost=cost,
+                )
+                self.pairs.append(pair)
+                if prev_uid is None:
+                    deps = entry_deps
+                    p2p = entry_bytes
+                else:
+                    deps = (prev_uid,)
+                    p2p = hop_bytes
+                key = SegmentKey(
+                    microbatch.index, module, sub_index, segment, Direction.FORWARD
+                )
+                stage = self._new_stage(key, rank, pair.pair_id, deps, p2p)
+                prev_uid = stage.uid
+                uids.append(stage.uid)
+                pair_ids.append(pair.pair_id)
+        return uids, pair_ids
+
+    def emit_backward_chain(
+        self,
+        microbatch: Microbatch,
+        module: str,
+        sub_index: int,
+        instances: int,
+        fw_uids: List[int],
+        fw_pair_ids: List[int],
+        entry_deps: Tuple[int, ...],
+        entry_bytes: float,
+    ) -> List[int]:
+        """Emit the backward traversal (reverse of the forward chain).
+
+        Under decoupled backward (zero-bubble style), each position emits
+        a dgrad stage — the only stage on the inter-rank critical path —
+        plus a weight-gradient stage the scheduler may defer into
+        bubbles; activations stay resident until the wgrad completes.
+        """
+        binding = self.arch.binding(module)
+        mp = self.plan.partition(module)
+        p = self.plan.num_ranks
+        _n, seq, _context = module_workload(binding, microbatch)
+        hop_bytes = boundary_p2p_bytes(binding.spec, instances, seq)
+        uids: List[int] = []
+        prev_uid: Optional[int] = None
+        for position in range(len(fw_uids) - 1, -1, -1):
+            segment, rank = divmod(position, p)
+            fw_uid = fw_uids[position]
+            if prev_uid is None:
+                deps = tuple(entry_deps) + (fw_uid,)
+                p2p = entry_bytes
+            else:
+                deps = (prev_uid, fw_uid)
+                p2p = hop_bytes
+            key = SegmentKey(
+                microbatch.index, module, sub_index, segment, Direction.BACKWARD
+            )
+            if not self.decoupled_backward:
+                stage = self._new_stage(key, rank, fw_pair_ids[position], deps, p2p)
+                prev_uid = stage.uid
+                uids.append(stage.uid)
+                continue
+            dgrad = self._new_stage(key, rank, fw_pair_ids[position], deps, p2p)
+            dgrad.latency_share = DGRAD_SHARE
+            dgrad.releases_memory = False
+            wgrad = self._new_stage(
+                key, rank, fw_pair_ids[position], (dgrad.uid,), 0.0
+            )
+            wgrad.latency_share = 1.0 - DGRAD_SHARE
+            prev_uid = dgrad.uid
+            uids.append(dgrad.uid)
+            uids.append(wgrad.uid)
+        return uids
+
+    def emit_microbatch(
+        self, microbatch: Microbatch, splits: Dict[str, List[int]]
+    ) -> None:
+        """Emit all stages of one microbatch, forward then backward."""
+        levels = self.arch.levels()
+        # Forward sweep, level by level.
+        fw_chains: Dict[Tuple[str, int], Tuple[List[int], List[int]]] = {}
+        level_exit_uids: List[List[int]] = []  # last fw uid of each sub, per level
+        for level_index, level in enumerate(levels):
+            exits: List[int] = []
+            if level_index == 0:
+                entry_deps: Tuple[int, ...] = ()
+                entry_bytes = 0.0
+            else:
+                entry_deps = tuple(level_exit_uids[level_index - 1])
+                entry_bytes = self._adapter_bytes(levels, level_index, microbatch)
+            for binding in level:
+                for sub_index, instances in enumerate(splits.get(binding.name, [])):
+                    chain = self.emit_forward_chain(
+                        microbatch,
+                        binding.name,
+                        sub_index,
+                        instances,
+                        entry_deps,
+                        entry_bytes,
+                    )
+                    fw_chains[(binding.name, sub_index)] = chain
+                    exits.append(chain[0][-1])
+            level_exit_uids.append(exits)
+
+        # Backward sweep, last level first.
+        prev_level_bw_exit: List[int] = []
+        for level_index in range(len(levels) - 1, -1, -1):
+            exits = []
+            entry_deps = tuple(prev_level_bw_exit)
+            entry_bytes = (
+                self._adapter_bytes(levels, level_index + 1, microbatch)
+                if prev_level_bw_exit
+                else 0.0
+            )
+            for binding in levels[level_index]:
+                for sub_index, instances in enumerate(splits.get(binding.name, [])):
+                    fw_uids, fw_pairs = fw_chains[(binding.name, sub_index)]
+                    bw_uids = self.emit_backward_chain(
+                        microbatch,
+                        binding.name,
+                        sub_index,
+                        instances,
+                        fw_uids,
+                        fw_pairs,
+                        entry_deps,
+                        entry_bytes,
+                    )
+                    exits.append(bw_uids[-1])
+            prev_level_bw_exit = exits
+
+    def _adapter_bytes(self, levels, level_index: int, microbatch: Microbatch) -> float:
+        """Bytes crossing the adapter into level ``level_index``."""
+        if level_index >= len(levels):
+            return 0.0
+        target = levels[level_index][0]
+        _n, seq, _ctx = module_workload(target, microbatch)
+        return boundary_p2p_bytes(target.spec, 1, min(seq, 1 << 16))
+
+    def static_bytes_per_rank(self) -> List[float]:
+        """Weights + optimizer state resident on each pipeline rank."""
+        p = self.plan.num_ranks
+        static = [0.0] * p
+        for binding in self.arch.bindings:
+            mp = self.plan.partition(binding.name)
+            per_layer = binding.spec.layer_parameters()
+            for segment in range(mp.num_segments):
+                for rank in range(p):
+                    layers = mp.chunk_layers(segment, rank, p)
+                    static[rank] += training_state_bytes(
+                        layers * per_layer, tp=self.parallel.tp
+                    )
+            if binding.spec.vocab_size:
+                embed = binding.spec.vocab_size * binding.spec.hidden_size
+                static[0] += training_state_bytes(embed, tp=self.parallel.tp)
+                static[p - 1] += training_state_bytes(embed, tp=self.parallel.tp)
+        return static
+
+
+def build_iteration_graph(
+    arch: LMMArchitecture,
+    plan: PartitionPlan,
+    batch: GlobalBatch,
+    cluster: ClusterSpec,
+    parallel: ParallelConfig,
+    cost_model: Optional[CostModel] = None,
+    partitioner: Optional[ModalityPartitioner] = None,
+    memory_utilization: float = MEMORY_UTILIZATION,
+    decoupled_backward: bool = False,
+) -> IterationGraph:
+    """Construct the stage DAG for one training iteration.
+
+    Args:
+        arch: LMM architecture.
+        plan: Offline partition plan (chunk placement, ``B_i``, ``K_i``).
+        batch: The iteration's microbatch metadata.
+        cluster: Hardware description.
+        parallel: 3D-parallel layout.
+        cost_model: Latency model (defaults to the uncalibrated analytic
+            model).
+        partitioner: Reused for the online sub-microbatch split; built on
+            demand when omitted.
+        memory_utilization: Fraction of HBM usable by training state.
+        decoupled_backward: Split backward stages into input-gradient and
+            deferrable weight-gradient stages (zero-bubble style) — the
+            custom-schedule extension the paper's related-work section
+            points at.
+    """
+    cost_model = cost_model or CostModel()
+    if partitioner is None:
+        partitioner = ModalityPartitioner(arch, cluster, parallel, cost_model)
+    builder = _Builder(arch, plan, cluster, parallel, cost_model,
+                       decoupled_backward=decoupled_backward)
+    for microbatch in batch:
+        splits = partitioner.split_microbatch(plan, microbatch)
+        builder.emit_microbatch(microbatch, splits)
+    graph = IterationGraph(
+        num_ranks=parallel.pp,
+        stages=builder.stages,
+        pairs=builder.pairs,
+        static_bytes_per_rank=builder.static_bytes_per_rank(),
+        memory_limit_bytes=cluster.gpu.memory_bytes * memory_utilization,
+        model_flops=iteration_flops(arch, batch),
+    )
+    return graph

@@ -1,0 +1,298 @@
+"""Pipeline segment reordering via Monte Carlo tree search (section 5.1).
+
+The search space is the permutation of *segment groups* — the paper's
+optimization collapses segments of the same (microbatch, module,
+direction) to one orderable unit with a fixed internal order.  A sequence
+position ``i`` confers priority ``n - i``; priorities steer the greedy
+interleaver (section 5.2).
+
+MCTS builds a tree over sequence prefixes.  Each node keeps the best
+score observed among its descendants; selection follows the upper
+confidence bound ``s_v**alpha + beta * sqrt(log(N_x) / N_v)``; rollouts
+randomly complete the sequence and evaluate it end-to-end.
+
+DFS and purely random exploration are provided as the Fig. 11 baselines.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.stages import GroupKey
+
+Evaluator = Callable[[Sequence[GroupKey]], float]
+
+
+@dataclass
+class ReorderResult:
+    """Outcome of an ordering search.
+
+    Attributes:
+        ordering: Best group sequence found (first = highest priority).
+        best_ms: Its evaluated iteration time.
+        evaluations: Number of evaluator calls.
+        trace: ``(elapsed_seconds, evaluations, best_ms)`` checkpoints,
+            recorded whenever the incumbent improves (Fig. 11's
+            search-progress curves).
+    """
+
+    ordering: List[GroupKey]
+    best_ms: float
+    evaluations: int
+    trace: List[Tuple[float, int, float]] = field(default_factory=list)
+
+    def priorities(self) -> Dict[GroupKey, int]:
+        """Position-based priorities: earlier groups get higher values."""
+        n = len(self.ordering)
+        return {g: n - i for i, g in enumerate(self.ordering)}
+
+
+class _Node:
+    """One MCTS tree node (a sequence prefix)."""
+
+    __slots__ = ("children", "untried", "visits", "best_score")
+
+    def __init__(self, remaining: Sequence[GroupKey]) -> None:
+        self.children: Dict[GroupKey, "_Node"] = {}
+        self.untried: List[GroupKey] = list(remaining)
+        self.visits = 0
+        self.best_score = -math.inf
+
+
+class _SearchState:
+    """Bookkeeping shared by all search strategies."""
+
+    def __init__(self, evaluator: Evaluator, sign: float) -> None:
+        self.evaluator = evaluator
+        self.sign = sign
+        self.best_ms = math.inf
+        self.best_ordering: Optional[List[GroupKey]] = None
+        self.evaluations = 0
+        self.trace: List[Tuple[float, int, float]] = []
+        self.t0 = time.monotonic()
+        self.lock = threading.Lock()
+
+    def evaluate(self, ordering: Sequence[GroupKey]) -> float:
+        """Evaluate an ordering; returns a maximisation score."""
+        ms = self.evaluator(ordering)
+        with self.lock:
+            self.evaluations += 1
+            effective = ms * (1.0 if self.sign > 0 else -1.0)
+            if effective < self.best_ms:
+                self.best_ms = effective
+                self.best_ordering = list(ordering)
+                self.trace.append(
+                    (time.monotonic() - self.t0, self.evaluations, ms)
+                )
+        return -ms * self.sign  # maximise: lower time is better when sign=+1
+
+    def result(self) -> ReorderResult:
+        if self.best_ordering is None:
+            raise RuntimeError("search made no evaluations")
+        best_ms = self.best_ms if self.sign > 0 else -self.best_ms
+        return ReorderResult(
+            ordering=self.best_ordering,
+            best_ms=best_ms,
+            evaluations=self.evaluations,
+            trace=self.trace,
+        )
+
+
+def natural_ordering(groups: Sequence[GroupKey]) -> List[GroupKey]:
+    """The no-search default: microbatch-major, forward first.
+
+    Approximates Megatron's 1F1B visit order and is what "DIP (no-opt)"
+    uses in the Fig. 8b ablation.
+    """
+    return sorted(
+        groups,
+        key=lambda g: (g.microbatch, g.direction.value != "fw", g.module),
+    )
+
+
+def mcts_reorder(
+    groups: Sequence[GroupKey],
+    evaluator: Evaluator,
+    budget_evaluations: int = 200,
+    time_budget_s: Optional[float] = None,
+    rollouts_per_expansion: int = 4,
+    alpha: float = 1.0,
+    beta: float = 0.35,
+    seed: int = 0,
+    invert: bool = False,
+    num_workers: int = 1,
+) -> ReorderResult:
+    """Search group orderings with MCTS (the DIP default).
+
+    Args:
+        groups: The orderable segment groups.
+        evaluator: Maps a full ordering to iteration milliseconds.
+        budget_evaluations: Evaluator-call budget (deterministic).
+        time_budget_s: Optional wall-clock budget; whichever limit hits
+            first stops the search.
+        rollouts_per_expansion: Random completions evaluated per MCTS
+            iteration (the paper uses ~10 trials).
+        alpha / beta: UCB hyper-parameters.
+        seed: RNG seed.
+        invert: Maximise iteration time instead (the Fig. 9 worst-case
+            schedule derivation).
+        num_workers: Worker threads sharing the tree (section 6.2); each
+            performs full rollouts between lock-protected tree updates.
+    """
+    state = _SearchState(evaluator, sign=-1.0 if invert else 1.0)
+    items = list(groups)
+    if not items:
+        raise ValueError("no groups to order")
+    root = _Node(items)
+    tree_lock = threading.Lock()
+    # Score normalisation bounds, updated as results arrive.
+    seen_scores: List[float] = []
+
+    def normalised(score: float) -> float:
+        if not seen_scores:
+            return 0.5
+        lo, hi = min(seen_scores), max(seen_scores)
+        if hi - lo < 1e-12:
+            return 0.5
+        return (score - lo) / (hi - lo)
+
+    def out_of_budget() -> bool:
+        if state.evaluations >= budget_evaluations:
+            return True
+        if time_budget_s is not None and time.monotonic() - state.t0 > time_budget_s:
+            return True
+        return False
+
+    def worker(worker_seed: int) -> None:
+        rng = np.random.default_rng(worker_seed)
+        while not out_of_budget():
+            # 1. Selection + 2. Expansion (tree under lock).
+            with tree_lock:
+                node = root
+                prefix: List[GroupKey] = []
+                remaining = list(items)
+                while not node.untried and node.children:
+                    best_child = None
+                    best_ucb = -math.inf
+                    log_nx = math.log(max(node.visits, 1))
+                    for key, child in node.children.items():
+                        exploit = normalised(child.best_score) ** alpha
+                        explore = beta * math.sqrt(log_nx / max(child.visits, 1))
+                        ucb = exploit + explore
+                        if ucb > best_ucb:
+                            best_ucb = ucb
+                            best_child = (key, child)
+                    key, node = best_child
+                    prefix.append(key)
+                    remaining.remove(key)
+                path = [root]
+                cursor = root
+                for key in prefix:
+                    cursor = cursor.children[key]
+                    path.append(cursor)
+                if node.untried:
+                    pick = node.untried.pop(int(rng.integers(len(node.untried))))
+                    child = _Node([g for g in remaining if g != pick])
+                    node.children[pick] = child
+                    prefix.append(pick)
+                    remaining.remove(pick)
+                    path.append(child)
+                    node = child
+
+            # 3. Rollouts (outside the lock).
+            best_rollout = -math.inf
+            for _ in range(rollouts_per_expansion):
+                if out_of_budget():
+                    break
+                tail = list(remaining)
+                rng.shuffle(tail)
+                score = state.evaluate(prefix + tail)
+                best_rollout = max(best_rollout, score)
+            if best_rollout == -math.inf:
+                break
+
+            # 4. Backpropagation (under lock).
+            with tree_lock:
+                seen_scores.append(best_rollout)
+                for visited in path:
+                    visited.visits += 1
+                    visited.best_score = max(visited.best_score, best_rollout)
+
+    if num_workers <= 1:
+        worker(seed)
+    else:
+        threads = [
+            threading.Thread(target=worker, args=(seed + i,), daemon=True)
+            for i in range(num_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    return state.result()
+
+
+def random_reorder(
+    groups: Sequence[GroupKey],
+    evaluator: Evaluator,
+    budget_evaluations: int = 200,
+    time_budget_s: Optional[float] = None,
+    seed: int = 0,
+    invert: bool = False,
+) -> ReorderResult:
+    """Uniformly random permutation sampling (Fig. 11 baseline)."""
+    state = _SearchState(evaluator, sign=-1.0 if invert else 1.0)
+    rng = np.random.default_rng(seed)
+    items = list(groups)
+    while state.evaluations < budget_evaluations:
+        if time_budget_s is not None and time.monotonic() - state.t0 > time_budget_s:
+            break
+        ordering = list(items)
+        rng.shuffle(ordering)
+        state.evaluate(ordering)
+    return state.result()
+
+
+def dfs_reorder(
+    groups: Sequence[GroupKey],
+    evaluator: Evaluator,
+    budget_evaluations: int = 200,
+    time_budget_s: Optional[float] = None,
+    seed: int = 0,
+    invert: bool = False,
+) -> ReorderResult:
+    """Depth-first systematic enumeration (Fig. 11 baseline).
+
+    Exhausts the first subtree of an arbitrary (seeded) base order before
+    moving on — precisely the unguided behaviour the paper contrasts
+    with MCTS.  The base order is shuffled so DFS does not accidentally
+    start from a hand-tuned ordering.
+    """
+    state = _SearchState(evaluator, sign=-1.0 if invert else 1.0)
+    items = list(groups)
+    rng = np.random.default_rng(seed)
+    rng.shuffle(items)
+
+    def dfs(prefix: List[GroupKey], remaining: List[GroupKey]) -> bool:
+        if state.evaluations >= budget_evaluations:
+            return False
+        if time_budget_s is not None and time.monotonic() - state.t0 > time_budget_s:
+            return False
+        if not remaining:
+            state.evaluate(prefix)
+            return True
+        for i in range(len(remaining)):
+            nxt = remaining[i]
+            rest = remaining[:i] + remaining[i + 1:]
+            if not dfs(prefix + [nxt], rest):
+                return False
+        return True
+
+    dfs([], items)
+    return state.result()

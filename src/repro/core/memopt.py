@@ -1,0 +1,296 @@
+"""Per-layer memory optimization (section 5.3 of the paper).
+
+Offline, every stage pair receives up to ``S`` candidate strategies drawn
+from the combinatorial per-layer space {keep, checkpoint, offload}: the
+fastest candidate, the most memory-efficient one, and the most
+time-efficient candidate inside each of ``S-2`` evenly spaced memory
+buckets (selected with a multiple-choice knapsack).
+
+Online, with the stage interleaving fixed, each pipeline rank solves an
+ILP choosing one candidate per stage pair to minimise total latency under
+the memory limit at every probe time — warm-started greedily and allowed
+a small optimality gap, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.stages import IterationGraph, StagePair, StrategyCandidate
+from repro.solver.bnb import (
+    McIntervalProblem,
+    greedy_warm_start,
+    solve_mc_interval,
+)
+from repro.solver.mckp import mckp_min_latency
+
+#: Default number of candidate strategies retained per stage pair.
+DEFAULT_NUM_CANDIDATES = 10
+
+#: Fraction of activations still resident under offloading (pinned
+#: staging buffers).
+OFFLOAD_RESIDENT_FRACTION = 0.05
+
+
+def _layer_options(pair: StagePair) -> Tuple[List[float], List[float], List[float]]:
+    """Per-layer (fw_extra, bw_extra, resident) for keep/ckpt/offload."""
+    layers = max(pair.num_layers, 1)
+    act = pair.cost.act_bytes / layers
+    ckpt = pair.cost.act_ckpt_bytes / layers
+    recompute = pair.cost.recompute_ms / layers
+    offload = pair.cost.offload_ms / layers
+    fw_extra = [0.0, 0.0, offload]
+    bw_extra = [0.0, recompute, offload]
+    resident = [act, ckpt, act * OFFLOAD_RESIDENT_FRACTION + ckpt * 0.0]
+    return fw_extra, bw_extra, resident
+
+
+def generate_candidates(
+    graph: IterationGraph,
+    num_candidates: int = DEFAULT_NUM_CANDIDATES,
+) -> None:
+    """Populate ``pair.candidates`` for every stage pair in the graph.
+
+    Candidates are cached across pairs sharing the same cost profile
+    (sub-microbatches of the same shape), mirroring the paper's offline
+    candidate generation.
+    """
+    cache: Dict[Tuple[int, int], List[StrategyCandidate]] = {}
+    for pair in graph.pairs:
+        key = (id(pair.cost), pair.num_layers)
+        candidates = cache.get(key)
+        if candidates is None:
+            candidates = _candidates_for_pair(pair, num_candidates)
+            cache[key] = candidates
+        pair.candidates = list(candidates)
+        pair.selected = 0
+
+
+def _candidates_for_pair(
+    pair: StagePair, num_candidates: int
+) -> List[StrategyCandidate]:
+    """Build the candidate set for one stage pair."""
+    layers = max(pair.num_layers, 1)
+    fw_extra, bw_extra, resident = _layer_options(pair)
+
+    def combo(n_keep: int, n_ckpt: int, n_off: int) -> StrategyCandidate:
+        counts = (n_keep, n_ckpt, n_off)
+        return StrategyCandidate(
+            label=f"keep{n_keep}/ckpt{n_ckpt}/off{n_off}",
+            fw_extra_ms=sum(c * fw_extra[k] for k, c in enumerate(counts)),
+            bw_extra_ms=sum(c * bw_extra[k] for k, c in enumerate(counts)),
+            resident_bytes=sum(c * resident[k] for k, c in enumerate(counts)),
+        )
+
+    fastest = combo(layers, 0, 0)
+    # Most memory-efficient: whichever of all-ckpt / all-offload is smaller.
+    all_ckpt = combo(0, layers, 0)
+    all_off = combo(0, 0, layers)
+    leanest = min((all_ckpt, all_off), key=lambda c: c.resident_bytes)
+
+    chosen: List[StrategyCandidate] = [fastest, leanest]
+    buckets = max(num_candidates - 2, 0)
+    if buckets > 0 and fastest.resident_bytes > leanest.resident_bytes:
+        span = fastest.resident_bytes - leanest.resident_bytes
+        groups_lat = [[0.0, bw_extra[1], fw_extra[2] + bw_extra[2]]] * layers
+        groups_mem = [[resident[0], resident[1], resident[2]]] * layers
+        for b in range(buckets):
+            upper = leanest.resident_bytes + span * (b + 1) / (buckets + 1)
+            solved = mckp_min_latency(groups_lat, groups_mem, upper, resolution=256)
+            if solved is None:
+                continue
+            selection, _total = solved
+            counts = [selection.count(k) for k in range(3)]
+            chosen.append(combo(counts[0], counts[1], counts[2]))
+
+    # Deduplicate and keep the pareto frontier (resident vs extra time).
+    unique: Dict[Tuple[float, float], StrategyCandidate] = {}
+    for cand in chosen:
+        key = (round(cand.resident_bytes, 3), round(cand.total_extra_ms, 6))
+        unique.setdefault(key, cand)
+    frontier = _pareto(list(unique.values()))
+    frontier.sort(key=lambda c: -c.resident_bytes)  # fastest (biggest) first
+    return frontier[:num_candidates]
+
+
+def _pareto(candidates: List[StrategyCandidate]) -> List[StrategyCandidate]:
+    """Drop candidates dominated in both residency and extra latency."""
+    kept: List[StrategyCandidate] = []
+    for cand in candidates:
+        dominated = any(
+            other.resident_bytes <= cand.resident_bytes
+            and other.total_extra_ms <= cand.total_extra_ms
+            and (
+                other.resident_bytes < cand.resident_bytes
+                or other.total_extra_ms < cand.total_extra_ms
+            )
+            for other in candidates
+        )
+        if not dominated:
+            kept.append(cand)
+    return kept
+
+
+def apply_uniform_memory_policy(graph: IterationGraph) -> bool:
+    """Megatron-style global memory policy: recompute everything or nothing.
+
+    If holding every activation resident fits the worst case, keep them
+    all; otherwise switch every pair to full checkpointing (the
+    ``--recompute-granularity full`` switch).  This is the baseline that
+    per-layer optimization (section 5.3) improves on.
+
+    Returns:
+        True when full recomputation was required.
+    """
+    worst = list(graph.static_bytes_per_rank)
+    for pair in graph.pairs:
+        worst[pair.rank] += pair.cost.act_bytes
+    needs_recompute = max(worst) > graph.memory_limit_bytes
+    for pair in graph.pairs:
+        if needs_recompute:
+            pair.candidates = [
+                StrategyCandidate(
+                    label="full-recompute",
+                    fw_extra_ms=0.0,
+                    bw_extra_ms=pair.cost.recompute_ms,
+                    resident_bytes=pair.cost.act_ckpt_bytes,
+                )
+            ]
+        else:
+            pair.candidates = [
+                StrategyCandidate(
+                    label="none",
+                    fw_extra_ms=0.0,
+                    bw_extra_ms=0.0,
+                    resident_bytes=pair.cost.act_bytes,
+                )
+            ]
+        pair.selected = 0
+    return needs_recompute
+
+
+@dataclass
+class MemoptReport:
+    """Result of the per-rank memory optimization pass."""
+
+    extra_ms_before: float
+    extra_ms_after: float
+    per_rank_optimal: List[bool] = field(default_factory=list)
+    per_rank_nodes: List[int] = field(default_factory=list)
+
+    @property
+    def improvement_ms(self) -> float:
+        return self.extra_ms_before - self.extra_ms_after
+
+
+def _rank_problem(
+    graph: IterationGraph,
+    rank: int,
+    fw_start: Dict[int, float],
+    bw_end: Dict[int, float],
+) -> Tuple[List[int], McIntervalProblem]:
+    """Build the section 5.3 ILP instance for one pipeline rank."""
+    pair_ids = sorted(
+        {
+            graph.stages[uid].pair_id
+            for uid in range(len(graph.stages))
+            if graph.stages[uid].rank == rank
+        }
+    )
+    index_of = {pid: i for i, pid in enumerate(pair_ids)}
+    intervals = []
+    latencies: List[List[float]] = []
+    memories: List[List[float]] = []
+    for pid in pair_ids:
+        pair = graph.pairs[pid]
+        s = fw_start.get(pid, 0.0)
+        t = bw_end.get(pid, s)
+        intervals.append((s, t))
+        latencies.append([c.total_extra_ms for c in pair.candidates])
+        memories.append([c.resident_bytes for c in pair.candidates])
+    cliques: List[List[int]] = []
+    for i, (s_i, _t_i) in enumerate(intervals):
+        active = [
+            j
+            for j, (s_j, t_j) in enumerate(intervals)
+            if s_j <= s_i <= t_j
+        ]
+        cliques.append(active)
+    limit = graph.memory_limit_bytes - graph.static_bytes_per_rank[rank]
+    return pair_ids, McIntervalProblem(
+        latencies=latencies, memories=memories, cliques=cliques, limit=limit
+    )
+
+
+def optimize_memory(
+    graph: IterationGraph,
+    start_ms: Sequence[float],
+    end_ms: Sequence[float],
+    rel_gap: float = 0.05,
+    exact: bool = True,
+    node_limit: int = 20_000,
+) -> MemoptReport:
+    """Select per-pair strategies rank by rank (section 5.3).
+
+    Args:
+        graph: Iteration graph; ``pair.candidates`` must be populated.
+        start_ms / end_ms: Tentative stage timestamps from the
+            interleaver, defining each pair's residency interval.
+        rel_gap: Allowed optimality gap (the paper permits 5%).
+        exact: Run branch-and-bound after the greedy warm start; the
+            searcher's inner loop disables this for speed and only the
+            final schedule gets the exact pass.
+        node_limit: Branch-and-bound node budget per rank.
+    """
+    fw_start: Dict[int, float] = {}
+    bw_end: Dict[int, float] = {}
+    for stage in graph.stages:
+        if stage.is_forward:
+            fw_start[stage.pair_id] = start_ms[stage.uid]
+        else:
+            bw_end[stage.pair_id] = end_ms[stage.uid]
+
+    before = sum(p.strategy.total_extra_ms for p in graph.pairs)
+    optimal_flags: List[bool] = []
+    nodes: List[int] = []
+    for rank in range(graph.num_ranks):
+        pair_ids, problem = _rank_problem(graph, rank, fw_start, bw_end)
+        if not pair_ids:
+            optimal_flags.append(True)
+            nodes.append(0)
+            continue
+        warm = greedy_warm_start(problem)
+        if warm is None:
+            # Even minimum memory violates the cap; fall back to the most
+            # memory-efficient candidate everywhere.
+            for pid in pair_ids:
+                pair = graph.pairs[pid]
+                pair.selected = min(
+                    range(len(pair.candidates)),
+                    key=lambda i: pair.candidates[i].resident_bytes,
+                )
+            optimal_flags.append(False)
+            nodes.append(0)
+            continue
+        if exact:
+            solution = solve_mc_interval(
+                problem, warm_start=warm, rel_gap=rel_gap, node_limit=node_limit
+            )
+            selection = solution.selection
+            optimal_flags.append(solution.optimal)
+            nodes.append(solution.nodes_expanded)
+        else:
+            selection = warm
+            optimal_flags.append(False)
+            nodes.append(0)
+        for pid, choice in zip(pair_ids, selection):
+            graph.pairs[pid].selected = choice
+
+    after = sum(p.strategy.total_extra_ms for p in graph.pairs)
+    return MemoptReport(
+        extra_ms_before=before,
+        extra_ms_after=after,
+        per_rank_optimal=optimal_flags,
+        per_rank_nodes=nodes,
+    )

@@ -1,0 +1,264 @@
+"""Modality-aware partitioner (section 4 of the paper).
+
+Three responsibilities:
+
+1. **Determine sub-microbatch size** ``B_i`` per modality module: the
+   smallest size keeping at least 95% of the peak per-instance GPU
+   efficiency observed across profiled sizes.
+2. **Partition model chunks**: with module latencies ``T_1 <= ... <= T_n``
+   (measured at their ``B_i``), module ``i`` receives
+   ``K_i = floor(T_i / T_1)`` pipeline segments, i.e. ``P * K_i`` chunks
+   of ``L_i / (P * K_i)`` consecutive layers (offline, before training).
+3. **Construct sub-microbatches** online: a microbatch holding ``N_i``
+   instances for module ``i`` splits into ``M_i = ceil(N_i / B_i)``
+   uniformly sized sub-microbatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.data.batching import Microbatch, module_is_splittable, module_workload
+from repro.models.lmm import LMMArchitecture, ModuleBinding
+from repro.sim.costmodel import CostModel
+
+
+@dataclass(frozen=True)
+class ModulePartition:
+    """Partitioning decision for one modality module.
+
+    Attributes:
+        module: Module name.
+        sub_batch_size: ``B_i`` in instances; ``None`` for unsplittable
+            (packed-text) modules.
+        num_segments: ``K_i`` pipeline segments per traversal.
+        layers_per_chunk: Layer counts of the ``P * K_i`` model chunks, in
+            traversal order (chunk ``c`` lives on rank ``c % P``).
+    """
+
+    module: str
+    sub_batch_size: Optional[int]
+    num_segments: int
+    layers_per_chunk: Sequence[int]
+
+    def chunk_layers(self, segment: int, rank: int, num_ranks: int) -> int:
+        """Layer count of the chunk at (segment, rank)."""
+        return self.layers_per_chunk[segment * num_ranks + rank]
+
+
+@dataclass
+class PartitionPlan:
+    """The full offline partitioning of an LMM across pipeline ranks."""
+
+    num_ranks: int
+    modules: Dict[str, ModulePartition] = field(default_factory=dict)
+
+    def partition(self, module: str) -> ModulePartition:
+        return self.modules[module]
+
+    def describe(self) -> str:
+        parts = []
+        for name, mp in self.modules.items():
+            b = "packed" if mp.sub_batch_size is None else f"B={mp.sub_batch_size}"
+            parts.append(f"{name}[{b},K={mp.num_segments}]")
+        return " + ".join(parts)
+
+
+def split_layers(num_layers: int, num_chunks: int) -> List[int]:
+    """Distribute ``num_layers`` over ``num_chunks`` as evenly as possible.
+
+    Earlier chunks receive the remainder, matching Megatron's convention.
+    """
+    if num_chunks < 1:
+        raise ValueError("num_chunks must be >= 1")
+    if num_layers < num_chunks:
+        raise ValueError(
+            f"cannot split {num_layers} layers into {num_chunks} chunks"
+        )
+    base, rem = divmod(num_layers, num_chunks)
+    return [base + (1 if i < rem else 0) for i in range(num_chunks)]
+
+
+class ModalityPartitioner:
+    """Implements the paper's section 4 decisions against the simulator.
+
+    Args:
+        arch: The LMM being trained.
+        cluster: Hardware description.
+        parallel: 3D-parallel layout (``pp`` ranks, ``tp`` sharding).
+        cost_model: Analytic latency model standing in for profiling runs.
+        efficiency_threshold: Keep at least this fraction of peak
+            per-instance efficiency when shrinking ``B_i`` (0.95 in the
+            paper).
+        max_segments: Safety cap on ``K_i``.
+    """
+
+    def __init__(
+        self,
+        arch: LMMArchitecture,
+        cluster: ClusterSpec,
+        parallel: ParallelConfig,
+        cost_model: Optional[CostModel] = None,
+        efficiency_threshold: float = 0.95,
+        max_segments: int = 8,
+    ) -> None:
+        cluster.validate(parallel)
+        self.arch = arch
+        self.cluster = cluster
+        self.parallel = parallel
+        self.cost_model = cost_model or CostModel()
+        self.efficiency_threshold = efficiency_threshold
+        self.max_segments = max_segments
+
+    # -- profiling -----------------------------------------------------------
+
+    def _module_latency_ms(
+        self, binding: ModuleBinding, instances: int, seq: int, context: int
+    ) -> float:
+        """Forward latency of the whole module at a given input shape."""
+        cost = self.cost_model.stage_cost(
+            self.cluster.gpu,
+            binding.spec,
+            binding.spec.num_layers,
+            instances,
+            seq,
+            tp=self.parallel.tp,
+            context=context,
+        )
+        return cost.forward_ms
+
+    def profile_sub_batch_size(
+        self, binding: ModuleBinding, reference: Microbatch
+    ) -> Optional[int]:
+        """Pick ``B_i`` by systematic profiling (section 4).
+
+        Returns ``None`` for unsplittable modules.  Otherwise scans sizes
+        ``1..N_max`` and returns the smallest size whose per-instance
+        latency stays within ``1/efficiency_threshold`` of the best.
+        """
+        if not module_is_splittable(binding):
+            return None
+        max_instances, seq, context = module_workload(binding, reference)
+        if max_instances < 1:
+            raise ValueError(
+                f"reference microbatch has no instances for {binding.name}"
+            )
+        per_instance = {}
+        for size in range(1, max_instances + 1):
+            latency = self._module_latency_ms(binding, size, seq, context)
+            per_instance[size] = latency / size
+        peak = min(per_instance.values())
+        for size in range(1, max_instances + 1):
+            if per_instance[size] <= peak / self.efficiency_threshold:
+                return size
+        return max_instances
+
+    # -- offline planning -----------------------------------------------------
+
+    def plan(self, reference: Microbatch) -> PartitionPlan:
+        """Produce the offline model-chunk partitioning.
+
+        ``reference`` should be a representative (near-capacity)
+        microbatch; the paper profiles with full packed batches.
+        """
+        p = self.parallel.pp
+        sub_sizes: Dict[str, Optional[int]] = {}
+        latencies: Dict[str, float] = {}
+        for binding in self.arch.bindings:
+            b = self.profile_sub_batch_size(binding, reference)
+            sub_sizes[binding.name] = b
+            instances, seq, context = module_workload(binding, reference)
+            measured = b if b is not None else instances
+            measured = max(1, measured)
+            latencies[binding.name] = self._module_latency_ms(
+                binding, measured, seq, context
+            )
+
+        t_min = min(latencies.values())
+        plan = PartitionPlan(num_ranks=p)
+        for binding in self.arch.bindings:
+            name = binding.name
+            k = max(1, int(latencies[name] / t_min))
+            k = min(k, self.max_segments, binding.spec.num_layers // p)
+            k = max(k, 1)
+            num_chunks = p * k
+            if binding.spec.num_layers < num_chunks:
+                k = max(1, binding.spec.num_layers // p)
+                num_chunks = p * k
+            layers = split_layers(binding.spec.num_layers, num_chunks)
+            plan.modules[name] = ModulePartition(
+                module=name,
+                sub_batch_size=sub_sizes[name],
+                num_segments=k,
+                layers_per_chunk=layers,
+            )
+        return plan
+
+    # -- online sub-microbatch construction -----------------------------------
+
+    def split_microbatch(
+        self, plan: PartitionPlan, microbatch: Microbatch
+    ) -> Dict[str, List[int]]:
+        """Split one microbatch into per-module instance counts.
+
+        Returns:
+            For each module name, the list of sub-microbatch instance
+            counts (``M_i`` entries, uniformly partitioned).  Unsplittable
+            modules get a single entry.
+        """
+        out: Dict[str, List[int]] = {}
+        for binding in self.arch.bindings:
+            mp = plan.partition(binding.name)
+            instances, _seq, _ctx = module_workload(binding, microbatch)
+            if instances == 0:
+                out[binding.name] = []
+                continue
+            if mp.sub_batch_size is None:
+                out[binding.name] = [instances]
+                continue
+            num_subs = -(-instances // mp.sub_batch_size)  # ceil division
+            base, rem = divmod(instances, num_subs)
+            out[binding.name] = [base + (1 if i < rem else 0) for i in range(num_subs)]
+        return out
+
+
+def fixed_sub_batch_plan(
+    partitioner: ModalityPartitioner,
+    reference: Microbatch,
+    overrides: Dict[str, int],
+) -> PartitionPlan:
+    """A partition plan with forced ``B_i`` values (the Fig. 9 sweep).
+
+    ``overrides`` maps module names to sub-microbatch sizes; other modules
+    keep their profiled values.
+    """
+    plan = partitioner.plan(reference)
+    p = partitioner.parallel.pp
+    for name, size in overrides.items():
+        binding = partitioner.arch.binding(name)
+        old = plan.modules[name]
+        instances, seq, context = module_workload(binding, reference)
+        latency = partitioner._module_latency_ms(binding, max(1, size), seq, context)
+        # Re-derive K against the fastest module's latency at its own size.
+        others = [
+            partitioner._module_latency_ms(
+                b,
+                max(1, plan.modules[b.name].sub_batch_size or 1)
+                if b.name != name
+                else max(1, size),
+                *module_workload(b, reference)[1:],
+            )
+            for b in partitioner.arch.bindings
+        ]
+        t_min = min(others + [latency])
+        k = max(1, min(int(latency / t_min), partitioner.max_segments,
+                       binding.spec.num_layers // p))
+        plan.modules[name] = ModulePartition(
+            module=name,
+            sub_batch_size=size,
+            num_segments=k,
+            layers_per_chunk=split_layers(binding.spec.num_layers, p * k),
+        )
+    return plan

@@ -1,0 +1,193 @@
+"""The asynchronous online planner (section 3.2 of the paper).
+
+Per training iteration the planner:
+
+1. prefetches the *metadata* of the next batch (token/image counts),
+2. splits microbatches into modality-specific sub-microbatches,
+3. searches a pipeline schedule on CPU, concurrently with the current
+   iteration's (simulated) GPU execution,
+4. deploys the compiled execution plan to the runtime.
+
+Schedule search for batch ``k+1`` overlaps the training of batch ``k``;
+the planner reports any *stall* — search time exceeding the iteration it
+hides behind — which the paper's design keeps at zero.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.core.graphbuilder import build_iteration_graph
+from repro.core.partitioner import ModalityPartitioner, PartitionPlan
+from repro.core.searcher import ScheduleSearcher, SearchResult
+from repro.data import constants
+from repro.data.batching import GlobalBatch, Microbatch
+from repro.data.packing import controlled_vlm_microbatch
+from repro.models.lmm import LMMArchitecture
+from repro.runtime.compiler import compile_schedule
+from repro.runtime.deployment import DeploymentController
+from repro.runtime.engine import EngineResult
+from repro.sim.costmodel import CostModel
+
+
+def reference_microbatch(kind: str) -> Microbatch:
+    """A near-capacity microbatch used for offline profiling."""
+    if kind == "vlm":
+        return controlled_vlm_microbatch(
+            index=0, num_images=constants.MAX_IMAGES_PER_MICROBATCH
+        )
+    if kind == "t2v":
+        return Microbatch(
+            index=0,
+            kind="t2v",
+            num_clips=constants.MAX_CLIPS_PER_MICROBATCH,
+            video_seconds=constants.MAX_VIDEO_SECONDS,
+            caption_tokens=int(constants.MAX_VIDEO_SECONDS * 25),
+        )
+    return Microbatch(index=0, kind="lm", text_tokens=constants.CONTEXT_LENGTH)
+
+
+@dataclass
+class PlannerReport:
+    """Per-iteration planner telemetry."""
+
+    iteration: int
+    train_ms: float
+    search_seconds: float
+    stall_seconds: float
+    search: SearchResult
+    engine: Optional[EngineResult] = None
+    average_images: float = 0.0
+
+
+class OnlinePlanner:
+    """Drives DIP's per-iteration planning loop.
+
+    Args:
+        arch: The LMM being trained.
+        cluster / parallel: Hardware and layout.
+        cost_model: Shared latency model.
+        searcher: Schedule searcher (a default MCTS searcher is built
+            when omitted).
+        plan: Offline partition plan; derived from a reference microbatch
+            when omitted.
+        deploy: Compile and execute plans on the runtime engine,
+            verifying timeline agreement.
+    """
+
+    def __init__(
+        self,
+        arch: LMMArchitecture,
+        cluster: ClusterSpec,
+        parallel: ParallelConfig,
+        cost_model: Optional[CostModel] = None,
+        searcher: Optional[ScheduleSearcher] = None,
+        plan: Optional[PartitionPlan] = None,
+        deploy: bool = False,
+    ) -> None:
+        self.arch = arch
+        self.cluster = cluster
+        self.parallel = parallel
+        self.cost_model = cost_model or CostModel()
+        self.partitioner = ModalityPartitioner(
+            arch, cluster, parallel, self.cost_model
+        )
+        if plan is None:
+            plan = self.partitioner.plan(reference_microbatch(arch.kind))
+        self.plan = plan
+        self.searcher = searcher or ScheduleSearcher(
+            cluster, parallel, self.cost_model
+        )
+        self.deploy = deploy
+        self._controller = (
+            DeploymentController(parallel.pp) if deploy else None
+        )
+
+    def plan_iteration(self, batch: GlobalBatch) -> SearchResult:
+        """Stages 1-3: prefetch metadata, partition, search."""
+        graph = build_iteration_graph(
+            self.arch,
+            self.plan,
+            batch,
+            self.cluster,
+            self.parallel,
+            self.cost_model,
+            partitioner=self.partitioner,
+        )
+        return self.searcher.search(graph)
+
+    def run(
+        self,
+        batches: Sequence[GlobalBatch],
+        asynchronous: bool = True,
+    ) -> List[PlannerReport]:
+        """Train over ``batches``, planning each one ahead of time.
+
+        With ``asynchronous=True`` the next batch's search overlaps the
+        current batch's execution (one planning thread, mirroring the
+        idle-CPU design); otherwise planning happens inline.
+        """
+        reports: List[PlannerReport] = []
+        batches = list(batches)
+        if not batches:
+            return reports
+
+        if not asynchronous:
+            for i, batch in enumerate(batches):
+                t0 = time.monotonic()
+                result = self.plan_iteration(batch)
+                elapsed = time.monotonic() - t0
+                reports.append(self._report(i, batch, result, elapsed, elapsed))
+            return reports
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            future: Future = pool.submit(self._timed_plan, batches[0])
+            for i, batch in enumerate(batches):
+                result, search_seconds = future.result()
+                if i + 1 < len(batches):
+                    future = pool.submit(self._timed_plan, batches[i + 1])
+                # The search for batch i overlapped iteration i-1; stall is
+                # any overrun beyond that iteration's duration.
+                prev_train_s = reports[-1].train_ms / 1e3 if reports else 0.0
+                stall = max(0.0, search_seconds - prev_train_s) if i > 0 else 0.0
+                reports.append(
+                    self._report(i, batch, result, search_seconds, stall)
+                )
+        return reports
+
+    def _timed_plan(self, batch: GlobalBatch):
+        t0 = time.monotonic()
+        result = self.plan_iteration(batch)
+        return result, time.monotonic() - t0
+
+    def _report(
+        self,
+        iteration: int,
+        batch: GlobalBatch,
+        result: SearchResult,
+        search_seconds: float,
+        stall_seconds: float,
+    ) -> PlannerReport:
+        engine = None
+        if self.deploy:
+            plan = compile_schedule(
+                result.schedule.graph,
+                result.schedule.order,
+                self.cluster,
+                self.parallel,
+                self.cost_model,
+            )
+            engine = self._controller.dispatch(plan).engine
+        return PlannerReport(
+            iteration=iteration,
+            train_ms=result.total_ms,
+            search_seconds=search_seconds,
+            stall_seconds=stall_seconds,
+            search=result,
+            engine=engine,
+            average_images=batch.average_images,
+        )

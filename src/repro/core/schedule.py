@@ -1,0 +1,131 @@
+"""Pipeline schedule objects and invariant validation.
+
+A schedule is an :class:`IterationGraph` plus a per-rank total order of
+its stages.  Validation checks the invariants every correct schedule must
+satisfy — these back the property-based tests:
+
+1. Coverage: every stage appears exactly once, on its own rank's list.
+2. Consistency: per-rank order edges plus dependency edges are acyclic
+   (equivalently: the schedule simulates without deadlock).
+3. Memory: no rank exceeds the device memory limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.core.stages import IterationGraph
+from repro.sim.costmodel import CostModel
+from repro.sim.pipeline import (
+    PipelineSimResult,
+    ScheduleDeadlockError,
+    simulate_pipeline,
+)
+
+
+@dataclass
+class PipelineSchedule:
+    """A concrete schedule: stage DAG + per-rank execution order."""
+
+    graph: IterationGraph
+    order: List[List[int]]
+    predicted: Optional[PipelineSimResult] = None
+    label: str = ""
+
+    @property
+    def total_ms(self) -> float:
+        if self.predicted is None:
+            raise ValueError("schedule has not been simulated yet")
+        return self.predicted.total_ms
+
+    def simulate(
+        self,
+        cluster: ClusterSpec,
+        parallel: ParallelConfig,
+        cost_model: Optional[CostModel] = None,
+        **kwargs,
+    ) -> PipelineSimResult:
+        """(Re-)simulate and cache the predicted timeline."""
+        self.predicted = simulate_pipeline(
+            self.graph, self.order, cluster, parallel, cost_model, **kwargs
+        )
+        return self.predicted
+
+
+def validate_schedule(
+    graph: IterationGraph,
+    order: Sequence[Sequence[int]],
+    check_memory: bool = False,
+    cluster: Optional[ClusterSpec] = None,
+    parallel: Optional[ParallelConfig] = None,
+) -> List[str]:
+    """Check schedule invariants; returns a list of violations (empty = ok)."""
+    violations: List[str] = []
+
+    # 1. Coverage.
+    position = {}
+    seen = set()
+    for rank, uids in enumerate(order):
+        for idx, uid in enumerate(uids):
+            if uid in seen:
+                violations.append(f"stage {uid} scheduled twice")
+                continue
+            seen.add(uid)
+            if uid >= len(graph.stages) or uid < 0:
+                violations.append(f"unknown stage {uid}")
+                continue
+            if graph.stages[uid].rank != rank:
+                violations.append(
+                    f"stage {uid} on rank {graph.stages[uid].rank} listed "
+                    f"under rank {rank}"
+                )
+            position[uid] = (rank, idx)
+    if len(seen) != len(graph.stages):
+        violations.append(
+            f"order covers {len(seen)} of {len(graph.stages)} stages"
+        )
+    if violations:
+        return violations
+
+    # 2. Consistency: Kahn over dependency edges + order edges.
+    n = len(graph.stages)
+    indegree = [0] * n
+    adjacency: List[List[int]] = [[] for _ in range(n)]
+    for stage in graph.stages:
+        for dep in stage.deps:
+            adjacency[dep].append(stage.uid)
+            indegree[stage.uid] += 1
+    for uids in order:
+        for a, b in zip(uids, uids[1:]):
+            adjacency[a].append(b)
+            indegree[b] += 1
+    ready = [u for u in range(n) if indegree[u] == 0]
+    visited = 0
+    while ready:
+        u = ready.pop()
+        visited += 1
+        for v in adjacency[u]:
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                ready.append(v)
+    if visited != n:
+        violations.append("order conflicts with dependencies (cycle)")
+        return violations
+
+    # 3. Memory (requires simulation).
+    if check_memory:
+        if cluster is None or parallel is None:
+            raise ValueError("memory check needs cluster and parallel")
+        try:
+            result = simulate_pipeline(graph, order, cluster, parallel)
+        except ScheduleDeadlockError:
+            violations.append("schedule deadlocks under simulation")
+            return violations
+        for rank in result.memory_exceeded:
+            violations.append(
+                f"rank {rank} exceeds memory limit: "
+                f"{result.peak_memory_bytes[rank] / 2**30:.1f} GiB"
+            )
+    return violations

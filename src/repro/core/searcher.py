@@ -1,0 +1,228 @@
+"""Pipeline schedule searcher: the three-phase decomposed loop (section 5).
+
+For each iteration graph the searcher:
+
+1. explores segment-group orderings (MCTS by default; DFS / random / the
+   natural no-search order are available as ablations),
+2. interleaves stages greedily under each candidate ordering
+   (section 5.2), using the interleaved makespan as the rollout score,
+3. applies per-layer memory optimization to the winning schedule
+   (section 5.3) and re-simulates for the final timeline.
+
+All randomness is seeded; budgets can be expressed in evaluations (fully
+deterministic, used by tests) and/or wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.core.interleaver import InterleaveResult, interleave_stages
+from repro.core.mcts import (
+    ReorderResult,
+    dfs_reorder,
+    mcts_reorder,
+    natural_ordering,
+    random_reorder,
+)
+from repro.core.memopt import (
+    MemoptReport,
+    apply_uniform_memory_policy,
+    generate_candidates,
+    optimize_memory,
+)
+from repro.core.schedule import PipelineSchedule
+from repro.core.stages import GroupKey, IterationGraph
+from repro.sim.costmodel import CostModel
+from repro.sim.pipeline import simulate_pipeline
+
+
+@dataclass
+class SearchResult:
+    """Everything the searcher learned about one iteration."""
+
+    schedule: PipelineSchedule
+    reorder: Optional[ReorderResult]
+    memopt: Optional[MemoptReport]
+    interleave_ms: float
+    total_ms: float
+    evaluations: int = 0
+
+    @property
+    def trace(self) -> List:
+        return self.reorder.trace if self.reorder is not None else []
+
+
+class ScheduleSearcher:
+    """Searches pipeline schedules for iteration graphs.
+
+    Args:
+        cluster / parallel: Hardware and layout.
+        cost_model: Latency model shared with the graph builder.
+        strategy: ``"mcts"`` (DIP), ``"dfs"``, ``"random"`` or
+            ``"natural"`` (no reordering search — the "DIP (no-opt)"
+            configuration keeps natural order *and* skips memopt).
+        budget_evaluations: Ordering evaluations per search.
+        time_budget_s: Optional wall-clock cap.
+        num_workers: Parallel rollout threads (section 6.2).
+        enable_memopt: Run the section 5.3 pass on the final schedule.
+            When disabled, ``memopt_mode`` picks the fallback policy.
+        memopt_mode: ``"full"`` (candidates + per-rank ILP), ``"uniform"``
+            (Megatron's global keep-or-recompute policy; the default when
+            ``enable_memopt=False``) or ``"lean"`` (stay at the most
+            memory-efficient candidates — the paper's Fig. 10
+            "DIP (non-adaptive)" configuration).
+        memopt_exact: Exact branch-and-bound (else greedy warm start).
+        rel_gap: Memopt optimality gap (paper: 5%).
+        invert: Search for the *worst* schedule (Fig. 9's upper curves).
+        seed: Seed for all stochastic components.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        parallel: ParallelConfig,
+        cost_model: Optional[CostModel] = None,
+        strategy: str = "mcts",
+        budget_evaluations: int = 120,
+        time_budget_s: Optional[float] = None,
+        num_workers: int = 1,
+        enable_memopt: bool = True,
+        memopt_mode: Optional[str] = None,
+        memopt_exact: bool = True,
+        rel_gap: float = 0.05,
+        invert: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if strategy not in ("mcts", "dfs", "random", "natural"):
+            raise ValueError(f"unknown search strategy {strategy!r}")
+        if memopt_mode is None:
+            memopt_mode = "full" if enable_memopt else "uniform"
+        if memopt_mode not in ("full", "uniform", "lean"):
+            raise ValueError(f"unknown memopt_mode {memopt_mode!r}")
+        self.cluster = cluster
+        self.parallel = parallel
+        self.cost_model = cost_model or CostModel()
+        self.strategy = strategy
+        self.budget_evaluations = budget_evaluations
+        self.time_budget_s = time_budget_s
+        self.num_workers = num_workers
+        self.enable_memopt = enable_memopt and memopt_mode == "full"
+        self.memopt_mode = memopt_mode
+        self.memopt_exact = memopt_exact
+        self.rel_gap = rel_gap
+        self.invert = invert
+        self.seed = seed
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _priorities_array(
+        self, graph: IterationGraph, ordering: Sequence[GroupKey]
+    ) -> List[int]:
+        n = len(ordering)
+        by_group: Dict[GroupKey, int] = {g: n - i for i, g in enumerate(ordering)}
+        return [by_group.get(s.key.group, 0) for s in graph.stages]
+
+    def _interleave(
+        self, graph: IterationGraph, ordering: Sequence[GroupKey]
+    ) -> InterleaveResult:
+        return interleave_stages(
+            graph,
+            self.cluster,
+            self.parallel,
+            self.cost_model,
+            priorities=self._priorities_array(graph, ordering),
+        )
+
+    def evaluate_ordering(
+        self, graph: IterationGraph, ordering: Sequence[GroupKey]
+    ) -> float:
+        """Rollout score: interleaved makespan in milliseconds."""
+        return self._interleave(graph, ordering).total_ms
+
+    # -- search --------------------------------------------------------------
+
+    def search(self, graph: IterationGraph) -> SearchResult:
+        """Run the full three-phase search on one iteration graph."""
+        if self.memopt_mode in ("full", "lean"):
+            generate_candidates(graph)
+            # Section 5.2: interleave with the most memory-efficient
+            # scheme to leave headroom for the memory optimizer ("lean"
+            # simply stops here — the Fig. 10 non-adaptive variant).
+            graph.select_most_memory_efficient()
+        else:
+            # Without per-layer optimization, fall back to Megatron's
+            # uniform keep-or-recompute policy so schedules stay
+            # memory-feasible.
+            apply_uniform_memory_policy(graph)
+
+        groups = list(graph.groups().keys())
+        reorder: Optional[ReorderResult] = None
+        if self.strategy == "natural" or len(groups) <= 1:
+            ordering = natural_ordering(groups)
+        else:
+            evaluator = lambda seq: self.evaluate_ordering(graph, seq)  # noqa: E731
+            if self.strategy == "mcts":
+                reorder = mcts_reorder(
+                    groups,
+                    evaluator,
+                    budget_evaluations=self.budget_evaluations,
+                    time_budget_s=self.time_budget_s,
+                    seed=self.seed,
+                    invert=self.invert,
+                    num_workers=self.num_workers,
+                )
+            elif self.strategy == "dfs":
+                reorder = dfs_reorder(
+                    groups,
+                    evaluator,
+                    budget_evaluations=self.budget_evaluations,
+                    time_budget_s=self.time_budget_s,
+                    seed=self.seed,
+                    invert=self.invert,
+                )
+            else:
+                reorder = random_reorder(
+                    groups,
+                    evaluator,
+                    budget_evaluations=self.budget_evaluations,
+                    time_budget_s=self.time_budget_s,
+                    seed=self.seed,
+                    invert=self.invert,
+                )
+            ordering = reorder.ordering
+
+        interleaved = self._interleave(graph, ordering)
+        graph.apply_group_priorities(
+            {g: len(ordering) - i for i, g in enumerate(ordering)}
+        )
+
+        memopt: Optional[MemoptReport] = None
+        if self.enable_memopt:
+            memopt = optimize_memory(
+                graph,
+                interleaved.start_ms,
+                interleaved.end_ms,
+                rel_gap=self.rel_gap,
+                exact=self.memopt_exact,
+            )
+
+        predicted = simulate_pipeline(
+            graph, interleaved.order, self.cluster, self.parallel, self.cost_model
+        )
+        schedule = PipelineSchedule(
+            graph=graph,
+            order=interleaved.order,
+            predicted=predicted,
+            label=f"dip-{self.strategy}",
+        )
+        return SearchResult(
+            schedule=schedule,
+            reorder=reorder,
+            memopt=memopt,
+            interleave_ms=interleaved.total_ms,
+            total_ms=predicted.total_ms,
+            evaluations=reorder.evaluations if reorder else 1,
+        )

@@ -1,0 +1,148 @@
+"""Schedule visualisation: ASCII timelines and Chrome trace export.
+
+Two complementary views of a simulated pipeline schedule:
+
+* :func:`ascii_timeline` renders the classic pipeline diagram (one row
+  per rank, microbatch digits in boxes) — the style of the paper's
+  Fig. 3/5 — directly in the terminal.
+* :func:`chrome_trace` emits a ``chrome://tracing`` / Perfetto JSON
+  object for interactive inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.stages import Direction, IterationGraph
+from repro.sim.pipeline import PipelineSimResult
+
+
+def ascii_timeline(
+    graph: IterationGraph,
+    result: PipelineSimResult,
+    width: int = 100,
+    legend: bool = True,
+) -> str:
+    """Render the schedule as one text row per pipeline rank.
+
+    Forward stages print their microbatch index (modulo 10); backward
+    stages print letters (``a`` = microbatch 0).  Idle time is ``.``.
+    """
+    if result.total_ms <= 0:
+        return "(empty schedule)"
+    scale = width / result.total_ms
+    rows: List[str] = []
+    for rank in range(graph.num_ranks):
+        cells = ["."] * width
+        for stage in graph.stages:
+            if stage.rank != rank:
+                continue
+            begin = int(result.start_ms[stage.uid] * scale)
+            finish = max(begin + 1, int(result.end_ms[stage.uid] * scale))
+            mb = stage.key.microbatch % 26
+            if stage.direction is Direction.FORWARD:
+                glyph = str(mb % 10)
+            else:
+                glyph = chr(ord("a") + mb)
+            for x in range(begin, min(finish, width)):
+                cells[x] = glyph
+        rows.append(f"PP{rank} |" + "".join(cells) + "|")
+    out = "\n".join(rows)
+    if legend:
+        out += (
+            f"\n      0..9 forward (microbatch mod 10)   a..z backward   "
+            f". idle   | {result.total_ms / 1e3:.2f}s total, "
+            f"bubble {result.bubble_ratio * 100:.1f}%"
+        )
+    return out
+
+
+def chrome_trace(
+    graph: IterationGraph,
+    result: PipelineSimResult,
+    process_name: str = "pipeline",
+) -> Dict:
+    """Build a Chrome-tracing JSON object for the schedule.
+
+    Load the returned object (serialised with :func:`save_chrome_trace`)
+    in ``chrome://tracing`` or https://ui.perfetto.dev: one row per
+    pipeline rank, one slice per stage, with module / microbatch /
+    strategy metadata attached.
+    """
+    events: List[Dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "args": {"name": process_name},
+    }]
+    for rank in range(graph.num_ranks):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": rank,
+            "args": {"name": f"PP rank {rank}"},
+        })
+    for stage in graph.stages:
+        pair = graph.pairs[stage.pair_id]
+        start_us = result.start_ms[stage.uid] * 1e3
+        duration_us = (result.end_ms[stage.uid] - result.start_ms[stage.uid]) * 1e3
+        direction = "fw" if stage.is_forward else "bw"
+        events.append({
+            "name": f"{direction} {stage.key.module} mb{stage.key.microbatch}",
+            "cat": direction,
+            "ph": "X",
+            "pid": 0,
+            "tid": stage.rank,
+            "ts": start_us,
+            "dur": duration_us,
+            "args": {
+                "microbatch": stage.key.microbatch,
+                "module": stage.key.module,
+                "sub": stage.key.sub_index,
+                "chunk": stage.key.chunk,
+                "strategy": pair.strategy.label,
+                "uid": stage.uid,
+            },
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome_trace(
+    graph: IterationGraph,
+    result: PipelineSimResult,
+    path: str,
+    process_name: str = "pipeline",
+) -> str:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    trace = chrome_trace(graph, result, process_name)
+    with open(path, "w") as f:
+        json.dump(trace, f)
+    return path
+
+
+def memory_sparkline(
+    result: PipelineSimResult,
+    rank: int = 0,
+    width: int = 80,
+    limit_bytes: Optional[float] = None,
+) -> str:
+    """A one-line unicode sparkline of a rank's memory usage over time."""
+    timeline = result.memory_timeline[rank]
+    if not timeline or result.total_ms <= 0:
+        return "(no memory data)"
+    blocks = " ▁▂▃▄▅▆▇█"
+    # Sample the step function uniformly.
+    samples = []
+    idx = 0
+    for x in range(width):
+        t = x / width * result.total_ms
+        while idx + 1 < len(timeline) and timeline[idx + 1][0] <= t:
+            idx += 1
+        samples.append(timeline[idx][1])
+    top = limit_bytes if limit_bytes else max(samples)
+    top = max(top, 1.0)
+    chars = [blocks[min(8, int(s / top * 8))] for s in samples]
+    peak_gb = max(s for s in samples) / 2**30
+    return "".join(chars) + f"  peak {peak_gb:.0f} GiB"

@@ -1,0 +1,63 @@
+"""Multimodal data substrate.
+
+The paper trains on open-source image-text and video-caption corpora
+(OBELICS, LAION-2B, ScienceQA, ShareGPT4Video, InternVid, MMTrail-2M).
+Those corpora are not shipped here; instead this package synthesises
+samples whose *modality-ratio distributions* match the published
+statistics (Fig. 4a-b), which is the only property the scheduler observes.
+"""
+
+from repro.data.batching import GlobalBatch, Microbatch, microbatch_module_flops
+from repro.data.constants import (
+    CONTEXT_LENGTH,
+    IMAGE_LM_TOKENS,
+    IMAGE_PATCH_TOKENS,
+    MAX_CLIPS_PER_MICROBATCH,
+    MAX_IMAGES_PER_MICROBATCH,
+    MAX_VIDEO_SECONDS,
+    VIDEO_TOKENS_PER_SECOND,
+)
+from repro.data.datasets import (
+    ImageTextDataset,
+    ImageTextSample,
+    VideoDataset,
+    VideoSample,
+    image_dataset,
+    mixture_image_dataset,
+    mixture_video_dataset,
+    video_dataset,
+)
+from repro.data.packing import pack_image_text, pack_video
+from repro.data.workload import (
+    DynamicImageBoundsSchedule,
+    WorkloadStream,
+    t2v_workload,
+    vlm_workload,
+)
+
+__all__ = [
+    "CONTEXT_LENGTH",
+    "IMAGE_PATCH_TOKENS",
+    "IMAGE_LM_TOKENS",
+    "MAX_IMAGES_PER_MICROBATCH",
+    "MAX_CLIPS_PER_MICROBATCH",
+    "MAX_VIDEO_SECONDS",
+    "VIDEO_TOKENS_PER_SECOND",
+    "Microbatch",
+    "GlobalBatch",
+    "microbatch_module_flops",
+    "ImageTextSample",
+    "VideoSample",
+    "ImageTextDataset",
+    "VideoDataset",
+    "image_dataset",
+    "video_dataset",
+    "mixture_image_dataset",
+    "mixture_video_dataset",
+    "pack_image_text",
+    "pack_video",
+    "WorkloadStream",
+    "vlm_workload",
+    "t2v_workload",
+    "DynamicImageBoundsSchedule",
+]

@@ -1,0 +1,134 @@
+"""Workload analysis utilities: the numbers behind Fig. 4 and section 2.
+
+Quantifies the two imbalance sources the paper characterises —
+cross-batch workload spread and inter-modality skew — for any
+architecture/workload pair, so users can assess how much dynamic
+imbalance *their* training mix exhibits before committing to a schedule
+strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.batching import GlobalBatch, Microbatch, microbatch_module_flops
+from repro.models.lmm import LMMArchitecture
+
+
+@dataclass(frozen=True)
+class ModuleLoadStats:
+    """Per-module FLOPs statistics across a set of microbatches."""
+
+    module: str
+    mean_tflops: float
+    min_tflops: float
+    max_tflops: float
+    cv: float  # coefficient of variation
+
+    @property
+    def spread(self) -> float:
+        """Max/min ratio (the paper's 4.15x style statistic)."""
+        if self.min_tflops <= 0:
+            return float("inf")
+        return self.max_tflops / self.min_tflops
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Dynamic-imbalance characterisation of a workload sample."""
+
+    modules: List[ModuleLoadStats]
+    total_spread: float
+    modality_skew: float
+    microbatches: int
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.modules)} modules over {self.microbatches} microbatches",
+            f"total FLOPs spread (max/min): {self.total_spread:.2f}x",
+            f"modality skew (max mean / min mean): {self.modality_skew:.2f}x",
+        ]
+        for m in self.modules:
+            lines.append(
+                f"  {m.module:14s} mean {m.mean_tflops:8.1f} TF  "
+                f"range [{m.min_tflops:.1f}, {m.max_tflops:.1f}]  "
+                f"cv {m.cv:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_workload(
+    arch: LMMArchitecture,
+    microbatches: Sequence[Microbatch],
+) -> WorkloadReport:
+    """Characterise the dynamic imbalance of a microbatch sample.
+
+    Args:
+        arch: The LMM whose modules map the data to compute.
+        microbatches: Any iterable of microbatch metadata (e.g. the
+            concatenation of several :class:`GlobalBatch` objects).
+
+    Raises:
+        ValueError: on an empty sample.
+    """
+    microbatches = list(microbatches)
+    if not microbatches:
+        raise ValueError("need at least one microbatch")
+    per_module: Dict[str, List[float]] = {b.name: [] for b in arch.bindings}
+    for mb in microbatches:
+        for name, flops in microbatch_module_flops(arch, mb).items():
+            per_module[name].append(flops / 1e12)
+
+    stats: List[ModuleLoadStats] = []
+    means: List[float] = []
+    for name, values in per_module.items():
+        arr = np.array(values)
+        mean = float(arr.mean())
+        means.append(mean)
+        stats.append(
+            ModuleLoadStats(
+                module=name,
+                mean_tflops=mean,
+                min_tflops=float(arr.min()),
+                max_tflops=float(arr.max()),
+                cv=float(arr.std() / mean) if mean > 0 else 0.0,
+            )
+        )
+    totals = np.sum([per_module[n] for n in per_module], axis=0)
+    total_spread = (
+        float(totals.max() / totals.min()) if totals.min() > 0 else float("inf")
+    )
+    positive = [m for m in means if m > 0]
+    skew = max(positive) / min(positive) if positive else 1.0
+    return WorkloadReport(
+        modules=stats,
+        total_spread=total_spread,
+        modality_skew=skew,
+        microbatches=len(microbatches),
+    )
+
+
+def flatten_batches(batches: Sequence[GlobalBatch]) -> List[Microbatch]:
+    """Concatenate several global batches into one microbatch list."""
+    out: List[Microbatch] = []
+    for batch in batches:
+        out.extend(batch.microbatches)
+    return out
+
+
+def imbalance_gain_estimate(report: WorkloadReport) -> float:
+    """Rough upper bound on DIP's gain over a static schedule.
+
+    A static pipeline must provision for near-worst-case per-module
+    load; a dynamic one tracks the actual load.  The ratio of the
+    provisioning (sum of per-module maxima) to the mean total load is a
+    crude ceiling on what re-planning can recover.
+    """
+    worst = sum(m.max_tflops for m in report.modules)
+    mean = sum(m.mean_tflops for m in report.modules)
+    if mean <= 0:
+        return 1.0
+    return worst / mean

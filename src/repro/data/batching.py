@@ -1,0 +1,147 @@
+"""Microbatch metadata and per-module workload derivation.
+
+A :class:`Microbatch` records only the *metadata* the planner needs
+(token/image/clip counts) — mirroring DIP's metadata prefetching, which
+never touches tensor data.  :func:`module_workload` maps a microbatch onto
+each modality module's effective (instances, sequence length) input, the
+quantity the FLOPs model and simulator consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.data import constants
+from repro.models.config import Modality
+from repro.models.flops import module_forward_flops
+from repro.models.lmm import LMMArchitecture, ModuleBinding
+
+
+@dataclass(frozen=True)
+class Microbatch:
+    """Metadata of one packed microbatch.
+
+    Attributes:
+        index: Position within its global batch.
+        kind: ``"vlm"``, ``"t2v"`` or ``"lm"``.
+        num_images: Packed image count (VLM).
+        text_tokens: Raw text tokens (VLM: excludes image tokens).
+        num_clips: Packed video clip count (T2V).
+        video_seconds: Total seconds of footage (T2V).
+        caption_tokens: Caption text tokens (T2V).
+        video_tokens_total: Total DiT latent tokens; when zero it is
+            derived from ``video_seconds`` at the default rate (clips in
+            higher-resolution buckets carry more tokens per second).
+    """
+
+    index: int
+    kind: str
+    num_images: int = 0
+    text_tokens: int = 0
+    num_clips: int = 0
+    video_seconds: float = 0.0
+    caption_tokens: int = 0
+    video_tokens_total: int = 0
+
+    @property
+    def lm_sequence_tokens(self) -> int:
+        """Tokens the VLM backbone sees (text + merged image tokens)."""
+        return self.text_tokens + self.num_images * constants.IMAGE_LM_TOKENS
+
+    @property
+    def video_tokens(self) -> int:
+        """Latent tokens the DiT processes."""
+        if self.video_tokens_total > 0:
+            return self.video_tokens_total
+        return int(round(self.video_seconds * constants.VIDEO_TOKENS_PER_SECOND))
+
+    @property
+    def tokens_per_clip(self) -> int:
+        """Average latent tokens per clip (uniform-clip approximation)."""
+        if self.num_clips == 0:
+            return 0
+        return max(1, self.video_tokens // self.num_clips)
+
+
+@dataclass
+class GlobalBatch:
+    """One training iteration's worth of microbatches."""
+
+    microbatches: List[Microbatch] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.microbatches)
+
+    def __iter__(self):
+        return iter(self.microbatches)
+
+    @property
+    def total_images(self) -> int:
+        return sum(m.num_images for m in self.microbatches)
+
+    @property
+    def average_images(self) -> float:
+        if not self.microbatches:
+            return 0.0
+        return self.total_images / len(self.microbatches)
+
+
+def module_workload(
+    binding: ModuleBinding, microbatch: Microbatch
+) -> Tuple[int, int, int]:
+    """Map a microbatch onto a module's input shape.
+
+    Returns:
+        ``(instances, seq_per_instance, context_tokens)`` where attention
+        runs independently over each instance of ``seq_per_instance``
+        tokens and ``context_tokens`` is the cross-attention conditioning
+        length (DiT only).
+    """
+    spec = binding.spec
+    if spec.modality is Modality.IMAGE:
+        return microbatch.num_images, constants.IMAGE_PATCH_TOKENS, 0
+    if spec.modality is Modality.VIDEO:
+        return microbatch.num_clips, microbatch.tokens_per_clip, microbatch.caption_tokens
+    # Text modules: the packed sequence is a single instance.
+    if microbatch.kind == "t2v":
+        # Captions pad into the fixed conditioning context window.
+        return 1, max(microbatch.caption_tokens, constants.T2V_TEXT_CONTEXT), 0
+    return 1, max(microbatch.lm_sequence_tokens, 1), 0
+
+
+def module_is_splittable(binding: ModuleBinding) -> bool:
+    """Whether sub-microbatch splitting applies to this module.
+
+    Instance-parallel modules (image encoders over images, DiTs over
+    clips) can split; packed text sequences are a single instance and
+    cannot.
+    """
+    return binding.spec.modality in (Modality.IMAGE, Modality.VIDEO)
+
+
+def microbatch_module_flops(
+    arch: LMMArchitecture, microbatch: Microbatch
+) -> Dict[str, float]:
+    """Forward FLOPs per module for one microbatch (basis of Fig. 4c-d)."""
+    out: Dict[str, float] = {}
+    for binding in arch.bindings:
+        instances, seq, context = module_workload(binding, microbatch)
+        if instances == 0 or seq == 0:
+            out[binding.name] = 0.0
+            continue
+        out[binding.name] = module_forward_flops(binding.spec, instances, seq, context)
+    return out
+
+
+def microbatch_total_flops(
+    arch: LMMArchitecture, microbatch: Microbatch, with_backward: bool = True
+) -> float:
+    """Total train-step FLOPs of a microbatch (forward + 2x backward)."""
+    fwd = sum(microbatch_module_flops(arch, microbatch).values())
+    return fwd * (3.0 if with_backward else 1.0)
+
+
+def iteration_flops(arch: LMMArchitecture, batch: GlobalBatch) -> float:
+    """Total train-step FLOPs of a whole iteration."""
+    return sum(microbatch_total_flops(arch, m) for m in batch)

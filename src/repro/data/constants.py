@@ -1,0 +1,43 @@
+"""Tokenisation constants from the paper's methodology (section 7.1).
+
+VLM: images are scaled to 728px and patch-embedded with ``patch_size=14``
+(52x52 = 2704 patches inside the ViT); ``spatial_merge_size=4`` merges
+4x4 patch groups, so each image contributes 169 tokens to the language
+model.  Samples pack into 8192-token sequences, capping images at
+``floor(8192/169) = 48`` per microbatch.
+
+T2V: MovieGen-style videos at 16 FPS, at most 16 seconds per microbatch,
+grouping up to 8 clips.  The DiT consumes latent video tokens at a fixed
+rate per second of footage.
+"""
+
+IMAGE_RESOLUTION = 728
+PATCH_SIZE = 14
+SPATIAL_MERGE_SIZE = 4
+
+#: Patch tokens the ViT attends over, per image: (728/14)^2.
+IMAGE_PATCH_TOKENS = (IMAGE_RESOLUTION // PATCH_SIZE) ** 2
+
+#: Tokens each image contributes to the LM after 4x4 spatial merging.
+IMAGE_LM_TOKENS = IMAGE_PATCH_TOKENS // (SPATIAL_MERGE_SIZE**2)
+
+#: Packed sequence length for VLM training.
+CONTEXT_LENGTH = 8192
+
+#: Maximum images per packed microbatch: floor(8192 / 169) = 48.
+MAX_IMAGES_PER_MICROBATCH = CONTEXT_LENGTH // IMAGE_LM_TOKENS
+
+VIDEO_FPS = 16
+MAX_VIDEO_SECONDS = 16.0
+MAX_CLIPS_PER_MICROBATCH = 8
+
+#: Latent video tokens the DiT processes per second of footage at the
+#: default (mid) resolution bucket.  MovieGen-class models reach ~73K
+#: tokens for 16 s of 768px footage (~4.5K/s); our default sits below
+#: that to keep full-attention FLOPs comparable with Fig. 4d while still
+#: exercising the activation-memory pressure DiTs create.
+VIDEO_TOKENS_PER_SECOND = 1600
+
+#: The text encoder of a T2V model processes captions padded/packed into
+#: a fixed-length conditioning context, as in MovieGen-style training.
+T2V_TEXT_CONTEXT = 2048

@@ -1,0 +1,232 @@
+"""Synthetic multimodal datasets with paper-matched ratio distributions.
+
+Each dataset yields raw *samples* (documents / clips); the packing stage
+(:mod:`repro.data.packing`) assembles them into fixed-capacity
+microbatches exactly as described in section 7.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.data import constants
+from repro.data.distributions import (
+    IMAGE_RATIO_DISTRIBUTIONS,
+    LogNormalRatio,
+    VIDEO_RATIO_DISTRIBUTIONS,
+)
+
+
+@dataclass(frozen=True)
+class ImageTextSample:
+    """One image-text document: ``num_images`` images plus text tokens."""
+
+    num_images: int
+    text_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.num_images < 0 or self.text_tokens < 0:
+            raise ValueError("sample sizes must be non-negative")
+
+    @property
+    def lm_tokens(self) -> int:
+        """Tokens this document occupies in the packed LM sequence."""
+        return self.text_tokens + self.num_images * constants.IMAGE_LM_TOKENS
+
+
+@dataclass(frozen=True)
+class VideoSample:
+    """One captioned video clip.
+
+    ``tokens_per_second`` encodes the clip's resolution/aspect bucket:
+    higher-resolution footage yields more latent tokens per second, the
+    dominant source of cross-batch DiT workload variance (the paper's
+    4.15x FLOPs spread, Fig. 4d).
+    """
+
+    duration_seconds: float
+    caption_tokens: int
+    tokens_per_second: int = constants.VIDEO_TOKENS_PER_SECOND
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+        if self.caption_tokens < 0:
+            raise ValueError("caption_tokens must be non-negative")
+        if self.tokens_per_second <= 0:
+            raise ValueError("tokens_per_second must be positive")
+
+    @property
+    def video_tokens(self) -> int:
+        """Latent tokens the DiT processes for this clip."""
+        return int(round(self.duration_seconds * self.tokens_per_second))
+
+
+class ImageTextDataset:
+    """Synthetic image-text corpus driven by a token/image ratio model.
+
+    Args:
+        ratio: Distribution of text tokens per image.
+        images_per_doc_mean: Mean images per document (geometric law);
+            interleaved corpora like OBELICS have multi-image documents,
+            caption corpora like LAION have exactly one.
+        seed: RNG seed; each dataset instance is deterministic.
+    """
+
+    def __init__(
+        self,
+        ratio: LogNormalRatio,
+        images_per_doc_mean: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if images_per_doc_mean < 1.0:
+            raise ValueError("images_per_doc_mean must be >= 1")
+        self.ratio = ratio
+        self.images_per_doc_mean = images_per_doc_mean
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def name(self) -> str:
+        return self.ratio.name
+
+    def sample(self) -> ImageTextSample:
+        """Draw one document."""
+        if self.images_per_doc_mean == 1.0:
+            num_images = 1
+        else:
+            p = 1.0 / self.images_per_doc_mean
+            num_images = int(self._rng.geometric(p))
+        ratio = float(self.ratio.sample(self._rng))
+        text_tokens = max(1, int(round(ratio * num_images)))
+        return ImageTextSample(num_images=num_images, text_tokens=text_tokens)
+
+    def take(self, n: int) -> List[ImageTextSample]:
+        """Draw ``n`` documents."""
+        return [self.sample() for _ in range(n)]
+
+
+class VideoDataset:
+    """Synthetic video-caption corpus driven by a tokens/second model.
+
+    Args:
+        ratio: Distribution of caption tokens per second of footage.
+        duration_mean: Mean clip duration in seconds (log-normal, clipped
+            to the 16-second training maximum).
+        seed: RNG seed.
+    """
+
+    #: (tokens/second, probability) resolution buckets: 480p / 720p-ish /
+    #: high-resolution footage after VAE + patchification.  The 3x range
+    #: between buckets yields the ~4x cross-batch FLOPs spread of Fig. 4d.
+    RESOLUTION_BUCKETS = (
+        (constants.VIDEO_TOKENS_PER_SECOND // 2, 0.30),
+        (constants.VIDEO_TOKENS_PER_SECOND, 0.50),
+        (constants.VIDEO_TOKENS_PER_SECOND * 3 // 2, 0.20),
+    )
+
+    def __init__(
+        self,
+        ratio: LogNormalRatio,
+        duration_mean: float = 8.0,
+        seed: int = 0,
+    ) -> None:
+        self.ratio = ratio
+        self.duration_mean = duration_mean
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def name(self) -> str:
+        return self.ratio.name
+
+    def sample(self) -> VideoSample:
+        """Draw one clip."""
+        duration = float(
+            np.clip(
+                self._rng.lognormal(np.log(self.duration_mean), 0.6),
+                1.0,
+                constants.MAX_VIDEO_SECONDS,
+            )
+        )
+        caption_rate = float(self.ratio.sample(self._rng))
+        caption = max(1, int(round(caption_rate * duration)))
+        rates = [r for r, _ in self.RESOLUTION_BUCKETS]
+        probs = [p for _, p in self.RESOLUTION_BUCKETS]
+        tps = int(self._rng.choice(rates, p=probs))
+        return VideoSample(duration_seconds=duration, caption_tokens=caption,
+                           tokens_per_second=tps)
+
+    def take(self, n: int) -> List[VideoSample]:
+        """Draw ``n`` clips."""
+        return [self.sample() for _ in range(n)]
+
+
+class _Mixture:
+    """Weighted mixture over component datasets (shared by both kinds)."""
+
+    def __init__(self, components: Sequence, weights: Sequence[float], seed: int) -> None:
+        if len(components) != len(weights) or not components:
+            raise ValueError("components and weights must be equal-length, non-empty")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.components = list(components)
+        self.weights = [w / total for w in weights]
+        self._rng = np.random.default_rng(seed)
+        self.name = "mix(" + "+".join(c.name for c in components) + ")"
+
+    def sample(self):
+        idx = int(self._rng.choice(len(self.components), p=self.weights))
+        return self.components[idx].sample()
+
+    def take(self, n: int) -> list:
+        return [self.sample() for _ in range(n)]
+
+
+def image_dataset(name: str, seed: int = 0) -> ImageTextDataset:
+    """Construct a named synthetic image-text dataset.
+
+    OBELICS documents interleave ~2.5 images on average; caption corpora
+    carry a single image per sample.
+    """
+    ratio = IMAGE_RATIO_DISTRIBUTIONS.get(name)
+    if ratio is None:
+        known = ", ".join(sorted(IMAGE_RATIO_DISTRIBUTIONS))
+        raise KeyError(f"unknown image dataset {name!r}; known: {known}")
+    images_per_doc = 2.5 if name == "OBELICS" else 1.0
+    return ImageTextDataset(ratio, images_per_doc_mean=images_per_doc, seed=seed)
+
+
+def video_dataset(name: str, seed: int = 0) -> VideoDataset:
+    """Construct a named synthetic video dataset."""
+    ratio = VIDEO_RATIO_DISTRIBUTIONS.get(name)
+    if ratio is None:
+        known = ", ".join(sorted(VIDEO_RATIO_DISTRIBUTIONS))
+        raise KeyError(f"unknown video dataset {name!r}; known: {known}")
+    # Web video clips are short (a few seconds), so grouped microbatches
+    # typically hold several clips — the unit DIP's sub-microbatch
+    # splitting operates on.
+    duration_mean = {"ShareGPT4Video": 5.0, "InternVid": 3.5, "MMTrail-2M": 6.0}[name]
+    return VideoDataset(ratio, duration_mean=duration_mean, seed=seed)
+
+
+def mixture_image_dataset(seed: int = 0) -> _Mixture:
+    """The paper's image-text training mix (OBELICS + LAION + ScienceQA).
+
+    Interleaved documents dominate; caption corpora are a minority so a
+    packed 8192-token batch carries a handful of images on average, with
+    a long tail of caption-dense (image-heavy) batches — matching the
+    spread of Fig. 4c.
+    """
+    parts = [image_dataset(n, seed=seed + i) for i, n in
+             enumerate(("OBELICS", "LAION-2B", "ScienceQA"))]
+    return _Mixture(parts, weights=[0.75, 0.10, 0.15], seed=seed + 101)
+
+
+def mixture_video_dataset(seed: int = 0) -> _Mixture:
+    """The paper's video training mix (ShareGPT4Video + InternVid + MMTrail)."""
+    parts = [video_dataset(n, seed=seed + i) for i, n in
+             enumerate(("ShareGPT4Video", "InternVid", "MMTrail-2M"))]
+    return _Mixture(parts, weights=[0.4, 0.35, 0.25], seed=seed + 202)

@@ -1,0 +1,213 @@
+"""Greedy data packing (section 7.1 of the paper).
+
+Image-text documents pack into 8192-token sequences (image tokens count
+towards capacity, at most 48 images).  Video clips group up to 8 per
+microbatch while keeping total footage under 16 seconds.  Packing reduces
+but does not remove workload variation — the residual spread across
+packed batches is exactly the *training data dynamicity* DIP targets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.data import constants
+from repro.data.batching import GlobalBatch, Microbatch
+from repro.data.datasets import ImageTextSample, VideoSample
+
+
+def pack_image_text(
+    samples: Iterable[ImageTextSample],
+    num_microbatches: int,
+    context_length: int = constants.CONTEXT_LENGTH,
+    max_images: int = constants.MAX_IMAGES_PER_MICROBATCH,
+    start_index: int = 0,
+) -> GlobalBatch:
+    """Greedily pack documents into ``num_microbatches`` VLM microbatches.
+
+    Documents too large for the remaining capacity close the current
+    microbatch; documents larger than a whole microbatch are truncated to
+    capacity (matching practical packers).
+
+    Args:
+        samples: Document stream; consumed lazily.
+        num_microbatches: Microbatches to build.
+        context_length: Packed sequence capacity in tokens.
+        max_images: Image cap per microbatch.
+        start_index: Index assigned to the first microbatch.
+    """
+    iterator: Iterator[ImageTextSample] = iter(samples)
+    out: List[Microbatch] = []
+    for i in range(num_microbatches):
+        images = 0
+        text = 0
+        used = 0
+        while True:
+            try:
+                doc = next(iterator)
+            except StopIteration:
+                break
+            doc_images = min(doc.num_images, max_images - images)
+            image_tokens = doc_images * constants.IMAGE_LM_TOKENS
+            doc_text = min(doc.text_tokens, context_length - used - image_tokens)
+            if doc_text < 0:
+                # Not even the images fit; drop the remainder of this doc.
+                break
+            images += doc_images
+            text += doc_text
+            used += image_tokens + doc_text
+            if used >= context_length or images >= max_images:
+                break
+        # Pad the remainder with text tokens, as packed training does.
+        text += context_length - used
+        out.append(
+            Microbatch(
+                index=start_index + i,
+                kind="vlm",
+                num_images=images,
+                text_tokens=text,
+            )
+        )
+    return GlobalBatch(out)
+
+
+def pack_video(
+    samples: Iterable[VideoSample],
+    num_microbatches: int,
+    max_seconds: float = constants.MAX_VIDEO_SECONDS,
+    max_clips: int = constants.MAX_CLIPS_PER_MICROBATCH,
+    start_index: int = 0,
+    pool_size: int = 16,
+) -> GlobalBatch:
+    """Group clips into T2V microbatches (<= 16 s footage, <= 8 clips).
+
+    A small candidate pool lets the packer pick any clip that still fits
+    (best-fit), the way duration-bucketed video loaders group clips with
+    similar lengths.  Clips only group with clips of the *same
+    resolution bucket* (same tokens/second), mirroring the paper's
+    aspect-ratio-grouped batching — so batches pack close to the
+    16-second target and workload variance comes from which resolution
+    bucket a batch lands in (Fig. 4d's 4.15x FLOPs spread).
+    """
+    iterator: Iterator[VideoSample] = iter(samples)
+    pool: List[VideoSample] = []
+
+    def refill() -> None:
+        while len(pool) < pool_size:
+            try:
+                pool.append(next(iterator))
+            except StopIteration:
+                break
+
+    out: List[Microbatch] = []
+    for i in range(num_microbatches):
+        refill()
+        clips = 0
+        seconds = 0.0
+        caption = 0
+        tokens = 0
+        bucket: Optional[int] = None
+        while clips < max_clips and pool:
+            remaining = max_seconds - seconds
+            fitting = [
+                c for c in pool
+                if c.duration_seconds <= remaining
+                and (bucket is None or c.tokens_per_second == bucket)
+            ]
+            if not fitting:
+                if clips == 0:
+                    fitting = [min(pool, key=lambda c: c.duration_seconds)]
+                else:
+                    break
+            # Best fit: the longest clip that still fits.
+            clip = max(fitting, key=lambda c: c.duration_seconds)
+            pool.remove(clip)
+            bucket = clip.tokens_per_second
+            clips += 1
+            seconds += min(clip.duration_seconds, max_seconds)
+            caption += clip.caption_tokens
+            tokens += clip.video_tokens
+            refill()
+            if seconds >= max_seconds - 1.0:
+                break
+        if clips == 0:
+            # Stream exhausted: emit a minimal single-clip microbatch so
+            # the iteration shape stays fixed.
+            clips, seconds, caption = 1, 4.0, 60
+            tokens = int(4.0 * constants.VIDEO_TOKENS_PER_SECOND)
+        out.append(
+            Microbatch(
+                index=start_index + i,
+                kind="t2v",
+                num_clips=clips,
+                video_seconds=seconds,
+                caption_tokens=caption,
+                video_tokens_total=tokens,
+            )
+        )
+    return GlobalBatch(out)
+
+
+def pack_image_text_balanced(
+    samples: Iterable[ImageTextSample],
+    num_microbatches: int,
+    context_length: int = constants.CONTEXT_LENGTH,
+    max_images: int = constants.MAX_IMAGES_PER_MICROBATCH,
+    start_index: int = 0,
+) -> GlobalBatch:
+    """DynaPipe-style balanced packing: even out image counts per batch.
+
+    Consumes the same document stream a greedy packer would, but assigns
+    each document to the microbatch currently holding the fewest images —
+    the data-centric mitigation the paper discusses (section 2.3) and
+    finds *insufficient*: it narrows cross-batch variance but cannot
+    touch the inter-modality imbalance inside each batch.
+    """
+    bins = [{"images": 0, "text": 0, "used": 0} for _ in range(num_microbatches)]
+    for doc in samples:
+        candidates = sorted(range(num_microbatches),
+                            key=lambda i: (bins[i]["images"], bins[i]["used"]))
+        placed = False
+        for i in candidates:
+            b = bins[i]
+            doc_images = min(doc.num_images, max_images - b["images"])
+            image_tokens = doc_images * constants.IMAGE_LM_TOKENS
+            doc_text = min(doc.text_tokens,
+                           context_length - b["used"] - image_tokens)
+            if doc_text < 0 or (doc_images == 0 and doc.num_images > 0):
+                continue
+            b["images"] += doc_images
+            b["text"] += doc_text
+            b["used"] += image_tokens + doc_text
+            placed = True
+            break
+        if not placed:
+            break  # every microbatch is full
+    out = []
+    for i, b in enumerate(bins):
+        text = b["text"] + (context_length - b["used"])  # pad with text
+        out.append(Microbatch(index=start_index + i, kind="vlm",
+                              num_images=b["images"], text_tokens=text))
+    return GlobalBatch(out)
+
+
+def controlled_vlm_microbatch(
+    index: int,
+    num_images: int,
+    context_length: int = constants.CONTEXT_LENGTH,
+) -> Microbatch:
+    """Build a VLM microbatch with an exact image count.
+
+    Used by the Fig. 8b dynamic-workload experiment, where image counts
+    are controlled directly; text fills the remaining capacity.
+    """
+    num_images = max(0, min(num_images, constants.MAX_IMAGES_PER_MICROBATCH))
+    text = context_length - num_images * constants.IMAGE_LM_TOKENS
+    return Microbatch(index=index, kind="vlm", num_images=num_images, text_tokens=text)
+
+
+def unimodal_lm_microbatch(
+    index: int, context_length: int = constants.CONTEXT_LENGTH
+) -> Microbatch:
+    """A pure-text microbatch (Table 1's unimodal baseline)."""
+    return Microbatch(index=index, kind="lm", text_tokens=context_length)

@@ -1,0 +1,136 @@
+"""Training workload streams: one :class:`GlobalBatch` per iteration.
+
+Also implements the controlled rise-and-fall image-count schedule used by
+the paper's dynamic-workload study (Fig. 8b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.data.batching import GlobalBatch
+from repro.data.datasets import mixture_image_dataset, mixture_video_dataset
+from repro.data.packing import controlled_vlm_microbatch, pack_image_text, pack_video
+
+
+class WorkloadStream:
+    """An endless stream of global batches drawn from a dataset mixture.
+
+    Args:
+        kind: ``"vlm"`` or ``"t2v"``.
+        num_microbatches: Microbatches per iteration.
+        seed: Seed for the underlying synthetic datasets.
+    """
+
+    def __init__(self, kind: str, num_microbatches: int, seed: int = 0) -> None:
+        if kind not in ("vlm", "t2v"):
+            raise ValueError(f"kind must be 'vlm' or 't2v', got {kind!r}")
+        if num_microbatches < 1:
+            raise ValueError("num_microbatches must be >= 1")
+        self.kind = kind
+        self.num_microbatches = num_microbatches
+        if kind == "vlm":
+            self._dataset = mixture_image_dataset(seed=seed)
+        else:
+            self._dataset = mixture_video_dataset(seed=seed)
+        self._iteration = 0
+
+    def _sample_stream(self):
+        while True:
+            yield self._dataset.sample()
+
+    def next_batch(self) -> GlobalBatch:
+        """Pack and return the next iteration's global batch."""
+        start = self._iteration * self.num_microbatches
+        if self.kind == "vlm":
+            batch = pack_image_text(
+                self._sample_stream(), self.num_microbatches, start_index=start
+            )
+        else:
+            batch = pack_video(
+                self._sample_stream(), self.num_microbatches, start_index=start
+            )
+        self._iteration += 1
+        return batch
+
+    def batches(self, n: int) -> List[GlobalBatch]:
+        """Materialise ``n`` consecutive iterations."""
+        return [self.next_batch() for _ in range(n)]
+
+    def __iter__(self) -> Iterator[GlobalBatch]:
+        while True:
+            yield self.next_batch()
+
+
+def vlm_workload(num_microbatches: int, seed: int = 0) -> WorkloadStream:
+    """The paper's VLM training mix."""
+    return WorkloadStream("vlm", num_microbatches, seed=seed)
+
+
+def t2v_workload(num_microbatches: int, seed: int = 0) -> WorkloadStream:
+    """The paper's T2V training mix."""
+    return WorkloadStream("t2v", num_microbatches, seed=seed)
+
+
+@dataclass
+class DynamicImageBoundsSchedule:
+    """Controlled per-iteration image-count bounds (Fig. 8b methodology).
+
+    Two consecutive "rise-and-fall" patterns over 40 iterations: the
+    lower bound climbs 0 -> 16 with the upper bound held at 32
+    (iterations 1-5 of each pattern, peaking near 22 images/microbatch on
+    average), then both bounds decay to zero (iterations 6-20).
+
+    Args:
+        num_microbatches: Microbatches per iteration.
+        iterations_per_pattern: Length of one rise-and-fall pattern.
+        num_patterns: How many patterns to emit.
+        peak_lower: Lower bound reached at the end of the rise phase.
+        peak_upper: Upper bound during the rise phase.
+        seed: RNG seed for per-microbatch image draws.
+    """
+
+    num_microbatches: int = 8
+    iterations_per_pattern: int = 20
+    num_patterns: int = 2
+    rise_iterations: int = 5
+    peak_lower: int = 16
+    peak_upper: int = 32
+    seed: int = 0
+
+    def bounds(self, iteration: int) -> Tuple[int, int]:
+        """Image-count (lower, upper) bounds for a 0-based iteration."""
+        local = iteration % self.iterations_per_pattern
+        if local < self.rise_iterations:
+            frac = (local + 1) / self.rise_iterations
+            return int(round(self.peak_lower * frac)), self.peak_upper
+        fall = self.iterations_per_pattern - self.rise_iterations
+        frac = 1.0 - (local - self.rise_iterations + 1) / fall
+        lower = int(round(self.peak_lower * frac))
+        upper = max(lower, int(round(self.peak_upper * frac)))
+        return lower, upper
+
+    @property
+    def total_iterations(self) -> int:
+        return self.iterations_per_pattern * self.num_patterns
+
+    def batch(self, iteration: int) -> GlobalBatch:
+        """Build the controlled global batch for one iteration."""
+        lower, upper = self.bounds(iteration)
+        rng = np.random.default_rng(self.seed + iteration)
+        microbatches = []
+        for i in range(self.num_microbatches):
+            count = int(rng.integers(lower, upper + 1)) if upper > lower else lower
+            microbatches.append(
+                controlled_vlm_microbatch(
+                    index=iteration * self.num_microbatches + i, num_images=count
+                )
+            )
+        return GlobalBatch(microbatches)
+
+    def batches(self) -> List[GlobalBatch]:
+        """All iterations of the schedule."""
+        return [self.batch(i) for i in range(self.total_iterations)]

@@ -1,0 +1,50 @@
+"""Training performance metrics: MFU, throughput, bubble ratios.
+
+MFU (model FLOPs utilization) follows the paper's definition: the model's
+train-step FLOPs divided by elapsed time and the aggregate peak FLOPs of
+the GPUs in one data-parallel replica.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.devices import GpuSpec
+from repro.cluster.topology import ParallelConfig
+
+
+def mfu(
+    model_flops: float,
+    iteration_ms: float,
+    gpu: GpuSpec,
+    parallel: ParallelConfig,
+) -> float:
+    """Model FLOPs utilization of one data-parallel replica.
+
+    Args:
+        model_flops: Train-step FLOPs of the iteration (fw + 2x bw).
+        iteration_ms: Iteration latency in milliseconds.
+        gpu: Device spec (peak FLOPs).
+        parallel: Layout; a replica spans ``pp * tp`` GPUs.
+    """
+    if iteration_ms <= 0:
+        raise ValueError("iteration_ms must be positive")
+    gpus = parallel.pp * parallel.tp
+    return model_flops / (iteration_ms * 1e-3) / (gpus * gpu.flops)
+
+
+def throughput_tokens_per_s(total_tokens: float, iteration_ms: float) -> float:
+    """Training throughput in tokens per second."""
+    if iteration_ms <= 0:
+        raise ValueError("iteration_ms must be positive")
+    return total_tokens / (iteration_ms * 1e-3)
+
+
+def pflops_per_iteration(model_flops: float) -> float:
+    """Convenience: iteration FLOPs in petaFLOPs (Table 1's unit)."""
+    return model_flops / 1e15
+
+
+def speedup(baseline_ms: float, optimized_ms: float) -> float:
+    """Relative throughput improvement of ``optimized`` over ``baseline``."""
+    if optimized_ms <= 0:
+        raise ValueError("optimized_ms must be positive")
+    return baseline_ms / optimized_ms - 1.0

@@ -1,0 +1,35 @@
+"""Model substrate: transformer module specs, FLOPs accounting, LMM zoo.
+
+LMMs are composed of *modality modules* (encoders, a backbone, decoders)
+connected by adapters (Fig. 1 of the paper).  This package describes those
+modules analytically — parameter counts, per-layer FLOPs, bytes moved and
+activation footprints — which is what both DIP's planner and the training
+simulator consume.
+"""
+
+from repro.models.config import (
+    ModalityModuleSpec,
+    Modality,
+    ModuleRole,
+)
+from repro.models.lmm import LMMArchitecture, ModuleBinding, build_t2v, build_vlm
+from repro.models.zoo import (
+    MODEL_ZOO,
+    module_by_name,
+    COMBINATIONS,
+    combination_by_name,
+)
+
+__all__ = [
+    "Modality",
+    "ModuleRole",
+    "ModalityModuleSpec",
+    "LMMArchitecture",
+    "ModuleBinding",
+    "build_vlm",
+    "build_t2v",
+    "MODEL_ZOO",
+    "module_by_name",
+    "COMBINATIONS",
+    "combination_by_name",
+]

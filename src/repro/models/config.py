@@ -1,0 +1,112 @@
+"""Specifications of modality modules (transformer stacks).
+
+A :class:`ModalityModuleSpec` captures the architecture hyper-parameters
+of one modality module (Table 2 of the paper): layer count, embedding
+dimension, FFN hidden size, attention heads and query groups.  These are
+sufficient for the analytic FLOPs / bytes / memory model in
+:mod:`repro.models.flops`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Modality(enum.Enum):
+    """The data modality a module consumes or produces."""
+
+    TEXT = "text"
+    IMAGE = "image"
+    VIDEO = "video"
+    AUDIO = "audio"
+
+
+class ModuleRole(enum.Enum):
+    """Where a module sits in the LMM dataflow (Fig. 1)."""
+
+    ENCODER = "encoder"
+    BACKBONE = "backbone"
+    DECODER = "decoder"
+
+
+@dataclass(frozen=True)
+class ModalityModuleSpec:
+    """Architecture of one modality module.
+
+    Attributes:
+        name: Unique module name, e.g. ``"vit-5b"``.
+        role: Encoder / backbone / decoder.
+        modality: The modality whose tokens drive this module's sequence
+            length (text tokens for LLMs, image patches for ViTs, video
+            latent tokens for DiTs).
+        num_layers: Transformer block count.
+        hidden_size: Embedding dimension.
+        ffn_hidden_size: FFN intermediate dimension.
+        num_attention_heads: Query head count.
+        num_query_groups: KV head count (GQA); equals
+            ``num_attention_heads`` for full multi-head attention.
+        gated_mlp: Whether the MLP is gated (SwiGLU, 3 projections) as in
+            Llama/Qwen, or plain (GELU, 2 projections) as in ViT/DiT.
+        vocab_size: Output vocabulary (LLM backbones only; 0 disables the
+            embedding/LM-head accounting).
+        cross_attention: Whether each block carries an extra
+            cross-attention sublayer (DiT decoders conditioning on text).
+    """
+
+    name: str
+    role: ModuleRole
+    modality: Modality
+    num_layers: int
+    hidden_size: int
+    ffn_hidden_size: int
+    num_attention_heads: int
+    num_query_groups: int
+    gated_mlp: bool = True
+    vocab_size: int = 0
+    cross_attention: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 1:
+            raise ValueError(f"{self.name}: num_layers must be >= 1")
+        if self.hidden_size % self.num_attention_heads != 0:
+            raise ValueError(
+                f"{self.name}: hidden_size {self.hidden_size} not divisible "
+                f"by num_attention_heads {self.num_attention_heads}"
+            )
+        if self.num_attention_heads % self.num_query_groups != 0:
+            raise ValueError(
+                f"{self.name}: num_attention_heads {self.num_attention_heads} "
+                f"not divisible by num_query_groups {self.num_query_groups}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        """Dimension of each attention head."""
+        return self.hidden_size // self.num_attention_heads
+
+    @property
+    def kv_channels(self) -> int:
+        """Total KV projection width under GQA."""
+        return self.head_dim * self.num_query_groups
+
+    def layer_parameters(self) -> int:
+        """Parameter count of a single transformer block."""
+        h = self.hidden_size
+        attn = h * h + 2 * h * self.kv_channels + h * h  # Q, K, V, O
+        mlp_mats = 3 if self.gated_mlp else 2
+        mlp = mlp_mats * h * self.ffn_hidden_size
+        norms = 2 * h
+        cross = attn if self.cross_attention else 0
+        return attn + cross + mlp + norms
+
+    def total_parameters(self) -> int:
+        """Parameter count of the whole module (blocks + embeddings)."""
+        params = self.num_layers * self.layer_parameters()
+        if self.vocab_size:
+            params += 2 * self.vocab_size * self.hidden_size
+        return params
+
+    def parameters_billion(self) -> float:
+        """Total parameters in billions, handy for reporting."""
+        return self.total_parameters() / 1e9

@@ -1,0 +1,217 @@
+"""Analytic FLOPs / bytes / activation accounting for transformer blocks.
+
+All quantities are *per device* under tensor parallelism of degree ``tp``:
+compute and weights shard across the TP group, while TP collectives add
+communication volume.  The training simulator (section 6.1 of the paper)
+turns these counts into latencies via a roofline-style cost model.
+
+Conventions:
+    * BF16 training: 2 bytes per parameter / activation element.
+    * Backward compute is 2x forward (dgrad + wgrad).
+    * Flash attention: no O(s^2) activation storage, but the quadratic
+      FLOPs term remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModalityModuleSpec
+
+BYTES_PER_ELEMENT = 2.0
+#: Multiplier from parameter count to per-device training-state bytes under
+#: mixed precision with distributed optimizer disabled: bf16 weights (2) +
+#: bf16 grads (2) + fp32 master weights, momentum, variance (12) = 16.
+TRAINING_STATE_BYTES_PER_PARAM = 16.0
+
+
+@dataclass(frozen=True)
+class LayerWork:
+    """Resource counts for one transformer block on one device.
+
+    Attributes:
+        flops: Forward floating-point operations.
+        weight_bytes: Parameter bytes read from HBM.
+        act_traffic_bytes: Activation bytes read+written in HBM.
+        tp_comm_bytes: Bytes each device moves for TP all-reduces.
+        act_store_bytes: Activation bytes held until the backward pass
+            (no recomputation, flash attention).
+        act_ckpt_bytes: Activation bytes held under full checkpointing
+            (layer input only).
+    """
+
+    flops: float
+    weight_bytes: float
+    act_traffic_bytes: float
+    tp_comm_bytes: float
+    act_store_bytes: float
+    act_ckpt_bytes: float
+
+    def scaled(self, factor: float) -> "LayerWork":
+        """Uniformly scale all counts (used for fractional chunks)."""
+        return LayerWork(
+            flops=self.flops * factor,
+            weight_bytes=self.weight_bytes * factor,
+            act_traffic_bytes=self.act_traffic_bytes * factor,
+            tp_comm_bytes=self.tp_comm_bytes * factor,
+            act_store_bytes=self.act_store_bytes * factor,
+            act_ckpt_bytes=self.act_ckpt_bytes * factor,
+        )
+
+    def __add__(self, other: "LayerWork") -> "LayerWork":
+        return LayerWork(
+            flops=self.flops + other.flops,
+            weight_bytes=self.weight_bytes + other.weight_bytes,
+            act_traffic_bytes=self.act_traffic_bytes + other.act_traffic_bytes,
+            tp_comm_bytes=self.tp_comm_bytes + other.tp_comm_bytes,
+            act_store_bytes=self.act_store_bytes + other.act_store_bytes,
+            act_ckpt_bytes=self.act_ckpt_bytes + other.act_ckpt_bytes,
+        )
+
+
+def layer_forward_flops(
+    spec: ModalityModuleSpec, batch: int, seq: int, context: int = 0
+) -> float:
+    """Forward FLOPs of one block for ``batch`` sequences of length ``seq``.
+
+    ``context`` is the conditioning length for cross-attention blocks
+    (e.g. text tokens conditioning a DiT); zero for self-attention-only
+    blocks.
+    """
+    h = spec.hidden_size
+    kv = spec.kv_channels
+    tokens = batch * seq
+    qkv = 2.0 * tokens * h * (h + 2.0 * kv)
+    attn = 4.0 * batch * seq * seq * h  # scores + context matmuls
+    out = 2.0 * tokens * h * h
+    mlp_mats = 3.0 if spec.gated_mlp else 2.0
+    mlp = 2.0 * tokens * h * spec.ffn_hidden_size * mlp_mats
+    total = qkv + attn + out + mlp
+    if spec.cross_attention:
+        ctx = max(context, 1)
+        cross_qkv = 2.0 * tokens * h * h + 2.0 * batch * ctx * h * 2.0 * kv
+        cross_attn = 4.0 * batch * seq * ctx * h
+        cross_out = 2.0 * tokens * h * h
+        total += cross_qkv + cross_attn + cross_out
+    return total
+
+
+def module_forward_flops(
+    spec: ModalityModuleSpec, batch: int, seq: int, context: int = 0
+) -> float:
+    """Forward FLOPs of the entire module (all layers)."""
+    return spec.num_layers * layer_forward_flops(spec, batch, seq, context)
+
+
+def layer_weight_bytes(spec: ModalityModuleSpec, tp: int = 1) -> float:
+    """Per-device parameter bytes of one block under TP sharding."""
+    return spec.layer_parameters() * BYTES_PER_ELEMENT / tp
+
+
+def layer_activation_traffic(
+    spec: ModalityModuleSpec, batch: int, seq: int, tp: int = 1
+) -> float:
+    """Approximate HBM activation traffic (bytes) of one forward block.
+
+    Each GEMM streams its input and output once; attention with flash
+    kernels adds a small constant number of passes over the sequence.
+    """
+    h = spec.hidden_size
+    f = spec.ffn_hidden_size
+    tokens = batch * seq
+    gemm_io = tokens * (8.0 * h + 2.0 * f * (3.0 if spec.gated_mlp else 2.0)) / tp
+    attn_io = tokens * 8.0 * h / tp
+    if spec.cross_attention:
+        attn_io *= 2.0
+    return (gemm_io + attn_io) * BYTES_PER_ELEMENT
+
+
+def layer_activation_store(
+    spec: ModalityModuleSpec, batch: int, seq: int, tp: int = 1
+) -> float:
+    """Activation bytes one block keeps resident until its backward pass.
+
+    Uses Megatron's estimate for flash-attention blocks — roughly
+    ``34 * s * b * h`` bytes at fp16 — sharded across the TP group
+    (sequence parallelism shards the layer inputs as well).
+    """
+    h = spec.hidden_size
+    tokens = batch * seq
+    stored = 34.0 * tokens * h / tp
+    if spec.cross_attention:
+        stored += 10.0 * tokens * h / tp
+    return stored
+
+
+def layer_activation_checkpoint_store(
+    spec: ModalityModuleSpec, batch: int, seq: int, tp: int = 1
+) -> float:
+    """Activation bytes held under full recomputation (layer input only).
+
+    Sequence parallelism shards the saved input across the TP group.
+    """
+    return batch * seq * spec.hidden_size * BYTES_PER_ELEMENT / tp
+
+
+def layer_tp_comm_bytes(
+    spec: ModalityModuleSpec, batch: int, seq: int, tp: int = 1
+) -> float:
+    """Bytes each device moves for the block's forward TP all-reduces.
+
+    Two all-reduces per block (attention out-proj and MLP down-proj); a
+    ring all-reduce moves ``2 * (tp-1)/tp * payload`` bytes per device.
+    """
+    if tp <= 1:
+        return 0.0
+    payload = batch * seq * spec.hidden_size * BYTES_PER_ELEMENT
+    reduces = 3.0 if spec.cross_attention else 2.0
+    return reduces * 2.0 * (tp - 1) / tp * payload
+
+
+def boundary_p2p_bytes(spec: ModalityModuleSpec, batch: int, seq: int) -> float:
+    """Bytes of boundary activations sent between pipeline ranks."""
+    return batch * seq * spec.hidden_size * BYTES_PER_ELEMENT
+
+
+def layer_work(
+    spec: ModalityModuleSpec,
+    batch: int,
+    seq: int,
+    tp: int = 1,
+    context: int = 0,
+) -> LayerWork:
+    """Aggregate per-device forward resource counts for one block."""
+    return LayerWork(
+        flops=layer_forward_flops(spec, batch, seq, context) / tp,
+        weight_bytes=layer_weight_bytes(spec, tp),
+        act_traffic_bytes=layer_activation_traffic(spec, batch, seq, tp),
+        tp_comm_bytes=layer_tp_comm_bytes(spec, batch, seq, tp),
+        act_store_bytes=layer_activation_store(spec, batch, seq, tp),
+        act_ckpt_bytes=layer_activation_checkpoint_store(spec, batch, seq, tp),
+    )
+
+
+def chunk_work(
+    spec: ModalityModuleSpec,
+    num_layers: int,
+    batch: int,
+    seq: int,
+    tp: int = 1,
+    context: int = 0,
+) -> LayerWork:
+    """Forward resource counts for a model chunk of ``num_layers`` blocks."""
+    if num_layers < 0:
+        raise ValueError(f"num_layers must be >= 0, got {num_layers}")
+    one = layer_work(spec, batch, seq, tp, context)
+    return one.scaled(float(num_layers))
+
+
+def training_state_bytes(params: int, tp: int = 1, dp_shards: int = 1) -> float:
+    """Bytes of weights+grads+optimizer state per device.
+
+    ``dp_shards`` models a ZeRO-style distributed optimizer: the 12
+    bytes/param of fp32 state shard across the DP group while bf16
+    weights and grads stay replicated.
+    """
+    per_param = 4.0 + 12.0 / dp_shards
+    return params * per_param / tp

@@ -1,0 +1,173 @@
+"""Large multimodal model composition.
+
+An LMM chains *modality modules* in dataflow levels (Fig. 1 of the paper):
+level 0 holds the input-side modules (modality encoders), followed by the
+backbone, followed by output-side decoders.  Modules within one level are
+independent; a module depends on every module in the previous level.
+
+Two families cover the paper's evaluation:
+
+* **VLM**: image encoder (ViT) -> text backbone (LLM); loss on the LLM.
+* **T2V**: text encoder (LLM) -> video diffusion decoder (DiT); loss on
+  the DiT.  The LLM provides conditioning consumed by the DiT's
+  cross-attention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.models.config import ModalityModuleSpec, ModuleRole
+from repro.models.zoo import ModelCombination, module_by_name
+
+
+@dataclass(frozen=True)
+class ModuleBinding:
+    """A module's position inside a particular LMM.
+
+    Attributes:
+        spec: The module architecture.
+        role: Effective role in *this* LMM (an LLM is a backbone in a VLM
+            but a conditioning encoder in a T2V model).
+        level: Dataflow level; modules at level ``k`` consume every level
+            ``k-1`` output.
+    """
+
+    spec: ModalityModuleSpec
+    role: ModuleRole
+    level: int
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+@dataclass(frozen=True)
+class LMMArchitecture:
+    """A composed large multimodal model.
+
+    Attributes:
+        name: Model name, e.g. ``"VLM-S"``.
+        kind: ``"vlm"`` or ``"t2v"``.
+        bindings: Modules in dataflow order (level-major).
+    """
+
+    name: str
+    kind: str
+    bindings: Tuple[ModuleBinding, ...]
+
+    def __post_init__(self) -> None:
+        if not self.bindings:
+            raise ValueError("an LMM needs at least one module")
+        levels = [b.level for b in self.bindings]
+        if sorted(levels) != levels:
+            raise ValueError("bindings must be ordered by level")
+        if levels[0] != 0:
+            raise ValueError("dataflow levels must start at 0")
+
+    @property
+    def module_names(self) -> List[str]:
+        return [b.name for b in self.bindings]
+
+    def binding(self, module_name: str) -> ModuleBinding:
+        """Find a module binding by module name."""
+        for b in self.bindings:
+            if b.name == module_name:
+                return b
+        raise KeyError(f"{self.name} has no module {module_name!r}")
+
+    def levels(self) -> List[List[ModuleBinding]]:
+        """Modules grouped by dataflow level, in order."""
+        out: List[List[ModuleBinding]] = []
+        for b in self.bindings:
+            while len(out) <= b.level:
+                out.append([])
+            out[b.level].append(b)
+        return out
+
+    @property
+    def num_levels(self) -> int:
+        return self.bindings[-1].level + 1
+
+    @property
+    def loss_module(self) -> ModuleBinding:
+        """The module whose output carries the training loss (last level)."""
+        return self.bindings[-1]
+
+    def upstream_of(self, module_name: str) -> List[ModuleBinding]:
+        """Modules whose outputs the named module consumes."""
+        level = self.binding(module_name).level
+        if level == 0:
+            return []
+        return [b for b in self.bindings if b.level == level - 1]
+
+    def downstream_of(self, module_name: str) -> List[ModuleBinding]:
+        """Modules that consume the named module's output."""
+        level = self.binding(module_name).level
+        return [b for b in self.bindings if b.level == level + 1]
+
+    def total_parameters(self) -> int:
+        """Parameter count summed over all modules."""
+        return sum(b.spec.total_parameters() for b in self.bindings)
+
+    def parameters_billion(self) -> float:
+        return self.total_parameters() / 1e9
+
+
+def build_vlm(
+    encoder: ModalityModuleSpec, backbone: ModalityModuleSpec, name: str = ""
+) -> LMMArchitecture:
+    """Compose a vision-language model: image encoder -> text backbone."""
+    return LMMArchitecture(
+        name=name or f"vlm({encoder.name}+{backbone.name})",
+        kind="vlm",
+        bindings=(
+            ModuleBinding(encoder, ModuleRole.ENCODER, level=0),
+            ModuleBinding(backbone, ModuleRole.BACKBONE, level=1),
+        ),
+    )
+
+
+def build_t2v(
+    text_encoder: ModalityModuleSpec, dit: ModalityModuleSpec, name: str = ""
+) -> LMMArchitecture:
+    """Compose a text-to-video model: text encoder -> DiT video decoder."""
+    return LMMArchitecture(
+        name=name or f"t2v({text_encoder.name}+{dit.name})",
+        kind="t2v",
+        bindings=(
+            ModuleBinding(text_encoder, ModuleRole.ENCODER, level=0),
+            ModuleBinding(dit, ModuleRole.DECODER, level=1),
+        ),
+    )
+
+
+def build_unimodal(backbone: ModalityModuleSpec, name: str = "") -> LMMArchitecture:
+    """A single-module 'LMM' (the Table 1 unimodal LM baseline)."""
+    return LMMArchitecture(
+        name=name or f"lm({backbone.name})",
+        kind="lm",
+        bindings=(ModuleBinding(backbone, ModuleRole.BACKBONE, level=0),),
+    )
+
+
+def build_combination(combo: ModelCombination) -> LMMArchitecture:
+    """Instantiate a Table 3 / Table 6 model combination."""
+    specs = [module_by_name(n) for n in combo.module_names]
+    if combo.kind == "vlm":
+        if len(specs) != 2:
+            raise ValueError(f"{combo.name}: VLM combinations need 2 modules")
+        return build_vlm(specs[0], specs[1], name=combo.name)
+    if combo.kind == "t2v":
+        if len(specs) != 2:
+            raise ValueError(f"{combo.name}: T2V combinations need 2 modules")
+        return build_t2v(specs[0], specs[1], name=combo.name)
+    raise ValueError(f"unknown combination kind {combo.kind!r}")
+
+
+def architecture_summary(arch: LMMArchitecture) -> Dict[str, float]:
+    """Per-module and total parameter counts in billions, for reporting."""
+    summary = {b.name: b.spec.parameters_billion() for b in arch.bindings}
+    summary["total"] = arch.parameters_billion()
+    return summary

@@ -1,0 +1,227 @@
+"""Model zoo: every module and combination from the paper's evaluation.
+
+Tables 2, 3 and 6 of the paper, plus the 7B-class modules used in the
+Table 1 motivation experiment and the 37B VLM from section 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.models.config import Modality, ModalityModuleSpec, ModuleRole
+
+# --- Table 2 modules ------------------------------------------------------
+
+VIT_5B = ModalityModuleSpec(
+    name="vit-5b",
+    role=ModuleRole.ENCODER,
+    modality=Modality.IMAGE,
+    num_layers=63,
+    hidden_size=1792,
+    ffn_hidden_size=15360,
+    num_attention_heads=16,
+    num_query_groups=16,
+    gated_mlp=False,
+)
+
+VIT_22B = ModalityModuleSpec(
+    name="vit-22b",
+    role=ModuleRole.ENCODER,
+    modality=Modality.IMAGE,
+    num_layers=48,
+    hidden_size=6144,
+    ffn_hidden_size=24576,
+    num_attention_heads=48,
+    num_query_groups=48,
+    gated_mlp=False,
+)
+
+LLAMA3_8B = ModalityModuleSpec(
+    name="llama3-8b",
+    role=ModuleRole.BACKBONE,
+    modality=Modality.TEXT,
+    num_layers=32,
+    hidden_size=4096,
+    ffn_hidden_size=14336,
+    num_attention_heads=32,
+    num_query_groups=8,
+    gated_mlp=True,
+    vocab_size=128256,
+)
+
+QWEN2_32B = ModalityModuleSpec(
+    name="qwen2-32b",
+    role=ModuleRole.BACKBONE,
+    modality=Modality.TEXT,
+    num_layers=64,
+    hidden_size=5120,
+    ffn_hidden_size=27648,
+    num_attention_heads=40,
+    num_query_groups=8,
+    gated_mlp=True,
+    vocab_size=152064,
+)
+
+QWEN2_72B = ModalityModuleSpec(
+    name="qwen2-72b",
+    role=ModuleRole.BACKBONE,
+    modality=Modality.TEXT,
+    num_layers=80,
+    hidden_size=8192,
+    ffn_hidden_size=29568,
+    num_attention_heads=64,
+    num_query_groups=8,
+    gated_mlp=True,
+    vocab_size=152064,
+)
+
+DIT_5B = ModalityModuleSpec(
+    name="dit-5b",
+    role=ModuleRole.DECODER,
+    modality=Modality.VIDEO,
+    num_layers=28,
+    hidden_size=3584,
+    ffn_hidden_size=10240,
+    num_attention_heads=28,
+    num_query_groups=28,
+    gated_mlp=False,
+    cross_attention=True,
+)
+
+DIT_30B = ModalityModuleSpec(
+    name="dit-30b",
+    role=ModuleRole.DECODER,
+    modality=Modality.VIDEO,
+    num_layers=48,
+    hidden_size=6144,
+    ffn_hidden_size=24576,
+    num_attention_heads=48,
+    num_query_groups=48,
+    gated_mlp=False,
+    cross_attention=True,
+)
+
+# --- Table 6 module (large-scale simulation) ------------------------------
+
+GPT_175B = ModalityModuleSpec(
+    name="gpt-175b",
+    role=ModuleRole.BACKBONE,
+    modality=Modality.TEXT,
+    num_layers=96,
+    hidden_size=12288,
+    ffn_hidden_size=49152,
+    num_attention_heads=96,
+    num_query_groups=96,
+    gated_mlp=False,
+    vocab_size=50257,
+)
+
+# --- Table 1 / section 2 motivation modules -------------------------------
+
+LM_7B = ModalityModuleSpec(
+    name="lm-7b",
+    role=ModuleRole.BACKBONE,
+    modality=Modality.TEXT,
+    num_layers=32,
+    hidden_size=4096,
+    ffn_hidden_size=11008,
+    num_attention_heads=32,
+    num_query_groups=32,
+    gated_mlp=True,
+    vocab_size=32000,
+)
+
+VIT_2B = ModalityModuleSpec(
+    name="vit-2b",
+    role=ModuleRole.ENCODER,
+    modality=Modality.IMAGE,
+    num_layers=26,
+    hidden_size=2560,
+    ffn_hidden_size=10240,
+    num_attention_heads=32,
+    num_query_groups=32,
+    gated_mlp=False,
+)
+
+LM_5B = ModalityModuleSpec(
+    name="lm-5b",
+    role=ModuleRole.BACKBONE,
+    modality=Modality.TEXT,
+    num_layers=32,
+    hidden_size=3584,
+    ffn_hidden_size=9472,
+    num_attention_heads=28,
+    num_query_groups=28,
+    gated_mlp=True,
+    vocab_size=32000,
+)
+
+MODEL_ZOO: Dict[str, ModalityModuleSpec] = {
+    spec.name: spec
+    for spec in (
+        VIT_5B,
+        VIT_22B,
+        LLAMA3_8B,
+        QWEN2_32B,
+        QWEN2_72B,
+        DIT_5B,
+        DIT_30B,
+        GPT_175B,
+        LM_7B,
+        VIT_2B,
+        LM_5B,
+    )
+}
+
+
+def module_by_name(name: str) -> ModalityModuleSpec:
+    """Look up a module spec from the zoo by name."""
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise KeyError(f"unknown module {name!r}; known modules: {known}") from None
+
+
+@dataclass(frozen=True)
+class ModelCombination:
+    """One row of Table 3 / Table 6: an LMM plus its parallel layout."""
+
+    name: str
+    module_names: Tuple[str, ...]
+    kind: str  # "vlm" or "t2v"
+    dp: int
+    tp: int
+    pp: int
+
+    @property
+    def num_gpus(self) -> int:
+        return self.dp * self.tp * self.pp
+
+
+COMBINATIONS: Dict[str, ModelCombination] = {
+    combo.name: combo
+    for combo in (
+        # Table 3 (dp=1 per the per-replica GPU counts reported).
+        ModelCombination("VLM-S", ("vit-5b", "llama3-8b"), "vlm", 1, 4, 4),
+        ModelCombination("VLM-M", ("vit-5b", "qwen2-32b"), "vlm", 1, 8, 4),
+        ModelCombination("VLM-L", ("vit-22b", "qwen2-72b"), "vlm", 1, 8, 8),
+        ModelCombination("T2V-S", ("llama3-8b", "dit-5b"), "t2v", 1, 4, 4),
+        ModelCombination("T2V-L", ("qwen2-32b", "dit-30b"), "t2v", 1, 8, 8),
+        # Table 6 (large-scale simulation).
+        ModelCombination("VLM-XL-8k", ("vit-22b", "gpt-175b"), "vlm", 128, 8, 8),
+        ModelCombination("VLM-XL-16k", ("vit-22b", "gpt-175b"), "vlm", 128, 8, 16),
+        ModelCombination("T2V-XL-3k", ("qwen2-72b", "dit-30b"), "t2v", 96, 8, 4),
+        ModelCombination("T2V-XL-6k", ("qwen2-72b", "dit-30b"), "t2v", 96, 8, 8),
+    )
+}
+
+
+def combination_by_name(name: str) -> ModelCombination:
+    """Look up a Table 3 / Table 6 model combination by name."""
+    try:
+        return COMBINATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(COMBINATIONS))
+        raise KeyError(f"unknown combination {name!r}; known: {known}") from None

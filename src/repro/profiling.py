@@ -1,0 +1,126 @@
+"""Module profiling utilities (the section 4 measurement procedure).
+
+Exposes the sub-microbatch profiling the partitioner performs as a
+public, inspectable API: per-size latencies, per-instance efficiency and
+the chosen knee point, so users can see *why* a particular ``B_i`` was
+selected and how the efficiency threshold moves it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.data.batching import Microbatch, module_is_splittable, module_workload
+from repro.models.lmm import ModuleBinding
+from repro.sim.costmodel import CostModel
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One profiled sub-microbatch size."""
+
+    size: int
+    latency_ms: float
+    per_instance_ms: float
+    efficiency: float  # relative to the best per-instance latency
+
+
+@dataclass(frozen=True)
+class ModuleProfile:
+    """The full profile of one modality module.
+
+    Attributes:
+        module: Module name.
+        points: Per-size measurements, ascending size.
+        chosen_size: The smallest size meeting the efficiency threshold
+            (the paper's 95% rule), or ``None`` for unsplittable modules.
+        threshold: The efficiency threshold applied.
+    """
+
+    module: str
+    points: List[ProfilePoint]
+    chosen_size: Optional[int]
+    threshold: float
+
+    def table(self) -> str:
+        lines = [f"{self.module}: sub-microbatch profile "
+                 f"(threshold {self.threshold:.0%})"]
+        for p in self.points:
+            marker = "  <- chosen" if p.size == self.chosen_size else ""
+            lines.append(
+                f"  B={p.size:3d}  {p.latency_ms:8.2f} ms  "
+                f"{p.per_instance_ms:7.3f} ms/instance  "
+                f"eff {p.efficiency:.2%}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def profile_module(
+    binding: ModuleBinding,
+    reference: Microbatch,
+    cluster: ClusterSpec,
+    parallel: ParallelConfig,
+    cost_model: Optional[CostModel] = None,
+    efficiency_threshold: float = 0.95,
+    max_size: Optional[int] = None,
+) -> ModuleProfile:
+    """Profile a module across sub-microbatch sizes (section 4).
+
+    Args:
+        binding: The module to profile, within its LMM context.
+        reference: A representative (near-capacity) microbatch.
+        cluster / parallel: Hardware and layout (TP affects latencies).
+        cost_model: Stand-in for on-device measurement.
+        efficiency_threshold: Keep at least this fraction of peak
+            per-instance efficiency (paper: 0.95).
+        max_size: Cap on the scanned size (defaults to the reference
+            instance count).
+
+    Raises:
+        ValueError: if the reference holds no instances for the module.
+    """
+    cost_model = cost_model or CostModel()
+    if not module_is_splittable(binding):
+        instances, seq, ctx = module_workload(binding, reference)
+        cost = cost_model.stage_cost(
+            cluster.gpu, binding.spec, binding.spec.num_layers,
+            max(instances, 1), max(seq, 1), tp=parallel.tp, context=ctx,
+        )
+        point = ProfilePoint(size=max(instances, 1),
+                             latency_ms=cost.forward_ms,
+                             per_instance_ms=cost.forward_ms,
+                             efficiency=1.0)
+        return ModuleProfile(module=binding.name, points=[point],
+                             chosen_size=None,
+                             threshold=efficiency_threshold)
+
+    instances, seq, ctx = module_workload(binding, reference)
+    if instances < 1:
+        raise ValueError(f"reference has no instances for {binding.name}")
+    limit = min(instances, max_size) if max_size else instances
+
+    raw: List[ProfilePoint] = []
+    for size in range(1, limit + 1):
+        cost = cost_model.stage_cost(
+            cluster.gpu, binding.spec, binding.spec.num_layers, size, seq,
+            tp=parallel.tp, context=ctx,
+        )
+        raw.append(ProfilePoint(size=size, latency_ms=cost.forward_ms,
+                                per_instance_ms=cost.forward_ms / size,
+                                efficiency=0.0))
+    best = min(p.per_instance_ms for p in raw)
+    points = [
+        ProfilePoint(size=p.size, latency_ms=p.latency_ms,
+                     per_instance_ms=p.per_instance_ms,
+                     efficiency=best / p.per_instance_ms)
+        for p in raw
+    ]
+    chosen = next(
+        (p.size for p in points if p.efficiency >= efficiency_threshold),
+        limit,
+    )
+    return ModuleProfile(module=binding.name, points=points,
+                         chosen_size=chosen,
+                         threshold=efficiency_threshold)

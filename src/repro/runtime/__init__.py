@@ -1,0 +1,25 @@
+"""Execution-plan deployment substrate (section 6.3 of the paper).
+
+Simulated pipeline schedules compile into physical execution plans:
+per-rank action sequences (``fw_stage`` / ``bw_stage`` / ``isend`` /
+``irecv`` / ``wait_isend`` / ``wait_irecv``), following DynaPipe's action
+vocabulary.  A deterministic discrete-event engine executes the plans
+with explicit P2P channels — validating deadlock freedom and that the
+deployed plan reproduces the planner's predicted timeline.
+"""
+
+from repro.runtime.actions import Action, ActionKind, ExecutionPlan
+from repro.runtime.compiler import compile_schedule
+from repro.runtime.deployment import DeploymentController, PipelineWorker
+from repro.runtime.engine import EngineResult, execute_plan
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "ExecutionPlan",
+    "compile_schedule",
+    "execute_plan",
+    "EngineResult",
+    "DeploymentController",
+    "PipelineWorker",
+]

@@ -1,0 +1,81 @@
+"""Action vocabulary of compiled execution plans.
+
+Pipeline stages translate to ``fw_stage`` / ``bw_stage`` actions carrying
+their memory-optimization strategy; point-to-point communication uses
+asynchronous ``isend`` / ``irecv`` kernels with explicit ``wait_*``
+synchronisation — the exact action set the paper adopts from DynaPipe.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class ActionKind(enum.Enum):
+    """One of the six runtime action types."""
+
+    FW_STAGE = "fw_stage"
+    BW_STAGE = "bw_stage"
+    ISEND = "isend"
+    IRECV = "irecv"
+    WAIT_ISEND = "wait_isend"
+    WAIT_IRECV = "wait_irecv"
+
+
+@dataclass(frozen=True)
+class Action:
+    """A single runtime action on one pipeline rank.
+
+    Attributes:
+        kind: Action type.
+        stage_uid: Stage this action computes or transfers data for.
+        peer: Peer pipeline rank (communication actions only).
+        tag: Message tag matching isend/irecv pairs; by convention the
+            (producer stage, consumer stage) uid pair.
+        duration_ms: Compute latency (stage actions only).
+        transfer_ms: Wire time (isend actions only).
+        strategy: Memory-optimization strategy label (stage actions).
+    """
+
+    kind: ActionKind
+    stage_uid: int = -1
+    peer: int = -1
+    tag: Tuple[int, int] = (-1, -1)
+    duration_ms: float = 0.0
+    transfer_ms: float = 0.0
+    strategy: str = ""
+
+    def is_compute(self) -> bool:
+        return self.kind in (ActionKind.FW_STAGE, ActionKind.BW_STAGE)
+
+
+@dataclass
+class ExecutionPlan:
+    """Per-rank action sequences for one training iteration."""
+
+    actions_per_rank: List[List[Action]] = field(default_factory=list)
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.actions_per_rank)
+
+    def num_actions(self) -> int:
+        return sum(len(a) for a in self.actions_per_rank)
+
+    def compute_actions(self, rank: int) -> List[Action]:
+        return [a for a in self.actions_per_rank[rank] if a.is_compute()]
+
+    def describe(self, rank: Optional[int] = None) -> str:
+        """Human-readable dump (for debugging and docs examples)."""
+        lines = []
+        ranks = range(self.num_ranks) if rank is None else [rank]
+        for r in ranks:
+            ops = " ".join(
+                f"{a.kind.value}[{a.stage_uid}]" if a.is_compute()
+                else f"{a.kind.value}({a.tag[0]}->{a.tag[1]})"
+                for a in self.actions_per_rank[r]
+            )
+            lines.append(f"rank{r}: {ops}")
+        return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Compile a pipeline schedule into a physical execution plan.
+
+For every stage, the compiler inserts ``irecv``/``wait_irecv`` for each
+cross-rank input, the compute action itself, and an ``isend`` per
+cross-rank consumer immediately after the producing stage (asynchronous,
+overlapped with subsequent compute).  Consecutive P2P operations toward
+the same peer could be batched by the runtime; the engine models them
+individually, which is conservative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.core.stages import IterationGraph
+from repro.runtime.actions import Action, ActionKind, ExecutionPlan
+from repro.sim.costmodel import CostModel
+
+
+def compile_schedule(
+    graph: IterationGraph,
+    order: List[List[int]],
+    cluster: ClusterSpec,
+    parallel: ParallelConfig,
+    cost_model: Optional[CostModel] = None,
+) -> ExecutionPlan:
+    """Translate (graph, per-rank order) into per-rank action lists."""
+    cost_model = cost_model or CostModel()
+    stages = graph.stages
+
+    def transfer_ms(src: int, dst: int, nbytes: float) -> float:
+        if src == dst or nbytes <= 0:
+            return 0.0
+        bandwidth = cluster.p2p_bandwidth(parallel, src, dst)
+        return cost_model.p2p_latency_ms(nbytes, bandwidth)
+
+    # Index: for each producer stage, its cross-rank consumers.
+    cross_consumers: Dict[int, List[int]] = {}
+    for stage in stages:
+        for dep in stage.deps:
+            if stages[dep].rank != stage.rank:
+                cross_consumers.setdefault(dep, []).append(stage.uid)
+
+    plan = ExecutionPlan(actions_per_rank=[[] for _ in range(graph.num_ranks)])
+    for rank, uids in enumerate(order):
+        actions = plan.actions_per_rank[rank]
+        for uid in uids:
+            stage = stages[uid]
+            # Receive cross-rank inputs.
+            for dep in stage.deps:
+                dep_stage = stages[dep]
+                if dep_stage.rank == rank:
+                    continue
+                tag = (dep, uid)
+                actions.append(
+                    Action(kind=ActionKind.IRECV, stage_uid=uid,
+                           peer=dep_stage.rank, tag=tag)
+                )
+                actions.append(
+                    Action(kind=ActionKind.WAIT_IRECV, stage_uid=uid,
+                           peer=dep_stage.rank, tag=tag)
+                )
+            kind = ActionKind.FW_STAGE if stage.is_forward else ActionKind.BW_STAGE
+            pair = graph.pairs[stage.pair_id]
+            actions.append(
+                Action(
+                    kind=kind,
+                    stage_uid=uid,
+                    duration_ms=graph.latency_ms(stage),
+                    strategy=pair.strategy.label,
+                )
+            )
+            # Send to cross-rank consumers (asynchronously).
+            for consumer_uid in cross_consumers.get(uid, ()):
+                consumer = stages[consumer_uid]
+                tag = (uid, consumer_uid)
+                actions.append(
+                    Action(
+                        kind=ActionKind.ISEND,
+                        stage_uid=uid,
+                        peer=consumer.rank,
+                        tag=tag,
+                        transfer_ms=transfer_ms(
+                            rank, consumer.rank, consumer.p2p_bytes
+                        ),
+                    )
+                )
+        # Drain all outstanding sends at iteration end.
+        sent_tags: Set[Tuple[int, int]] = {
+            a.tag for a in actions if a.kind is ActionKind.ISEND
+        }
+        for tag in sorted(sent_tags):
+            actions.append(Action(kind=ActionKind.WAIT_ISEND, tag=tag))
+    return plan

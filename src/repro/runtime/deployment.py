@@ -1,0 +1,115 @@
+"""Planner-to-worker plan dispatch (section 6.3's runtime modification).
+
+"Each pipeline worker receives an action list via RPC from the central
+planner and executes it sequentially."  This module provides that
+dispatch layer in-process: a :class:`DeploymentController` registers one
+:class:`PipelineWorker` per rank, versions each compiled plan, delivers
+per-rank action lists, runs them through the shared discrete-event
+engine, and collects acknowledgements — enforcing that all ranks execute
+the same plan version (dynamic redeployment must be atomic across the
+pipeline group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.runtime.actions import Action, ExecutionPlan
+from repro.runtime.engine import EngineResult, execute_plan
+
+
+class DeploymentError(RuntimeError):
+    """Raised on version mismatches or incomplete worker groups."""
+
+
+@dataclass
+class PipelineWorker:
+    """One pipeline rank's runtime endpoint.
+
+    Workers buffer the action list they were sent and acknowledge with
+    the plan version — mimicking the RPC handshake without sockets.
+    """
+
+    rank: int
+    current_version: int = -1
+    actions: List[Action] = field(default_factory=list)
+    executed_versions: List[int] = field(default_factory=list)
+
+    def receive(self, version: int, actions: List[Action]) -> int:
+        """Accept a plan delivery; returns the acknowledged version."""
+        if version <= self.current_version:
+            raise DeploymentError(
+                f"rank {self.rank}: stale plan version {version} "
+                f"(current {self.current_version})"
+            )
+        self.current_version = version
+        self.actions = list(actions)
+        return version
+
+    def mark_executed(self) -> None:
+        self.executed_versions.append(self.current_version)
+
+
+@dataclass
+class DeploymentRecord:
+    """Outcome of one dispatched iteration."""
+
+    version: int
+    engine: EngineResult
+    acks: Dict[int, int]
+
+
+class DeploymentController:
+    """The central planner's dispatch endpoint.
+
+    Args:
+        num_ranks: Pipeline group size; one worker per rank is created.
+    """
+
+    def __init__(self, num_ranks: int) -> None:
+        if num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        self.workers = [PipelineWorker(rank=r) for r in range(num_ranks)]
+        self._version = 0
+        self.history: List[DeploymentRecord] = []
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.workers)
+
+    def dispatch(self, plan: ExecutionPlan) -> DeploymentRecord:
+        """Deliver a compiled plan to every worker and execute it.
+
+        The delivery is atomic: every rank must acknowledge the same
+        version before execution begins.
+
+        Raises:
+            DeploymentError: if the plan's rank count mismatches the
+                worker group, or any acknowledgement disagrees.
+        """
+        if plan.num_ranks != self.num_ranks:
+            raise DeploymentError(
+                f"plan spans {plan.num_ranks} ranks, group has "
+                f"{self.num_ranks}"
+            )
+        self._version += 1
+        version = self._version
+        acks: Dict[int, int] = {}
+        for worker in self.workers:
+            acks[worker.rank] = worker.receive(
+                version, plan.actions_per_rank[worker.rank]
+            )
+        if any(v != version for v in acks.values()):
+            raise DeploymentError(f"inconsistent acks: {acks}")
+
+        engine = execute_plan(plan)
+        for worker in self.workers:
+            worker.mark_executed()
+        record = DeploymentRecord(version=version, engine=engine, acks=acks)
+        self.history.append(record)
+        return record
+
+    def versions_executed(self) -> List[List[int]]:
+        """Per-rank executed plan versions (all ranks must agree)."""
+        return [list(w.executed_versions) for w in self.workers]

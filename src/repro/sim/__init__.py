@@ -1,0 +1,26 @@
+"""Training simulator (section 6.1 of the paper).
+
+Operator-level analytical performance modelling: latency is the roofline
+``max(a_f*N_fop/F, a_m*N_mem/B_mem, a_n*N_net/B_net)`` per operator, with
+efficiency scaling factors ``a_*`` that can be calibrated against
+measurements.  On top of that sit tensor-lifetime memory timelines and a
+discrete-event simulator for whole pipeline schedules.
+"""
+
+from repro.sim.costmodel import CostModel, StageCost
+from repro.sim.graph import Graph, OpNode, TensorNode
+from repro.sim.pipeline import PipelineSimResult, simulate_pipeline
+from repro.sim.reference import ReferenceCostModel
+from repro.sim.calibration import calibrate_cost_model
+
+__all__ = [
+    "CostModel",
+    "StageCost",
+    "Graph",
+    "OpNode",
+    "TensorNode",
+    "simulate_pipeline",
+    "PipelineSimResult",
+    "ReferenceCostModel",
+    "calibrate_cost_model",
+]

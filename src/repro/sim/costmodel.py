@@ -1,0 +1,159 @@
+"""Roofline cost model for operator and stage latencies.
+
+Every operator is characterised by FLOPs, HBM bytes and network bytes;
+its latency is the max of the three resource times, each scaled by an
+efficiency factor (section 6.1).  Fixed per-kernel and per-stage overheads
+model launch latency — the term that makes very small sub-microbatches
+inefficient (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cluster.devices import GpuSpec
+from repro.models.config import ModalityModuleSpec
+from repro.models.flops import LayerWork, boundary_p2p_bytes, chunk_work
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Latency and memory of one pipeline stage execution.
+
+    Attributes:
+        forward_ms: Forward compute latency.
+        backward_ms: Backward compute latency (no recomputation).
+        act_bytes: Activations held from forward until backward completes.
+        act_ckpt_bytes: Residency under full activation checkpointing.
+        recompute_ms: Extra backward latency if checkpointing (one extra
+            forward pass).
+        offload_ms: One-way host transfer time for offloaded activations.
+        p2p_bytes: Boundary activation bytes sent to the next rank.
+    """
+
+    forward_ms: float
+    backward_ms: float
+    act_bytes: float
+    act_ckpt_bytes: float
+    recompute_ms: float
+    offload_ms: float
+    p2p_bytes: float
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Analytic operator/stage latency model with efficiency factors.
+
+    Attributes:
+        compute_efficiency: Fraction of peak FLOPs attainable by large,
+            saturating GEMMs (``a_fop``).
+        memory_efficiency: Fraction of peak HBM bandwidth (``a_mem``).
+        network_efficiency: Fraction of peak link bandwidth (``a_net``).
+        saturation_tokens: GEMM utilisation ramps as
+            ``tokens / (tokens + saturation_tokens)`` — small batches
+            underutilise tensor cores, which is what makes very small
+            sub-microbatches inefficient (Fig. 9 of the paper).
+        kernel_overhead_us: Fixed launch cost per transformer block.
+        stage_overhead_us: Fixed dispatch cost per pipeline stage
+            (scheduling, P2P kernel setup).
+        backward_ratio: Backward/forward compute ratio (dgrad + wgrad).
+    """
+
+    compute_efficiency: float = 0.62
+    memory_efficiency: float = 0.78
+    network_efficiency: float = 0.80
+    saturation_tokens: float = 1700.0
+    kernel_overhead_us: float = 18.0
+    stage_overhead_us: float = 60.0
+    backward_ratio: float = 2.0
+
+    def compute_saturation(self, tokens: float) -> float:
+        """GEMM utilisation ramp for a workload of ``tokens`` rows."""
+        if tokens <= 0:
+            return 1.0
+        return tokens / (tokens + self.saturation_tokens)
+
+    def op_latency_ms(
+        self,
+        device: GpuSpec,
+        flops: float = 0.0,
+        mem_bytes: float = 0.0,
+        net_bytes: float = 0.0,
+        net_bandwidth: float | None = None,
+        tokens: float = 0.0,
+    ) -> float:
+        """Roofline latency of a single operator in milliseconds."""
+        effective = self.compute_efficiency * self.compute_saturation(tokens)
+        compute_s = flops / (device.flops * effective)
+        memory_s = mem_bytes / (device.memory_bandwidth * self.memory_efficiency)
+        bandwidth = net_bandwidth if net_bandwidth is not None else device.nvlink_bandwidth
+        network_s = net_bytes / (bandwidth * self.network_efficiency)
+        return max(compute_s, memory_s, network_s) * 1e3
+
+    def work_latency_ms(
+        self,
+        device: GpuSpec,
+        work: LayerWork,
+        num_layers: int,
+        tokens: float = 0.0,
+    ) -> float:
+        """Forward latency of a chunk described by aggregate ``work``."""
+        compute = self.op_latency_ms(
+            device,
+            flops=work.flops,
+            mem_bytes=work.weight_bytes + work.act_traffic_bytes,
+            tokens=tokens,
+        )
+        comm = self.op_latency_ms(device, net_bytes=work.tp_comm_bytes)
+        overhead = num_layers * self.kernel_overhead_us * 1e-3
+        return compute + comm + overhead
+
+    def stage_cost(
+        self,
+        device: GpuSpec,
+        spec: ModalityModuleSpec,
+        num_layers: int,
+        batch: int,
+        seq: int,
+        tp: int = 1,
+        context: int = 0,
+    ) -> StageCost:
+        """Full cost of one pipeline stage (a model chunk on one rank)."""
+        work = chunk_work(spec, num_layers, batch, seq, tp, context)
+        fw = self.work_latency_ms(device, work, num_layers, tokens=batch * seq)
+        fw += self.stage_overhead_us * 1e-3
+        bw = fw * self.backward_ratio
+        recompute = fw  # checkpointing replays the forward pass
+        # Offloading streams the stored activations over PCIe (one way).
+        offload_ms = (
+            work.act_store_bytes / (device.pcie_bandwidth * self.network_efficiency) * 1e3
+        )
+        return StageCost(
+            forward_ms=fw,
+            backward_ms=bw,
+            act_bytes=work.act_store_bytes,
+            act_ckpt_bytes=work.act_ckpt_bytes,
+            recompute_ms=recompute,
+            offload_ms=offload_ms,
+            p2p_bytes=boundary_p2p_bytes(spec, batch, seq),
+        )
+
+    def p2p_latency_ms(self, bytes_: float, bandwidth: float) -> float:
+        """Point-to-point transfer latency over a link of ``bandwidth`` B/s."""
+        if bytes_ <= 0:
+            return 0.0
+        latency_us = 8.0  # per-message launch + wire latency
+        return bytes_ / (bandwidth * self.network_efficiency) * 1e3 + latency_us * 1e-3
+
+    def collective_allreduce_ms(
+        self, device: GpuSpec, payload_bytes: float, group: int
+    ) -> float:
+        """Ring all-reduce latency within an NVLink group."""
+        if group <= 1 or payload_bytes <= 0:
+            return 0.0
+        moved = 2.0 * (group - 1) / group * payload_bytes
+        return moved / (device.nvlink_bandwidth * self.network_efficiency) * 1e3
+
+    def with_factors(self, **kwargs) -> "CostModel":
+        """Return a copy with some efficiency factors replaced."""
+        return replace(self, **kwargs)

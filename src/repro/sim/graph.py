@@ -1,0 +1,310 @@
+"""Operator/tensor DAG representation (section 6.1 of the paper).
+
+The simulator "constructs directed acyclic graphs with two node types:
+operator nodes representing low-level GPU operations and tensor nodes
+corresponding to data buffers".  Operators carry resource counts; tensors
+carry byte sizes.  :meth:`Graph.run` populates operator timestamps in
+topological order and derives tensor lifetimes, from which memory
+timelines and peak usage follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.devices import GpuSpec
+from repro.sim.costmodel import CostModel
+
+
+@dataclass
+class OpNode:
+    """A low-level operation (GEMM, attention kernel, collective, ...).
+
+    Attributes:
+        name: Unique operator name within its graph.
+        flops: Floating-point operations.
+        mem_bytes: HBM bytes moved.
+        net_bytes: Network bytes moved (collectives / P2P).
+        device: Logical execution device index (one timeline per device).
+        inputs: Names of tensor nodes read.
+        outputs: Names of tensor nodes written.
+    """
+
+    name: str
+    flops: float = 0.0
+    mem_bytes: float = 0.0
+    net_bytes: float = 0.0
+    device: int = 0
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+
+
+@dataclass
+class TensorNode:
+    """A data buffer with a byte size and a producing operator."""
+
+    name: str
+    bytes: float
+    device: int = 0
+    persistent: bool = False  # model parameters live forever
+
+
+@dataclass
+class GraphRunResult:
+    """Timestamps and memory accounting from one graph execution."""
+
+    op_start_ms: Dict[str, float]
+    op_end_ms: Dict[str, float]
+    total_ms: float
+    tensor_lifetime: Dict[str, Tuple[float, float]]
+    peak_memory_bytes: Dict[int, float]
+    memory_timeline: Dict[int, List[Tuple[float, float]]]
+
+
+class Graph:
+    """An operator/tensor DAG with analytic execution."""
+
+    def __init__(self) -> None:
+        self._ops: Dict[str, OpNode] = {}
+        self._tensors: Dict[str, TensorNode] = {}
+        self._producer: Dict[str, str] = {}
+        self._consumers: Dict[str, List[str]] = {}
+        self._order: List[str] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add_tensor(self, tensor: TensorNode) -> TensorNode:
+        if tensor.name in self._tensors:
+            raise ValueError(f"duplicate tensor {tensor.name!r}")
+        self._tensors[tensor.name] = tensor
+        self._consumers.setdefault(tensor.name, [])
+        return tensor
+
+    def add_op(self, op: OpNode) -> OpNode:
+        """Add an operator; its inputs must already exist."""
+        if op.name in self._ops:
+            raise ValueError(f"duplicate op {op.name!r}")
+        for tname in op.inputs:
+            if tname not in self._tensors:
+                raise ValueError(f"op {op.name!r} reads unknown tensor {tname!r}")
+            self._consumers[tname].append(op.name)
+        for tname in op.outputs:
+            if tname not in self._tensors:
+                raise ValueError(f"op {op.name!r} writes unknown tensor {tname!r}")
+            if tname in self._producer:
+                raise ValueError(f"tensor {tname!r} already has a producer")
+            self._producer[tname] = op.name
+        self._ops[op.name] = op
+        self._order.append(op.name)
+        return op
+
+    @property
+    def num_ops(self) -> int:
+        return len(self._ops)
+
+    @property
+    def num_tensors(self) -> int:
+        return len(self._tensors)
+
+    def op(self, name: str) -> OpNode:
+        return self._ops[name]
+
+    def tensor(self, name: str) -> TensorNode:
+        return self._tensors[name]
+
+    # -- execution ---------------------------------------------------------
+
+    def _topological_order(self) -> List[str]:
+        """Kahn's algorithm over op->tensor->op edges."""
+        indegree: Dict[str, int] = {}
+        for name, op in self._ops.items():
+            deps = {self._producer[t] for t in op.inputs if t in self._producer}
+            indegree[name] = len(deps)
+        dependents: Dict[str, List[str]] = {name: [] for name in self._ops}
+        for name, op in self._ops.items():
+            for t in op.inputs:
+                producer = self._producer.get(t)
+                if producer is not None:
+                    dependents[producer].append(name)
+        # Stable order: respect insertion order among ready ops.
+        ready = [n for n in self._order if indegree[n] == 0]
+        out: List[str] = []
+        while ready:
+            name = ready.pop(0)
+            out.append(name)
+            for dep in dependents[name]:
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    ready.append(dep)
+        if len(out) != len(self._ops):
+            raise ValueError("graph contains a cycle")
+        return out
+
+    def run(
+        self,
+        cost: CostModel,
+        device: GpuSpec,
+        net_bandwidth: Optional[float] = None,
+    ) -> GraphRunResult:
+        """Populate timestamps topologically and derive memory timelines.
+
+        Each logical device executes its ops serially in dependency
+        order; ops on different devices overlap, subject to tensor
+        dependencies.
+        """
+        order = self._topological_order()
+        device_clock: Dict[int, float] = {}
+        start: Dict[str, float] = {}
+        end: Dict[str, float] = {}
+        for name in order:
+            op = self._ops[name]
+            dep_ready = 0.0
+            for t in op.inputs:
+                producer = self._producer.get(t)
+                if producer is not None:
+                    dep_ready = max(dep_ready, end[producer])
+            clock = device_clock.get(op.device, 0.0)
+            begin = max(clock, dep_ready)
+            latency = cost.op_latency_ms(
+                device,
+                flops=op.flops,
+                mem_bytes=op.mem_bytes,
+                net_bytes=op.net_bytes,
+                net_bandwidth=net_bandwidth,
+            )
+            start[name] = begin
+            end[name] = begin + latency
+            device_clock[op.device] = end[name]
+
+        total = max(end.values()) if end else 0.0
+        lifetime = self._tensor_lifetimes(start, end, total)
+        peak, timeline = self._memory_accounting(lifetime)
+        return GraphRunResult(
+            op_start_ms=start,
+            op_end_ms=end,
+            total_ms=total,
+            tensor_lifetime=lifetime,
+            peak_memory_bytes=peak,
+            memory_timeline=timeline,
+        )
+
+    def _tensor_lifetimes(
+        self,
+        start: Dict[str, float],
+        end: Dict[str, float],
+        total: float,
+    ) -> Dict[str, Tuple[float, float]]:
+        """A tensor lives from its producer's start to its last read."""
+        lifetime: Dict[str, Tuple[float, float]] = {}
+        for tname, tensor in self._tensors.items():
+            if tensor.persistent:
+                lifetime[tname] = (0.0, total)
+                continue
+            producer = self._producer.get(tname)
+            born = start[producer] if producer is not None else 0.0
+            readers = self._consumers.get(tname, [])
+            died = max((end[r] for r in readers), default=born)
+            lifetime[tname] = (born, max(died, born))
+        return lifetime
+
+    def _memory_accounting(
+        self, lifetime: Dict[str, Tuple[float, float]]
+    ) -> Tuple[Dict[int, float], Dict[int, List[Tuple[float, float]]]]:
+        """Sweep-line peak memory and timeline per device."""
+        events: Dict[int, List[Tuple[float, float]]] = {}
+        for tname, (born, died) in lifetime.items():
+            tensor = self._tensors[tname]
+            events.setdefault(tensor.device, []).append((born, tensor.bytes))
+            events.setdefault(tensor.device, []).append((died, -tensor.bytes))
+        peaks: Dict[int, float] = {}
+        timelines: Dict[int, List[Tuple[float, float]]] = {}
+        for dev, evs in events.items():
+            evs.sort(key=lambda e: (e[0], -e[1]))
+            current = 0.0
+            peak = 0.0
+            timeline: List[Tuple[float, float]] = []
+            for t, delta in evs:
+                current += delta
+                peak = max(peak, current)
+                timeline.append((t, current))
+            peaks[dev] = peak
+            timelines[dev] = timeline
+        return peaks, timelines
+
+
+def build_chunk_graph(
+    spec,
+    num_layers: int,
+    batch: int,
+    seq: int,
+    tp: int = 1,
+    context: int = 0,
+    device_index: int = 0,
+) -> Graph:
+    """Operator-level graph of one forward model-chunk execution.
+
+    Each block expands to its GEMM / attention / collective operators,
+    connected through activation tensors, matching the paper's
+    operator-node + tensor-node structure.
+    """
+    from repro.models.config import ModalityModuleSpec
+    from repro.models import flops as F
+
+    assert isinstance(spec, ModalityModuleSpec)
+    g = Graph()
+    h = spec.hidden_size
+    tokens = batch * seq
+    act_bytes = tokens * h * F.BYTES_PER_ELEMENT
+    g.add_tensor(TensorNode("input", act_bytes, device_index))
+    g.add_tensor(
+        TensorNode(
+            "weights",
+            num_layers * F.layer_weight_bytes(spec, tp),
+            device_index,
+            persistent=True,
+        )
+    )
+    prev = "input"
+    kv = spec.kv_channels
+    for layer in range(num_layers):
+        pre = f"l{layer}."
+        qkv_flops = 2.0 * tokens * h * (h + 2.0 * kv) / tp
+        attn_flops = 4.0 * batch * seq * seq * h / tp
+        proj_flops = 2.0 * tokens * h * h / tp
+        mlp_mats = 3.0 if spec.gated_mlp else 2.0
+        mlp_flops = 2.0 * tokens * h * spec.ffn_hidden_size * mlp_mats / tp
+        qkv_bytes = (F.layer_weight_bytes(spec, tp) * 0.3 + 4 * act_bytes / tp)
+        for tname in (pre + "qkv", pre + "attn", pre + "proj", pre + "mlp"):
+            g.add_tensor(TensorNode(tname, act_bytes / max(tp, 1), device_index))
+        g.add_op(OpNode(pre + "qkv_gemm", flops=qkv_flops, mem_bytes=qkv_bytes,
+                        device=device_index, inputs=[prev], outputs=[pre + "qkv"]))
+        g.add_op(OpNode(pre + "attention", flops=attn_flops,
+                        mem_bytes=4 * act_bytes / tp, device=device_index,
+                        inputs=[pre + "qkv"], outputs=[pre + "attn"]))
+        g.add_op(OpNode(pre + "out_proj", flops=proj_flops,
+                        mem_bytes=2 * act_bytes / tp, device=device_index,
+                        inputs=[pre + "attn"], outputs=[pre + "proj"]))
+        if tp > 1:
+            g.add_tensor(TensorNode(pre + "proj_ar", act_bytes, device_index))
+            g.add_op(OpNode(pre + "attn_allreduce",
+                            net_bytes=2.0 * (tp - 1) / tp * act_bytes,
+                            device=device_index, inputs=[pre + "proj"],
+                            outputs=[pre + "proj_ar"]))
+            proj_out = pre + "proj_ar"
+        else:
+            proj_out = pre + "proj"
+        mlp_bytes = F.layer_weight_bytes(spec, tp) * 0.7 + 4 * act_bytes / tp
+        g.add_op(OpNode(pre + "mlp_gemms", flops=mlp_flops, mem_bytes=mlp_bytes,
+                        device=device_index, inputs=[proj_out],
+                        outputs=[pre + "mlp"]))
+        if tp > 1:
+            g.add_tensor(TensorNode(pre + "mlp_ar", act_bytes, device_index))
+            g.add_op(OpNode(pre + "mlp_allreduce",
+                            net_bytes=2.0 * (tp - 1) / tp * act_bytes,
+                            device=device_index, inputs=[pre + "mlp"],
+                            outputs=[pre + "mlp_ar"]))
+            prev = pre + "mlp_ar"
+        else:
+            prev = pre + "mlp"
+    return g

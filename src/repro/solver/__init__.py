@@ -1,0 +1,34 @@
+"""Optimization substrate: knapsack and ILP solvers.
+
+The paper's per-layer memory optimization (section 5.3) solves small
+per-rank ILPs with Gurobi/HiGHS-class solvers, warm-started and allowed a
+5% optimality gap.  No commercial solver ships here, so this package
+provides:
+
+* :mod:`repro.solver.mckp` — multiple-choice knapsack used during offline
+  candidate generation.
+* :mod:`repro.solver.bnb` — a best-first branch-and-bound solver for the
+  multiple-choice selection problem with interval memory constraints
+  (warm start + relative-gap early termination).
+* :mod:`repro.solver.scipy_backend` — the same problem via
+  ``scipy.optimize.milp`` (HiGHS), used for cross-checking and as the
+  "commercial solver" stand-in of the Fig. 12 scalability baseline.
+* :mod:`repro.solver.monolithic` — the full-pipeline monolithic ILP
+  formulation whose exponential blow-up Fig. 12 demonstrates.
+"""
+
+from repro.solver.mckp import mckp_min_latency
+from repro.solver.bnb import (
+    McIntervalProblem,
+    McIntervalSolution,
+    greedy_warm_start,
+    solve_mc_interval,
+)
+
+__all__ = [
+    "mckp_min_latency",
+    "McIntervalProblem",
+    "McIntervalSolution",
+    "greedy_warm_start",
+    "solve_mc_interval",
+]

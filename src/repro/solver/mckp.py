@@ -1,0 +1,89 @@
+"""Multiple-choice knapsack (MCKP) for candidate generation (section 5.3).
+
+Given groups of (latency, memory) options, select exactly one option per
+group minimising total latency subject to a total-memory budget.  Solved
+by dynamic programming over a discretised memory axis — instances here
+are tiny (layers within one stage pair), so exactness is cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def mckp_min_latency(
+    latencies: Sequence[Sequence[float]],
+    memories: Sequence[Sequence[float]],
+    memory_limit: float,
+    resolution: int = 512,
+) -> Optional[Tuple[List[int], float]]:
+    """Solve min-latency MCKP under a memory budget.
+
+    Args:
+        latencies: ``latencies[g][j]`` — latency of option ``j`` in group
+            ``g``.
+        memories: Matching memory costs (non-negative).
+        memory_limit: Total memory budget.
+        resolution: Number of discrete memory buckets on the DP axis for
+            non-integral inputs.  Integral memories and limits are solved
+            exactly; otherwise costs round to the nearest bucket, which
+            may overshoot the budget by at most ``groups / (2 * scale)``.
+
+    Returns:
+        ``(choice per group, total latency)`` or ``None`` if infeasible.
+    """
+    if len(latencies) != len(memories):
+        raise ValueError("latencies and memories must have matching shapes")
+    num_groups = len(latencies)
+    if num_groups == 0:
+        return [], 0.0
+    if memory_limit < 0:
+        return None
+    for g in range(num_groups):
+        if not latencies[g] or len(latencies[g]) != len(memories[g]):
+            raise ValueError(f"group {g} is empty or has mismatched options")
+
+    max_mem = max(max(group) for group in memories)
+    integral = (
+        abs(memory_limit - round(memory_limit)) < 1e-9
+        and all(abs(m - round(m)) < 1e-9 for group in memories for m in group)
+        and max(memory_limit, max_mem) <= resolution * 1024
+    )
+    if integral:
+        scale = 1.0
+        budget = int(round(memory_limit))
+    else:
+        scale = resolution / max(memory_limit, max_mem, 1e-12)
+        budget = int(memory_limit * scale + 1e-9)
+
+    def quantise(value: float) -> int:
+        return int(round(value * scale))
+
+    # dp[g][weight] = (best latency, parent weight, chosen option)
+    layers: List[Dict[int, Tuple[float, int, int]]] = [dict() for _ in range(num_groups + 1)]
+    layers[0][0] = (0.0, -1, -1)
+    for g in range(num_groups):
+        options = [(quantise(m), lat) for lat, m in zip(latencies[g], memories[g])]
+        nxt = layers[g + 1]
+        for w, (lat, _pw, _opt) in layers[g].items():
+            for j, (ow, olat) in enumerate(options):
+                nw = w + ow
+                if nw > budget:
+                    continue
+                total = lat + olat
+                existing = nxt.get(nw)
+                if existing is None or total < existing[0]:
+                    nxt[nw] = (total, w, j)
+
+    final = layers[num_groups]
+    if not final:
+        return None
+    final_w = min(final, key=lambda w: final[w][0])
+    total = final[final_w][0]
+    selection = [0] * num_groups
+    w = final_w
+    for g in range(num_groups - 1, -1, -1):
+        _lat, parent_w, opt = layers[g + 1][w]
+        selection[g] = opt
+        w = parent_w
+    return selection, total

@@ -1,0 +1,87 @@
+"""Tests for the workload-analysis utilities."""
+
+import pytest
+
+from repro.data.analysis import (
+    analyze_workload,
+    flatten_batches,
+    imbalance_gain_estimate,
+)
+from repro.data.packing import controlled_vlm_microbatch
+from repro.data.batching import GlobalBatch
+from repro.data.workload import t2v_workload, vlm_workload
+from repro.models.lmm import build_vlm
+from tests.conftest import TINY_LM, TINY_VIT
+
+
+@pytest.fixture
+def arch():
+    return build_vlm(TINY_VIT, TINY_LM)
+
+
+class TestAnalyzeWorkload:
+    def test_empty_rejected(self, arch):
+        with pytest.raises(ValueError):
+            analyze_workload(arch, [])
+
+    def test_modules_covered(self, arch):
+        mbs = vlm_workload(4, seed=0).next_batch().microbatches
+        report = analyze_workload(arch, mbs)
+        assert {m.module for m in report.modules} == {"tiny-vit", "tiny-lm"}
+        assert report.microbatches == 4
+
+    def test_uniform_batches_have_no_spread(self, arch):
+        mbs = [controlled_vlm_microbatch(i, 10) for i in range(5)]
+        report = analyze_workload(arch, mbs)
+        assert report.total_spread == pytest.approx(1.0)
+        for m in report.modules:
+            assert m.cv == pytest.approx(0.0, abs=1e-9)
+
+    def test_variable_batches_have_spread(self, arch):
+        mbs = [controlled_vlm_microbatch(0, 2),
+               controlled_vlm_microbatch(1, 40)]
+        report = analyze_workload(arch, mbs)
+        assert report.total_spread > 1.2
+        vit = next(m for m in report.modules if m.module == "tiny-vit")
+        assert vit.spread > 10
+
+    def test_summary_readable(self, arch):
+        mbs = vlm_workload(3, seed=1).next_batch().microbatches
+        text = analyze_workload(arch, mbs).summary()
+        assert "spread" in text and "tiny-vit" in text
+
+    def test_t2v_workload(self, tiny_t2v):
+        mbs = t2v_workload(4, seed=0).next_batch().microbatches
+        report = analyze_workload(tiny_t2v, mbs)
+        dit = next(m for m in report.modules if m.module == "tiny-dit")
+        assert dit.mean_tflops > 0
+
+    def test_zero_image_batches_handled(self, arch):
+        mbs = [controlled_vlm_microbatch(i, 0) for i in range(3)]
+        report = analyze_workload(arch, mbs)
+        vit = next(m for m in report.modules if m.module == "tiny-vit")
+        assert vit.mean_tflops == 0.0
+        assert report.total_spread == pytest.approx(1.0)
+
+
+class TestHelpers:
+    def test_flatten(self):
+        batches = vlm_workload(3, seed=0).batches(2)
+        flat = flatten_batches(batches)
+        assert len(flat) == 6
+
+    def test_gain_estimate_at_least_one(self, arch):
+        mbs = vlm_workload(6, seed=2).next_batch().microbatches
+        report = analyze_workload(arch, mbs)
+        assert imbalance_gain_estimate(report) >= 1.0
+
+    def test_gain_estimate_grows_with_variance(self, arch):
+        uniform = analyze_workload(
+            arch, [controlled_vlm_microbatch(i, 10) for i in range(4)])
+        varied = analyze_workload(
+            arch, [controlled_vlm_microbatch(0, 1),
+                   controlled_vlm_microbatch(1, 45),
+                   controlled_vlm_microbatch(2, 10),
+                   controlled_vlm_microbatch(3, 20)])
+        assert (imbalance_gain_estimate(varied)
+                > imbalance_gain_estimate(uniform))

@@ -1,0 +1,181 @@
+"""Tests for the baseline systems (Megatron, nnScaler*, Optimus, FSDP)."""
+
+import pytest
+
+from repro.baselines.flatpipe import (
+    flat_layer_list,
+    partition_by_weight,
+)
+from repro.baselines.fsdp import fsdp_iteration_ms
+from repro.baselines.megatron import megatron_partition, megatron_schedule
+from repro.baselines.nnscaler import NnScalerPlan
+from repro.baselines.optimus import optimus_schedule
+from repro.core.schedule import validate_schedule
+from repro.data.workload import t2v_workload, vlm_workload
+
+
+@pytest.fixture
+def vlm_batch():
+    return vlm_workload(4, seed=2).next_batch()
+
+
+class TestFlatPartition:
+    def test_layer_list_order(self, tiny_vlm):
+        layers = flat_layer_list(tiny_vlm)
+        assert len(layers) == 16
+        assert layers[0] == "tiny-vit" and layers[-1] == "tiny-lm"
+
+    def test_partition_covers_layers(self, tiny_vlm):
+        weight = {"tiny-vit": 1.0, "tiny-lm": 2.0}
+        partition = partition_by_weight(tiny_vlm, 2, 2, weight)
+        total = sum(s.num_layers for chunk in partition.chunks for s in chunk)
+        assert total == 16
+        assert len(partition.chunks) == 4
+
+    def test_balanced_weights(self, tiny_vlm):
+        weight = {"tiny-vit": 1.0, "tiny-lm": 1.0}
+        partition = partition_by_weight(tiny_vlm, 4, 1, weight)
+        sizes = [sum(s.num_layers for s in chunk) for chunk in partition.chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_too_many_chunks_rejected(self, tiny_vlm):
+        with pytest.raises(ValueError):
+            partition_by_weight(tiny_vlm, 17, 1, {"tiny-vit": 1, "tiny-lm": 1})
+
+    def test_chunks_can_mix_modalities(self, tiny_vlm):
+        """Flat partitioning mixes ViT and LM layers inside one chunk —
+        the intra-segment imbalance DIP removes.  With 3 ranks the 8+8
+        layer stack cannot split on the module boundary."""
+        weight = {"tiny-vit": 1.0, "tiny-lm": 1.0}
+        partition = partition_by_weight(tiny_vlm, 3, 1, weight)
+        mixed = any(len(chunk) > 1 for chunk in partition.chunks)
+        assert mixed
+
+
+class TestMegatron:
+    def test_schedule_valid(self, tiny_vlm, vlm_batch, small_cluster,
+                            parallel2, cost_model):
+        schedule = megatron_schedule(tiny_vlm, vlm_batch, small_cluster,
+                                     parallel2, cost_model)
+        assert validate_schedule(schedule.graph, schedule.order) == []
+        assert schedule.total_ms > 0
+
+    def test_interleaved_vpp_when_divisible(self, tiny_vlm, small_cluster,
+                                            parallel2, cost_model):
+        batch = vlm_workload(4, seed=2).next_batch()  # 4 mb % 2 ranks == 0
+        schedule = megatron_schedule(tiny_vlm, batch, small_cluster,
+                                     parallel2, cost_model, virtual=2)
+        assert validate_schedule(schedule.graph, schedule.order) == []
+
+    def test_vpp_falls_back_on_indivisible(self, tiny_vlm, small_cluster,
+                                           parallel2, cost_model):
+        batch = vlm_workload(3, seed=2).next_batch()  # 3 % 2 != 0
+        schedule = megatron_schedule(tiny_vlm, batch, small_cluster,
+                                     parallel2, cost_model, virtual=2)
+        assert validate_schedule(schedule.graph, schedule.order) == []
+
+    def test_partition_parameter_balanced(self, tiny_vlm, parallel2):
+        partition = megatron_partition(tiny_vlm, parallel2, virtual=1)
+        weights = []
+        for chunk in partition.chunks:
+            total = 0.0
+            for s in chunk:
+                total += s.num_layers * tiny_vlm.binding(s.module).spec.layer_parameters()
+            weights.append(total)
+        assert max(weights) / min(weights) < 2.0
+
+    def test_same_schedule_structure_every_batch(self, tiny_vlm, small_cluster,
+                                                 parallel2, cost_model):
+        """Megatron is static: order pattern identical across batches."""
+        stream = vlm_workload(4, seed=5)
+        s1 = megatron_schedule(tiny_vlm, stream.next_batch(), small_cluster,
+                               parallel2, cost_model)
+        s2 = megatron_schedule(tiny_vlm, stream.next_batch(), small_cluster,
+                               parallel2, cost_model)
+        assert s1.order == s2.order  # same uids: same graph shape
+        assert s1.total_ms != pytest.approx(s2.total_ms)  # latencies differ
+
+
+class TestNnScaler:
+    def test_requires_fit(self, tiny_vlm, vlm_batch, small_cluster, parallel2,
+                          cost_model):
+        plan = NnScalerPlan(tiny_vlm, small_cluster, parallel2, cost_model)
+        with pytest.raises((RuntimeError, ValueError)):
+            plan.schedule(vlm_batch)
+
+    def test_rejects_mismatched_microbatch_count(self, tiny_vlm, small_cluster,
+                                                 parallel2, cost_model):
+        plan = NnScalerPlan(tiny_vlm, small_cluster, parallel2, cost_model)
+        plan.fit(vlm_workload(4, seed=1).next_batch())
+        with pytest.raises(ValueError, match="microbatches"):
+            plan.schedule(vlm_workload(3, seed=1).next_batch())
+
+    def test_static_plan_reused(self, tiny_vlm, small_cluster, parallel2,
+                                cost_model):
+        stream = vlm_workload(4, seed=3)
+        representative = stream.next_batch()
+        plan = NnScalerPlan(tiny_vlm, small_cluster, parallel2, cost_model)
+        plan.fit(representative)
+        partition_before = plan.partition
+        s1 = plan.schedule(stream.next_batch())
+        s2 = plan.schedule(stream.next_batch())
+        assert plan.partition is partition_before  # never regenerated
+        assert validate_schedule(s1.graph, s1.order) == []
+        assert validate_schedule(s2.graph, s2.order) == []
+
+
+class TestOptimus:
+    def test_rejects_t2v(self, tiny_t2v, small_cluster, parallel2, cost_model):
+        batch = t2v_workload(2, seed=0).next_batch()
+        with pytest.raises(ValueError, match="diffusion"):
+            optimus_schedule(tiny_t2v, batch, small_cluster, parallel2,
+                             cost_model)
+
+    def test_schedule_valid(self, tiny_vlm, vlm_batch, small_cluster,
+                            parallel2, cost_model):
+        schedule = optimus_schedule(tiny_vlm, vlm_batch, small_cluster,
+                                    parallel2, cost_model)
+        assert validate_schedule(schedule.graph, schedule.order) == []
+
+    def test_encoder_forwards_lead(self, tiny_vlm, vlm_batch, small_cluster,
+                                   parallel2, cost_model):
+        """Coarse-grained scheduling: rank-0 runs every encoder forward
+        before the first backbone backward."""
+        from repro.core.stages import Direction
+
+        schedule = optimus_schedule(tiny_vlm, vlm_batch, small_cluster,
+                                    parallel2, cost_model)
+        graph = schedule.graph
+        order0 = schedule.order[0]
+        first_lm_bw = next(
+            i for i, uid in enumerate(order0)
+            if graph.stages[uid].key.module == "tiny-lm"
+            and graph.stages[uid].direction is Direction.BACKWARD
+        )
+        vit_fw_positions = [
+            i for i, uid in enumerate(order0)
+            if graph.stages[uid].key.module == "tiny-vit"
+            and graph.stages[uid].direction is Direction.FORWARD
+        ]
+        assert all(p < first_lm_bw for p in vit_fw_positions)
+
+
+class TestFsdp:
+    def test_positive_time(self, tiny_vlm, vlm_batch, small_cluster, cost_model):
+        ms = fsdp_iteration_ms(tiny_vlm, vlm_batch, small_cluster, cost_model,
+                               world_size=4)
+        assert ms > 0
+
+    def test_more_gpus_faster_until_comm_bound(self, tiny_vlm, vlm_batch,
+                                               small_cluster, cost_model):
+        t1 = fsdp_iteration_ms(tiny_vlm, vlm_batch, small_cluster, cost_model,
+                               world_size=1)
+        t4 = fsdp_iteration_ms(tiny_vlm, vlm_batch, small_cluster, cost_model,
+                               world_size=4)
+        assert t4 < t1
+
+    def test_invalid_world_size(self, tiny_vlm, vlm_batch, small_cluster,
+                                cost_model):
+        with pytest.raises(ValueError):
+            fsdp_iteration_ms(tiny_vlm, vlm_batch, small_cluster, cost_model,
+                              world_size=0)

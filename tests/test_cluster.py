@@ -1,0 +1,120 @@
+"""Tests for the cluster substrate (devices, topology, rank mapping)."""
+
+import pytest
+
+from repro.cluster.devices import (
+    GPU_A100_80G,
+    GPU_H100_80G,
+    GPU_H20_96G,
+    GPU_H800_80G,
+    GpuSpec,
+    gpu_by_name,
+)
+from repro.cluster.topology import (
+    ClusterSpec,
+    ParallelConfig,
+    cluster_h20,
+    cluster_h100,
+    cluster_h800,
+)
+
+
+class TestGpuSpec:
+    def test_h800_peak_flops(self):
+        assert GPU_H800_80G.flops == pytest.approx(989e12)
+
+    def test_h800_memory_bytes(self):
+        assert GPU_H800_80G.memory_bytes == 80 * 1024**3
+
+    def test_h20_has_more_memory_less_compute_than_h800(self):
+        assert GPU_H20_96G.memory_gb > GPU_H800_80G.memory_gb
+        assert GPU_H20_96G.bf16_tflops < GPU_H800_80G.bf16_tflops
+
+    def test_h800_nvlink_capped_vs_h100(self):
+        # The H800 export variant caps NVLink relative to H100.
+        assert GPU_H800_80G.nvlink_gbps < GPU_H100_80G.nvlink_gbps
+
+    def test_bandwidth_conversions(self):
+        spec = GpuSpec("x", 100.0, 10.0, 1000.0, 100.0, 10.0)
+        assert spec.memory_bandwidth == 1000e9
+        assert spec.nvlink_bandwidth == 100e9
+        assert spec.nic_bandwidth == 10e9
+        assert spec.pcie_bandwidth == 55e9
+
+    def test_registry_lookup(self):
+        assert gpu_by_name("H800-80G") is GPU_H800_80G
+        assert gpu_by_name("A100-80G") is GPU_A100_80G
+
+    def test_registry_unknown_device(self):
+        with pytest.raises(KeyError, match="unknown GPU"):
+            gpu_by_name("B200")
+
+
+class TestParallelConfig:
+    def test_world_size(self):
+        assert ParallelConfig(dp=2, tp=4, pp=8).world_size == 64
+
+    def test_describe(self):
+        assert ParallelConfig(dp=1, tp=4, pp=4).describe() == "DP1,TP4,PP4"
+
+    @pytest.mark.parametrize("field", ["dp", "tp", "pp"])
+    def test_rejects_nonpositive(self, field):
+        kwargs = {"dp": 1, "tp": 1, "pp": 1}
+        kwargs[field] = 0
+        with pytest.raises(ValueError):
+            ParallelConfig(**kwargs)
+
+
+class TestClusterSpec:
+    def test_world_size(self):
+        cluster = cluster_h800(num_nodes=8)
+        assert cluster.world_size == 64
+
+    def test_search_worker_budget_half_cores(self):
+        cluster = cluster_h800(num_nodes=1)
+        assert cluster.search_worker_budget == 64  # 128 cores / 2
+
+    def test_validate_rejects_oversized_layout(self):
+        cluster = cluster_h800(num_nodes=1)
+        with pytest.raises(ValueError, match="needs"):
+            cluster.validate(ParallelConfig(dp=4, tp=8, pp=8))
+
+    def test_validate_rejects_tp_across_nodes(self):
+        cluster = cluster_h800(num_nodes=4)
+        with pytest.raises(ValueError, match="NVLink"):
+            cluster.validate(ParallelConfig(dp=1, tp=16, pp=2))
+
+    def test_locate_tp_innermost(self):
+        cluster = cluster_h800(num_nodes=2)
+        parallel = ParallelConfig(dp=1, tp=8, pp=2)
+        a = cluster.locate(parallel, dp=0, pp=0, tp=0)
+        b = cluster.locate(parallel, dp=0, pp=0, tp=7)
+        assert a.node == b.node == 0  # whole TP group on one node
+        c = cluster.locate(parallel, dp=0, pp=1, tp=0)
+        assert c.node == 1  # next pipeline rank on the next node
+
+    def test_locate_out_of_range(self):
+        cluster = cluster_h800(num_nodes=1)
+        parallel = ParallelConfig(dp=1, tp=2, pp=2)
+        with pytest.raises(ValueError):
+            cluster.locate(parallel, dp=0, pp=2, tp=0)
+
+    def test_p2p_bandwidth_intra_vs_inter_node(self):
+        cluster = cluster_h800(num_nodes=2)
+        # TP=8 puts each pipeline rank on its own node.
+        inter = ParallelConfig(dp=1, tp=8, pp=2)
+        assert cluster.p2p_bandwidth(inter, 0, 1) == GPU_H800_80G.nic_bandwidth
+        # TP=2 keeps 4 pipeline ranks inside one node.
+        intra = ParallelConfig(dp=1, tp=2, pp=4)
+        assert cluster.p2p_bandwidth(intra, 0, 1) == GPU_H800_80G.nvlink_bandwidth
+
+    def test_pipeline_neighbors_same_node(self):
+        cluster = cluster_h800(num_nodes=2)
+        parallel = ParallelConfig(dp=1, tp=4, pp=4)
+        hops = cluster.pipeline_neighbors_same_node(parallel)
+        assert hops == [True, False, True]  # 2 ranks per node
+
+    def test_named_clusters(self):
+        assert cluster_h20().gpu is GPU_H20_96G
+        assert cluster_h100(4).gpu is GPU_H100_80G
+        assert cluster_h800().gpu is GPU_H800_80G

@@ -1,0 +1,208 @@
+"""Tests for the roofline cost model and the operator DAG simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.devices import GPU_H20_96G, GPU_H800_80G
+from repro.sim.costmodel import CostModel
+from repro.sim.graph import Graph, OpNode, TensorNode, build_chunk_graph
+from tests.conftest import TINY_LM, TINY_VIT
+
+
+class TestOpLatency:
+    def test_compute_bound_op(self):
+        cm = CostModel()
+        # Huge FLOPs, tiny memory: latency set by the compute term.
+        ms = cm.op_latency_ms(GPU_H800_80G, flops=1e12, mem_bytes=1)
+        expected = 1e12 / (989e12 * cm.compute_efficiency) * 1e3
+        assert ms == pytest.approx(expected)
+
+    def test_memory_bound_op(self):
+        cm = CostModel()
+        ms = cm.op_latency_ms(GPU_H800_80G, flops=1, mem_bytes=1e9)
+        expected = 1e9 / (3350e9 * cm.memory_efficiency) * 1e3
+        assert ms == pytest.approx(expected)
+
+    def test_network_bound_op(self):
+        cm = CostModel()
+        ms = cm.op_latency_ms(GPU_H800_80G, net_bytes=1e9)
+        expected = 1e9 / (200e9 * cm.network_efficiency) * 1e3
+        assert ms == pytest.approx(expected)
+
+    def test_custom_bandwidth(self):
+        cm = CostModel()
+        fast = cm.op_latency_ms(GPU_H800_80G, net_bytes=1e9, net_bandwidth=400e9)
+        slow = cm.op_latency_ms(GPU_H800_80G, net_bytes=1e9, net_bandwidth=25e9)
+        assert slow > fast
+
+    def test_saturation_penalises_small_batches(self):
+        cm = CostModel()
+        small = cm.op_latency_ms(GPU_H800_80G, flops=1e12, tokens=500)
+        large = cm.op_latency_ms(GPU_H800_80G, flops=1e12, tokens=500_000)
+        assert small > large
+
+    def test_saturation_ramp_monotone(self):
+        cm = CostModel()
+        effs = [cm.compute_saturation(t) for t in (100, 1000, 10_000, 100_000)]
+        assert effs == sorted(effs)
+        assert effs[-1] < 1.0
+        assert cm.compute_saturation(0) == 1.0
+
+
+class TestStageCost:
+    def test_backward_is_ratio_of_forward(self):
+        cm = CostModel()
+        cost = cm.stage_cost(GPU_H800_80G, TINY_LM, 4, 1, 1024)
+        assert cost.backward_ms == pytest.approx(cost.forward_ms * cm.backward_ratio)
+
+    def test_recompute_equals_forward(self):
+        cm = CostModel()
+        cost = cm.stage_cost(GPU_H800_80G, TINY_LM, 4, 1, 1024)
+        assert cost.recompute_ms == pytest.approx(cost.forward_ms)
+
+    def test_ckpt_bytes_below_full(self):
+        cm = CostModel()
+        cost = cm.stage_cost(GPU_H800_80G, TINY_LM, 4, 1, 1024)
+        assert cost.act_ckpt_bytes < cost.act_bytes
+
+    def test_slower_gpu_is_slower(self):
+        cm = CostModel()
+        h800 = cm.stage_cost(GPU_H800_80G, TINY_LM, 4, 4, 2048)
+        h20 = cm.stage_cost(GPU_H20_96G, TINY_LM, 4, 4, 2048)
+        assert h20.forward_ms > h800.forward_ms
+
+    def test_tp_reduces_latency_for_large_models(self):
+        from repro.models.zoo import LLAMA3_8B
+
+        cm = CostModel()
+        tp1 = cm.stage_cost(GPU_H800_80G, LLAMA3_8B, 4, 1, 8192, tp=1)
+        tp4 = cm.stage_cost(GPU_H800_80G, LLAMA3_8B, 4, 1, 8192, tp=4)
+        assert tp4.forward_ms < tp1.forward_ms
+
+    def test_tp_hurts_tiny_models(self):
+        # For tiny layers the all-reduce dominates: TP is a net loss,
+        # which the cost model must reflect.
+        cm = CostModel()
+        tp1 = cm.stage_cost(GPU_H800_80G, TINY_LM, 4, 4, 2048, tp=1)
+        tp4 = cm.stage_cost(GPU_H800_80G, TINY_LM, 4, 4, 2048, tp=4)
+        assert tp4.forward_ms > tp1.forward_ms
+
+    def test_with_factors_copy(self):
+        cm = CostModel()
+        cm2 = cm.with_factors(compute_efficiency=0.5)
+        assert cm2.compute_efficiency == 0.5
+        assert cm.compute_efficiency == 0.62  # original untouched
+
+    def test_p2p_latency_zero_bytes(self):
+        cm = CostModel()
+        assert cm.p2p_latency_ms(0.0, 1e9) == 0.0
+
+    def test_allreduce_single_rank_free(self):
+        cm = CostModel()
+        assert cm.collective_allreduce_ms(GPU_H800_80G, 1e6, 1) == 0.0
+        assert cm.collective_allreduce_ms(GPU_H800_80G, 1e6, 8) > 0.0
+
+
+class TestGraph:
+    def _linear_graph(self):
+        g = Graph()
+        g.add_tensor(TensorNode("a", 100.0))
+        g.add_tensor(TensorNode("b", 100.0))
+        g.add_tensor(TensorNode("c", 100.0))
+        g.add_op(OpNode("op1", flops=1e9, inputs=["a"], outputs=["b"]))
+        g.add_op(OpNode("op2", flops=1e9, inputs=["b"], outputs=["c"]))
+        return g
+
+    def test_sequential_timing(self):
+        g = self._linear_graph()
+        result = g.run(CostModel(), GPU_H800_80G)
+        assert result.op_start_ms["op2"] == pytest.approx(result.op_end_ms["op1"])
+        assert result.total_ms == pytest.approx(result.op_end_ms["op2"])
+
+    def test_parallel_devices_overlap(self):
+        g = Graph()
+        g.add_tensor(TensorNode("x", 1.0, device=0))
+        g.add_tensor(TensorNode("y", 1.0, device=1))
+        g.add_op(OpNode("a", flops=1e9, device=0, outputs=["x"]))
+        g.add_op(OpNode("b", flops=1e9, device=1, outputs=["y"]))
+        result = g.run(CostModel(), GPU_H800_80G)
+        assert result.op_start_ms["a"] == 0.0
+        assert result.op_start_ms["b"] == 0.0  # different device: parallel
+
+    def test_tensor_lifetime_spans_reads(self):
+        g = self._linear_graph()
+        result = g.run(CostModel(), GPU_H800_80G)
+        born, died = result.tensor_lifetime["b"]
+        assert born == pytest.approx(result.op_start_ms["op1"])
+        assert died == pytest.approx(result.op_end_ms["op2"])
+
+    def test_persistent_tensor_lives_forever(self):
+        g = Graph()
+        g.add_tensor(TensorNode("w", 500.0, persistent=True))
+        g.add_tensor(TensorNode("out", 10.0))
+        g.add_op(OpNode("op", flops=1e9, inputs=["w"], outputs=["out"]))
+        result = g.run(CostModel(), GPU_H800_80G)
+        assert result.tensor_lifetime["w"] == (0.0, result.total_ms)
+
+    def test_peak_memory_counts_live_tensors(self):
+        g = self._linear_graph()
+        result = g.run(CostModel(), GPU_H800_80G)
+        assert result.peak_memory_bytes[0] >= 200.0  # a+b overlap
+
+    def test_duplicate_names_rejected(self):
+        g = Graph()
+        g.add_tensor(TensorNode("t", 1.0))
+        with pytest.raises(ValueError):
+            g.add_tensor(TensorNode("t", 1.0))
+        g.add_op(OpNode("op", outputs=["t"]))
+        with pytest.raises(ValueError):
+            g.add_op(OpNode("op"))
+
+    def test_unknown_tensor_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError, match="unknown tensor"):
+            g.add_op(OpNode("op", inputs=["ghost"]))
+
+    def test_double_producer_rejected(self):
+        g = Graph()
+        g.add_tensor(TensorNode("t", 1.0))
+        g.add_op(OpNode("p1", outputs=["t"]))
+        with pytest.raises(ValueError, match="producer"):
+            g.add_op(OpNode("p2", outputs=["t"]))
+
+
+class TestChunkGraph:
+    def test_op_count_scales_with_layers(self):
+        g1 = build_chunk_graph(TINY_LM, 1, 1, 128)
+        g4 = build_chunk_graph(TINY_LM, 4, 1, 128)
+        assert g4.num_ops == 4 * g1.num_ops
+
+    def test_tp_adds_allreduce_ops(self):
+        g_tp1 = build_chunk_graph(TINY_LM, 2, 1, 128, tp=1)
+        g_tp2 = build_chunk_graph(TINY_LM, 2, 1, 128, tp=2)
+        assert g_tp2.num_ops > g_tp1.num_ops
+
+    def test_graph_latency_close_to_closed_form(self):
+        """The op-level DAG and the closed-form chunk cost must agree on
+        the compute-bound total within a modest tolerance."""
+        cm = CostModel(kernel_overhead_us=0.0, stage_overhead_us=0.0)
+        layers, batch, seq = 4, 8, 2048
+        g = build_chunk_graph(TINY_LM, layers, batch, seq)
+        dag_ms = g.run(cm, GPU_H800_80G).total_ms
+        closed = cm.stage_cost(GPU_H800_80G, TINY_LM, layers, batch, seq)
+        assert dag_ms == pytest.approx(closed.forward_ms, rel=0.35)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    layers=st.integers(1, 6),
+    batch=st.integers(1, 8),
+    seq=st.sampled_from([128, 512, 2048]),
+)
+def test_property_stage_cost_monotone_in_layers(layers, batch, seq):
+    cm = CostModel()
+    a = cm.stage_cost(GPU_H800_80G, TINY_VIT, layers, batch, seq)
+    b = cm.stage_cost(GPU_H800_80G, TINY_VIT, layers + 1, batch, seq)
+    assert b.forward_ms > a.forward_ms
+    assert b.act_bytes > a.act_bytes

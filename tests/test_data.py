@@ -1,0 +1,277 @@
+"""Tests for datasets, distributions, packing, batching and workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import constants
+from repro.data.batching import (
+    GlobalBatch,
+    Microbatch,
+    iteration_flops,
+    microbatch_module_flops,
+    microbatch_total_flops,
+    module_is_splittable,
+    module_workload,
+)
+from repro.data.datasets import (
+    ImageTextSample,
+    VideoSample,
+    image_dataset,
+    mixture_image_dataset,
+    mixture_video_dataset,
+    video_dataset,
+)
+from repro.data.distributions import (
+    LAION_2B,
+    OBELICS,
+    ratio_histogram,
+)
+from repro.data.packing import (
+    controlled_vlm_microbatch,
+    pack_image_text,
+    pack_video,
+    unimodal_lm_microbatch,
+)
+from repro.data.workload import (
+    DynamicImageBoundsSchedule,
+    t2v_workload,
+    vlm_workload,
+)
+from repro.models.lmm import build_vlm
+from tests.conftest import TINY_DIT, TINY_LM, TINY_VIT
+
+
+class TestConstants:
+    def test_patch_math_from_paper(self):
+        # 728px / patch 14 -> 52x52 = 2704 patches; /16 merge -> 169.
+        assert constants.IMAGE_PATCH_TOKENS == 2704
+        assert constants.IMAGE_LM_TOKENS == 169
+
+    def test_max_images_is_48(self):
+        assert constants.MAX_IMAGES_PER_MICROBATCH == 48
+
+
+class TestDistributions:
+    def test_laion_mean_matches_paper(self):
+        # The paper reports 16.4 tokens/image for LAION-2B.
+        rng = np.random.default_rng(0)
+        samples = LAION_2B.sample(rng, size=200_000)
+        assert float(np.mean(samples)) == pytest.approx(16.4, rel=0.15)
+
+    def test_obelics_heavy_tail(self):
+        rng = np.random.default_rng(0)
+        samples = OBELICS.sample(rng, size=200_000)
+        assert samples.min() >= 0.4
+        assert samples.max() <= 3115.0
+        assert float(np.quantile(samples, 0.99)) > 500  # long tail
+
+    def test_histogram_normalised(self):
+        rng = np.random.default_rng(1)
+        centers, props = ratio_histogram(LAION_2B, rng, num_samples=20_000)
+        assert props.sum() == pytest.approx(1.0)
+        assert len(centers) == len(props)
+
+
+class TestDatasets:
+    def test_laion_single_image(self):
+        ds = image_dataset("LAION-2B", seed=3)
+        for sample in ds.take(50):
+            assert sample.num_images == 1
+
+    def test_obelics_multi_image(self):
+        ds = image_dataset("OBELICS", seed=3)
+        counts = [s.num_images for s in ds.take(300)]
+        assert max(counts) > 1
+        assert np.mean(counts) == pytest.approx(2.5, rel=0.4)
+
+    def test_video_duration_capped(self):
+        ds = video_dataset("ShareGPT4Video", seed=2)
+        for clip in ds.take(100):
+            assert 1.0 <= clip.duration_seconds <= constants.MAX_VIDEO_SECONDS
+
+    def test_deterministic_by_seed(self):
+        a = image_dataset("OBELICS", seed=9).take(20)
+        b = image_dataset("OBELICS", seed=9).take(20)
+        assert a == b
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            image_dataset("COYO")
+        with pytest.raises(KeyError):
+            video_dataset("Kinetics")
+
+    def test_mixtures_sample_all_components(self):
+        mix = mixture_image_dataset(seed=0)
+        samples = mix.take(200)
+        assert len(samples) == 200
+        vmix = mixture_video_dataset(seed=0)
+        assert len(vmix.take(50)) == 50
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            ImageTextSample(num_images=-1, text_tokens=10)
+        with pytest.raises(ValueError):
+            VideoSample(duration_seconds=0.0, caption_tokens=5)
+
+
+class TestPacking:
+    def test_vlm_capacity_respected(self):
+        ds = mixture_image_dataset(seed=5)
+        batch = pack_image_text(iter(ds.take(4000)), 16)
+        for mb in batch:
+            assert mb.num_images <= constants.MAX_IMAGES_PER_MICROBATCH
+            assert mb.lm_sequence_tokens == constants.CONTEXT_LENGTH
+
+    def test_video_grouping_limits(self):
+        ds = mixture_video_dataset(seed=5)
+        batch = pack_video(iter(ds.take(500)), 12)
+        for mb in batch:
+            assert 1 <= mb.num_clips <= constants.MAX_CLIPS_PER_MICROBATCH
+            assert mb.video_seconds <= constants.MAX_VIDEO_SECONDS + 16.0
+
+    def test_controlled_microbatch_exact_images(self):
+        mb = controlled_vlm_microbatch(0, 20)
+        assert mb.num_images == 20
+        assert mb.lm_sequence_tokens == constants.CONTEXT_LENGTH
+
+    def test_controlled_microbatch_clamps(self):
+        mb = controlled_vlm_microbatch(0, 1000)
+        assert mb.num_images == constants.MAX_IMAGES_PER_MICROBATCH
+
+    def test_unimodal_microbatch(self):
+        mb = unimodal_lm_microbatch(0)
+        assert mb.kind == "lm"
+        assert mb.num_images == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=12), seed=st.integers(0, 50))
+    def test_property_packing_invariants(self, n, seed):
+        ds = mixture_image_dataset(seed=seed)
+        batch = pack_image_text(iter(ds.take(2000)), n)
+        assert len(batch) == n
+        for mb in batch:
+            image_tokens = mb.num_images * constants.IMAGE_LM_TOKENS
+            assert image_tokens + mb.text_tokens == constants.CONTEXT_LENGTH
+            assert mb.num_images >= 0
+
+
+class TestBatching:
+    def test_image_module_workload(self):
+        arch = build_vlm(TINY_VIT, TINY_LM)
+        mb = controlled_vlm_microbatch(0, 10)
+        instances, seq, ctx = module_workload(arch.binding("tiny-vit"), mb)
+        assert (instances, seq, ctx) == (10, constants.IMAGE_PATCH_TOKENS, 0)
+
+    def test_text_module_workload_vlm(self):
+        arch = build_vlm(TINY_VIT, TINY_LM)
+        mb = controlled_vlm_microbatch(0, 10)
+        instances, seq, ctx = module_workload(arch.binding("tiny-lm"), mb)
+        assert instances == 1
+        assert seq == constants.CONTEXT_LENGTH
+
+    def test_video_module_workload(self):
+        from repro.models.lmm import build_t2v
+
+        arch = build_t2v(TINY_LM, TINY_DIT)
+        mb = Microbatch(0, "t2v", num_clips=4, video_seconds=12.0,
+                        caption_tokens=240)
+        instances, seq, ctx = module_workload(arch.binding("tiny-dit"), mb)
+        assert instances == 4
+        assert seq == mb.video_tokens // 4
+        assert ctx == 240
+        # Captions pad into the fixed conditioning context window.
+        lm_instances, lm_seq, _ = module_workload(arch.binding("tiny-lm"), mb)
+        assert (lm_instances, lm_seq) == (1, constants.T2V_TEXT_CONTEXT)
+
+    def test_video_tokens_respect_resolution_bucket(self):
+        lowres = Microbatch(0, "t2v", num_clips=1, video_seconds=10.0,
+                            caption_tokens=100, video_tokens_total=1960)
+        default = Microbatch(0, "t2v", num_clips=1, video_seconds=10.0,
+                             caption_tokens=100)
+        assert lowres.video_tokens == 1960
+        # 10 s at the default (mid-bucket) token rate.
+        assert default.video_tokens == 10 * constants.VIDEO_TOKENS_PER_SECOND
+
+    def test_splittability(self):
+        arch = build_vlm(TINY_VIT, TINY_LM)
+        assert module_is_splittable(arch.binding("tiny-vit"))
+        assert not module_is_splittable(arch.binding("tiny-lm"))
+
+    def test_more_images_cost_more_vit_flops(self):
+        arch = build_vlm(TINY_VIT, TINY_LM)
+        few = microbatch_module_flops(arch, controlled_vlm_microbatch(0, 2))
+        many = microbatch_module_flops(arch, controlled_vlm_microbatch(0, 40))
+        assert many["tiny-vit"] > 10 * few["tiny-vit"]
+        # LM flops barely move (packed length constant).
+        assert many["tiny-lm"] == pytest.approx(few["tiny-lm"], rel=0.01)
+
+    def test_total_flops_includes_backward(self):
+        arch = build_vlm(TINY_VIT, TINY_LM)
+        mb = controlled_vlm_microbatch(0, 5)
+        fw_only = microbatch_total_flops(arch, mb, with_backward=False)
+        total = microbatch_total_flops(arch, mb)
+        assert total == pytest.approx(3 * fw_only)
+
+    def test_iteration_flops_sums_microbatches(self):
+        arch = build_vlm(TINY_VIT, TINY_LM)
+        mbs = [controlled_vlm_microbatch(i, 5) for i in range(3)]
+        batch = GlobalBatch(mbs)
+        assert iteration_flops(arch, batch) == pytest.approx(
+            3 * microbatch_total_flops(arch, mbs[0])
+        )
+
+    def test_average_images(self):
+        batch = GlobalBatch([controlled_vlm_microbatch(i, c)
+                             for i, c in enumerate([2, 4, 6])])
+        assert batch.average_images == pytest.approx(4.0)
+
+
+class TestWorkloads:
+    def test_vlm_stream_shapes(self):
+        stream = vlm_workload(4, seed=0)
+        batches = stream.batches(3)
+        assert all(len(b) == 4 for b in batches)
+        # Consecutive batches differ (dynamic data).
+        assert [m.num_images for m in batches[0]] != [
+            m.num_images for m in batches[1]
+        ]
+
+    def test_t2v_stream_shapes(self):
+        stream = t2v_workload(3, seed=0)
+        batch = stream.next_batch()
+        assert len(batch) == 3
+        assert all(m.kind == "t2v" for m in batch)
+
+    def test_stream_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            vlm_workload(0)
+        from repro.data.workload import WorkloadStream
+
+        with pytest.raises(ValueError):
+            WorkloadStream("audio", 4)
+
+    def test_dynamic_bounds_rise_and_fall(self):
+        sched = DynamicImageBoundsSchedule(num_microbatches=4)
+        lows = [sched.bounds(i)[0] for i in range(sched.total_iterations)]
+        # Rises during the first 5 iterations...
+        assert lows[4] == sched.peak_lower
+        # ...then decays to zero by the end of the pattern.
+        assert lows[19] == 0
+        # Second pattern repeats the first.
+        assert lows[:20] == lows[20:40]
+
+    def test_dynamic_bounds_batches_respect_bounds(self):
+        sched = DynamicImageBoundsSchedule(num_microbatches=8, seed=3)
+        for it in (0, 4, 12, 19):
+            low, high = sched.bounds(it)
+            batch = sched.batch(it)
+            for mb in batch:
+                assert low <= mb.num_images <= max(low, high)
+
+    def test_dynamic_peak_average_near_22(self):
+        # The paper reports a peak average of ~22 images.
+        sched = DynamicImageBoundsSchedule(num_microbatches=64, seed=0)
+        peak_batch = sched.batch(4)
+        assert peak_batch.average_images == pytest.approx(24, abs=4)

@@ -1,0 +1,109 @@
+"""Tests for the zero-bubble-style decoupled-backward extension.
+
+The paper's related-work section positions zero-bubble scheduling as a
+complementary custom schedule DIP's searcher can incorporate; the graph
+builder supports it behind ``decoupled_backward=True``: backward splits
+into an input-gradient (dgrad) stage on the critical path and a
+deferrable weight-gradient (wgrad) stage.
+"""
+
+import pytest
+
+from repro.core.graphbuilder import DGRAD_SHARE, build_iteration_graph
+from repro.core.interleaver import interleave_stages
+from repro.core.schedule import validate_schedule
+from repro.core.searcher import ScheduleSearcher
+from repro.core.stages import Direction
+from repro.data.workload import vlm_workload
+from repro.sim.pipeline import simulate_pipeline
+
+
+@pytest.fixture
+def graphs(vlm_setup, small_cluster, parallel2, cost_model):
+    arch, plan, partitioner = vlm_setup
+    batch = vlm_workload(3, seed=4).next_batch()
+    coupled = build_iteration_graph(
+        arch, plan, batch, small_cluster, parallel2, cost_model,
+        partitioner=partitioner,
+    )
+    decoupled = build_iteration_graph(
+        arch, plan, batch, small_cluster, parallel2, cost_model,
+        partitioner=partitioner, decoupled_backward=True,
+    )
+    return coupled, decoupled
+
+
+class TestStructure:
+    def test_stage_count_grows(self, graphs):
+        coupled, decoupled = graphs
+        n_bw = sum(1 for s in coupled.stages if not s.is_forward)
+        assert len(decoupled.stages) == len(coupled.stages) + n_bw
+
+    def test_backward_split_shares(self, graphs):
+        _, decoupled = graphs
+        by_pair = {}
+        for stage in decoupled.stages:
+            if not stage.is_forward:
+                by_pair.setdefault(stage.pair_id, []).append(stage)
+        for stages in by_pair.values():
+            assert len(stages) == 2
+            shares = sorted(s.latency_share for s in stages)
+            assert shares == [pytest.approx(1.0 - DGRAD_SHARE),
+                              pytest.approx(DGRAD_SHARE)]
+
+    def test_only_wgrad_releases_memory(self, graphs):
+        _, decoupled = graphs
+        for stage in decoupled.stages:
+            if stage.is_forward:
+                continue
+            if stage.latency_share == pytest.approx(DGRAD_SHARE):
+                assert not stage.releases_memory
+            else:
+                assert stage.releases_memory
+
+    def test_total_backward_latency_preserved(self, graphs):
+        coupled, decoupled = graphs
+        def bw_total(graph):
+            return sum(graph.latency_ms(s) for s in graph.stages
+                       if not s.is_forward)
+        assert bw_total(decoupled) == pytest.approx(bw_total(coupled))
+
+    def test_topological_and_valid(self, graphs, small_cluster, parallel2,
+                                   cost_model):
+        _, decoupled = graphs
+        result = interleave_stages(decoupled, small_cluster, parallel2,
+                                   cost_model)
+        assert validate_schedule(decoupled, result.order) == []
+
+
+class TestBehaviour:
+    def test_decoupling_never_hurts(self, graphs, small_cluster, parallel2,
+                                    cost_model):
+        """Deferring wgrad off the critical path cannot make the greedy
+        schedule slower (it strictly relaxes dependencies)."""
+        coupled, decoupled = graphs
+        base = interleave_stages(coupled, small_cluster, parallel2,
+                                 cost_model).total_ms
+        split = interleave_stages(decoupled, small_cluster, parallel2,
+                                  cost_model).total_ms
+        assert split <= base * 1.02
+
+    def test_memory_released_after_wgrad(self, graphs, small_cluster,
+                                         parallel2, cost_model):
+        """Activations must stay resident through the wgrad stage — the
+        memory timeline accounts for the *latest* backward stage."""
+        _, decoupled = graphs
+        result = interleave_stages(decoupled, small_cluster, parallel2,
+                                   cost_model)
+        sim = simulate_pipeline(decoupled, result.order, small_cluster,
+                                parallel2, cost_model)
+        assert max(sim.peak_memory_bytes) > max(decoupled.static_bytes_per_rank)
+
+    def test_full_search_works(self, graphs, small_cluster, parallel2,
+                               cost_model):
+        _, decoupled = graphs
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=10, seed=0)
+        outcome = searcher.search(decoupled)
+        assert validate_schedule(decoupled, outcome.schedule.order) == []
+        assert outcome.schedule.predicted.memory_exceeded == []

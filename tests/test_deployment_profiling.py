@@ -1,0 +1,140 @@
+"""Tests for the deployment controller and the profiling API."""
+
+import pytest
+
+from repro.core.interleaver import interleave_stages
+from repro.core.planner import reference_microbatch
+from repro.profiling import ModuleProfile, profile_module
+from repro.runtime.compiler import compile_schedule
+from repro.runtime.deployment import (
+    DeploymentController,
+    DeploymentError,
+    PipelineWorker,
+)
+from repro.runtime.actions import ExecutionPlan
+from repro.sim.pipeline import simulate_pipeline
+
+
+@pytest.fixture
+def compiled(vlm_graph, small_cluster, parallel2, cost_model):
+    inter = interleave_stages(vlm_graph, small_cluster, parallel2, cost_model)
+    plan = compile_schedule(vlm_graph, inter.order, small_cluster, parallel2,
+                            cost_model)
+    sim = simulate_pipeline(vlm_graph, inter.order, small_cluster, parallel2,
+                            cost_model)
+    return plan, sim
+
+
+class TestDeploymentController:
+    def test_dispatch_executes_and_matches_sim(self, compiled):
+        plan, sim = compiled
+        controller = DeploymentController(plan.num_ranks)
+        record = controller.dispatch(plan)
+        assert record.engine.total_ms == pytest.approx(sim.total_ms)
+        assert record.version == 1
+
+    def test_versions_advance_per_iteration(self, compiled):
+        plan, _ = compiled
+        controller = DeploymentController(plan.num_ranks)
+        controller.dispatch(plan)
+        record = controller.dispatch(plan)
+        assert record.version == 2
+        # All ranks executed both versions, in order.
+        for versions in controller.versions_executed():
+            assert versions == [1, 2]
+
+    def test_rank_count_mismatch(self, compiled):
+        plan, _ = compiled
+        controller = DeploymentController(plan.num_ranks + 1)
+        with pytest.raises(DeploymentError, match="ranks"):
+            controller.dispatch(plan)
+
+    def test_stale_version_rejected(self):
+        worker = PipelineWorker(rank=0)
+        worker.receive(3, [])
+        with pytest.raises(DeploymentError, match="stale"):
+            worker.receive(2, [])
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            DeploymentController(0)
+
+    def test_history_recorded(self, compiled):
+        plan, _ = compiled
+        controller = DeploymentController(plan.num_ranks)
+        controller.dispatch(plan)
+        controller.dispatch(plan)
+        assert len(controller.history) == 2
+        assert controller.history[0].version == 1
+
+    def test_empty_plan_dispatch(self):
+        controller = DeploymentController(2)
+        record = controller.dispatch(ExecutionPlan(actions_per_rank=[[], []]))
+        assert record.engine.total_ms == 0.0
+
+
+class TestProfileModule:
+    def test_splittable_profile(self, tiny_vlm, small_cluster, parallel2,
+                                cost_model):
+        profile = profile_module(
+            tiny_vlm.binding("tiny-vit"), reference_microbatch("vlm"),
+            small_cluster, parallel2, cost_model,
+        )
+        assert profile.chosen_size is not None
+        assert profile.points[0].size == 1
+        # Efficiency ramps towards 1 as sizes grow.
+        assert profile.points[-1].efficiency > profile.points[0].efficiency
+
+    def test_chosen_size_meets_threshold(self, tiny_vlm, small_cluster,
+                                         parallel2, cost_model):
+        profile = profile_module(
+            tiny_vlm.binding("tiny-vit"), reference_microbatch("vlm"),
+            small_cluster, parallel2, cost_model, efficiency_threshold=0.9,
+        )
+        chosen = next(p for p in profile.points
+                      if p.size == profile.chosen_size)
+        assert chosen.efficiency >= 0.9
+
+    def test_matches_partitioner_choice(self, vlm_setup, small_cluster,
+                                        parallel2, cost_model):
+        arch, plan, partitioner = vlm_setup
+        profile = profile_module(
+            arch.binding("tiny-vit"), reference_microbatch("vlm"),
+            small_cluster, parallel2, cost_model,
+        )
+        assert profile.chosen_size == plan.partition("tiny-vit").sub_batch_size
+
+    def test_unsplittable_module(self, tiny_vlm, small_cluster, parallel2,
+                                 cost_model):
+        profile = profile_module(
+            tiny_vlm.binding("tiny-lm"), reference_microbatch("vlm"),
+            small_cluster, parallel2, cost_model,
+        )
+        assert profile.chosen_size is None
+        assert len(profile.points) == 1
+
+    def test_empty_reference_rejected(self, tiny_vlm, small_cluster,
+                                      parallel2, cost_model):
+        from repro.data.packing import controlled_vlm_microbatch
+
+        with pytest.raises(ValueError):
+            profile_module(tiny_vlm.binding("tiny-vit"),
+                           controlled_vlm_microbatch(0, 0),
+                           small_cluster, parallel2, cost_model)
+
+    def test_table_rendering(self, tiny_vlm, small_cluster, parallel2,
+                             cost_model):
+        profile = profile_module(
+            tiny_vlm.binding("tiny-vit"), reference_microbatch("vlm"),
+            small_cluster, parallel2, cost_model, max_size=8,
+        )
+        text = profile.table()
+        assert "chosen" in text and "B=  1" in text
+
+    def test_max_size_cap(self, tiny_vlm, small_cluster, parallel2,
+                          cost_model):
+        profile = profile_module(
+            tiny_vlm.binding("tiny-vit"), reference_microbatch("vlm"),
+            small_cluster, parallel2, cost_model, max_size=5,
+        )
+        assert profile.points[-1].size == 5

@@ -1,0 +1,120 @@
+"""Final coverage sweep: small behaviours not reached elsewhere."""
+
+import time
+
+import pytest
+
+from repro.core.mcts import mcts_reorder, random_reorder
+from repro.core.planner import OnlinePlanner
+from repro.core.searcher import ScheduleSearcher
+from repro.core.stages import Direction, GroupKey
+from repro.core.visualize import ascii_timeline
+from repro.data.workload import vlm_workload
+from repro.solver.mckp import mckp_min_latency
+
+
+class TestDirectionAndAccessors:
+    def test_direction_opposite(self):
+        assert Direction.FORWARD.opposite is Direction.BACKWARD
+        assert Direction.BACKWARD.opposite is Direction.FORWARD
+
+    def test_pair_accessor(self, vlm_graph):
+        stage = vlm_graph.stages[0]
+        assert vlm_graph.pair(stage) is vlm_graph.pairs[stage.pair_id]
+
+    def test_stage_pair_candidate_override(self, vlm_graph):
+        pair = vlm_graph.pairs[0]
+        assert pair.forward_ms(0) == pair.cost.forward_ms
+        assert pair.resident_bytes(0) == pair.candidates[0].resident_bytes
+
+
+class TestMctsTimeBudget:
+    def test_wall_clock_budget_stops_search(self):
+        groups = [GroupKey(i, "m", Direction.FORWARD) for i in range(10)]
+
+        def slow_eval(ordering):
+            time.sleep(0.01)
+            return float(len(ordering))
+
+        t0 = time.monotonic()
+        result = mcts_reorder(groups, slow_eval, budget_evaluations=10_000,
+                              time_budget_s=0.25, seed=0)
+        elapsed = time.monotonic() - t0
+        assert elapsed < 3.0
+        assert result.evaluations < 10_000
+
+    def test_random_reorder_time_budget(self):
+        groups = [GroupKey(i, "m", Direction.FORWARD) for i in range(6)]
+
+        def slow_eval(ordering):
+            time.sleep(0.01)
+            return 1.0
+
+        result = random_reorder(groups, slow_eval, budget_evaluations=10_000,
+                                time_budget_s=0.2, seed=0)
+        assert result.evaluations < 10_000
+
+
+class TestPlannerStall:
+    def test_slow_search_reports_stall(self, tiny_vlm, small_cluster,
+                                       parallel2, cost_model):
+        """If search cannot hide behind the previous iteration, the
+        planner must report a positive stall."""
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=4, seed=0)
+        planner = OnlinePlanner(tiny_vlm, small_cluster, parallel2,
+                                cost_model, searcher=searcher)
+        original = planner.plan_iteration
+
+        def slow_plan(batch):
+            time.sleep(0.15)
+            return original(batch)
+
+        planner.plan_iteration = slow_plan
+        reports = planner.run(vlm_workload(2, seed=0).batches(2),
+                              asynchronous=True)
+        # Simulated iterations are far shorter than 0.15 s of wall time.
+        assert reports[1].stall_seconds > 0.0
+
+
+class TestMckpEdges:
+    def test_non_integral_inputs_use_quantisation(self):
+        sel, lat = mckp_min_latency(
+            [[3.0, 1.0]], [[0.25, 0.75]], memory_limit=0.8,
+            resolution=64,
+        )
+        assert sel == [1]
+        assert lat == 1.0
+
+    def test_zero_budget_zero_weights(self):
+        sel, lat = mckp_min_latency([[2.0, 5.0]], [[0.0, 0.0]], 0.0)
+        assert sel == [0] and lat == 2.0
+
+
+class TestVisualizeEdges:
+    def test_empty_schedule_message(self):
+        class FakeResult:
+            total_ms = 0.0
+
+        class FakeGraph:
+            num_ranks = 1
+            stages = []
+
+        assert "empty" in ascii_timeline(FakeGraph(), FakeResult())
+
+
+class TestGroupKeyDerivation:
+    def test_segment_key_group(self, vlm_graph):
+        for stage in vlm_graph.stages[:10]:
+            group = stage.key.group
+            assert group.microbatch == stage.key.microbatch
+            assert group.module == stage.key.module
+            assert group.direction == stage.key.direction
+
+    def test_groups_cover_all_stages(self, vlm_graph):
+        groups = vlm_graph.groups()
+        covered = set()
+        for group in groups.values():
+            covered.update(group.segment_keys)
+        stage_keys = {s.key for s in vlm_graph.stages}
+        assert covered == stage_keys

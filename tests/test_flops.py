@@ -1,0 +1,130 @@
+"""Tests for the analytic FLOPs / bytes / activation accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import flops as F
+from repro.models.zoo import DIT_5B, LLAMA3_8B, VIT_5B
+from tests.conftest import TINY_DIT, TINY_LM, TINY_VIT
+
+
+class TestForwardFlops:
+    def test_scales_linearly_with_batch(self):
+        one = F.layer_forward_flops(TINY_LM, 1, 128)
+        four = F.layer_forward_flops(TINY_LM, 4, 128)
+        assert four == pytest.approx(4 * one)
+
+    def test_superlinear_in_sequence(self):
+        # Attention's quadratic term makes doubling seq more than double.
+        short = F.layer_forward_flops(TINY_LM, 1, 1024)
+        long = F.layer_forward_flops(TINY_LM, 1, 2048)
+        assert long > 2 * short
+
+    def test_gated_mlp_larger_than_plain(self):
+        gated = F.layer_forward_flops(TINY_LM, 1, 128)
+        plain_spec = TINY_LM.__class__(**{**TINY_LM.__dict__, "gated_mlp": False})
+        plain = F.layer_forward_flops(plain_spec, 1, 128)
+        assert gated > plain
+
+    def test_cross_attention_adds_work(self):
+        with_ctx = F.layer_forward_flops(TINY_DIT, 1, 256, context=128)
+        without = F.layer_forward_flops(TINY_DIT, 1, 256, context=1)
+        assert with_ctx > without
+
+    def test_module_flops_is_layers_times_layer(self):
+        layer = F.layer_forward_flops(TINY_VIT, 2, 196)
+        module = F.module_forward_flops(TINY_VIT, 2, 196)
+        assert module == pytest.approx(TINY_VIT.num_layers * layer)
+
+    def test_known_magnitude_llama8b(self):
+        # ~6 * params FLOPs/token is the standard dense-transformer rule of
+        # thumb for fw+2bw; forward alone is ~2 * params (ignoring attn).
+        per_token_fw = F.module_forward_flops(LLAMA3_8B, 1, 8192) / 8192
+        body_params = LLAMA3_8B.num_layers * LLAMA3_8B.layer_parameters()
+        assert per_token_fw == pytest.approx(2 * body_params, rel=0.35)
+
+
+class TestTensorParallelScaling:
+    def test_flops_shard_by_tp(self):
+        w1 = F.layer_work(TINY_LM, 2, 512, tp=1)
+        w4 = F.layer_work(TINY_LM, 2, 512, tp=4)
+        assert w4.flops == pytest.approx(w1.flops / 4)
+        assert w4.weight_bytes == pytest.approx(w1.weight_bytes / 4)
+
+    def test_tp1_has_no_comm(self):
+        assert F.layer_tp_comm_bytes(TINY_LM, 2, 512, tp=1) == 0.0
+
+    def test_tp_comm_grows_with_group(self):
+        c2 = F.layer_tp_comm_bytes(TINY_LM, 1, 512, tp=2)
+        c8 = F.layer_tp_comm_bytes(TINY_LM, 1, 512, tp=8)
+        assert c8 > c2 > 0
+
+    def test_activation_store_shards(self):
+        a1 = F.layer_activation_store(TINY_LM, 1, 512, tp=1)
+        a4 = F.layer_activation_store(TINY_LM, 1, 512, tp=4)
+        assert a4 == pytest.approx(a1 / 4)
+
+    def test_checkpoint_much_smaller_than_full(self):
+        full = F.layer_activation_store(TINY_LM, 1, 512, tp=2)
+        ckpt = F.layer_activation_checkpoint_store(TINY_LM, 1, 512, tp=2)
+        assert ckpt < full / 10
+
+
+class TestChunkWork:
+    def test_chunk_scales_with_layers(self):
+        one = F.chunk_work(TINY_LM, 1, 1, 512)
+        three = F.chunk_work(TINY_LM, 3, 1, 512)
+        assert three.flops == pytest.approx(3 * one.flops)
+        assert three.act_store_bytes == pytest.approx(3 * one.act_store_bytes)
+
+    def test_zero_layers_is_zero_work(self):
+        zero = F.chunk_work(TINY_LM, 0, 1, 512)
+        assert zero.flops == 0.0
+        assert zero.weight_bytes == 0.0
+
+    def test_negative_layers_rejected(self):
+        with pytest.raises(ValueError):
+            F.chunk_work(TINY_LM, -1, 1, 512)
+
+    def test_layerwork_addition(self):
+        a = F.layer_work(TINY_LM, 1, 128)
+        b = F.layer_work(TINY_LM, 1, 256)
+        c = a + b
+        assert c.flops == pytest.approx(a.flops + b.flops)
+        assert c.tp_comm_bytes == pytest.approx(a.tp_comm_bytes + b.tp_comm_bytes)
+
+
+class TestTrainingState:
+    def test_default_16_bytes_per_param(self):
+        assert F.training_state_bytes(1000) == pytest.approx(16_000)
+
+    def test_zero_optimizer_sharding(self):
+        # With 4-way optimizer sharding: 4 + 12/4 = 7 bytes/param.
+        assert F.training_state_bytes(1000, dp_shards=4) == pytest.approx(7_000)
+
+    def test_tp_shards_everything(self):
+        assert F.training_state_bytes(1000, tp=2) == pytest.approx(8_000)
+
+
+class TestP2PBytes:
+    def test_boundary_bytes(self):
+        assert F.boundary_p2p_bytes(TINY_LM, 1, 100) == 100 * 512 * 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=16),
+    seq=st.integers(min_value=16, max_value=4096),
+    tp=st.sampled_from([1, 2, 4, 8]),
+)
+def test_property_all_counts_nonnegative_and_monotone(batch, seq, tp):
+    """Work counts are positive and monotone in batch size."""
+    w = F.layer_work(TINY_VIT, batch, seq, tp)
+    assert w.flops > 0
+    assert w.weight_bytes > 0
+    assert w.act_store_bytes > 0
+    assert w.act_ckpt_bytes > 0
+    bigger = F.layer_work(TINY_VIT, batch + 1, seq, tp)
+    assert bigger.flops > w.flops
+    assert bigger.act_store_bytes > w.act_store_bytes

@@ -1,0 +1,157 @@
+"""Tests for iteration-graph construction (dependency structure)."""
+
+import pytest
+
+from repro.core.graphbuilder import build_iteration_graph
+from repro.core.stages import Direction
+from repro.data.batching import GlobalBatch
+from repro.data.packing import controlled_vlm_microbatch
+
+
+class TestGraphStructure:
+    def test_uids_topological(self, vlm_graph):
+        for stage in vlm_graph.stages:
+            assert all(dep < stage.uid for dep in stage.deps)
+
+    def test_every_pair_has_fw_and_bw(self, vlm_graph):
+        seen = {}
+        for stage in vlm_graph.stages:
+            seen.setdefault(stage.pair_id, set()).add(stage.direction)
+        for pair_id, directions in seen.items():
+            assert directions == {Direction.FORWARD, Direction.BACKWARD}
+
+    def test_pair_rank_matches_stage_rank(self, vlm_graph):
+        for stage in vlm_graph.stages:
+            assert vlm_graph.pairs[stage.pair_id].rank == stage.rank
+
+    def test_forward_chain_rank_progression(self, vlm_graph):
+        """Within one (mb, module, sub), fw stages visit ranks 0..P-1 in
+        order within each segment."""
+        chains = {}
+        for stage in vlm_graph.stages:
+            if stage.direction is Direction.FORWARD:
+                key = (stage.key.microbatch, stage.key.module, stage.key.sub_index)
+                chains.setdefault(key, []).append(stage)
+        for chain in chains.values():
+            chain.sort(key=lambda s: s.uid)
+            expected_ranks = [
+                r for _seg in range(len(chain) // vlm_graph.num_ranks)
+                for r in range(vlm_graph.num_ranks)
+            ]
+            assert [s.rank for s in chain] == expected_ranks
+
+    def test_backward_reverses_forward(self, vlm_graph):
+        """The first bw stage of a chain runs on the last fw stage's rank."""
+        by_chain = {}
+        for stage in vlm_graph.stages:
+            key = (stage.key.microbatch, stage.key.module, stage.key.sub_index,
+                   stage.direction)
+            by_chain.setdefault(key, []).append(stage)
+        for (mb, module, sub, direction), chain in by_chain.items():
+            if direction is not Direction.BACKWARD:
+                continue
+            chain.sort(key=lambda s: s.uid)
+            fw_chain = sorted(
+                by_chain[(mb, module, sub, Direction.FORWARD)],
+                key=lambda s: s.uid,
+            )
+            assert chain[0].rank == fw_chain[-1].rank
+            assert chain[-1].rank == fw_chain[0].rank
+
+    def test_backbone_waits_for_all_encoder_subs(self, vlm_setup, small_cluster,
+                                                 parallel2, cost_model):
+        arch, plan, partitioner = vlm_setup
+        batch = GlobalBatch([controlled_vlm_microbatch(0, 12)])
+        graph = build_iteration_graph(
+            arch, plan, batch, small_cluster, parallel2, cost_model,
+            partitioner=partitioner,
+        )
+        lm_fw_first = next(
+            s for s in graph.stages
+            if s.key.module == "tiny-lm" and s.direction is Direction.FORWARD
+        )
+        # Its deps must be the final fw stage of every ViT sub-microbatch.
+        dep_stages = [graph.stages[d] for d in lm_fw_first.deps]
+        assert dep_stages, "backbone must depend on encoder outputs"
+        num_subs = len(partitioner.split_microbatch(
+            plan, batch.microbatches[0])["tiny-vit"])
+        assert len(dep_stages) == num_subs
+        for dep in dep_stages:
+            assert dep.key.module == "tiny-vit"
+            assert dep.rank == graph.num_ranks - 1  # last pipeline rank
+
+    def test_encoder_bw_waits_for_backbone_bw(self, vlm_setup, small_cluster,
+                                              parallel2, cost_model):
+        arch, plan, partitioner = vlm_setup
+        batch = GlobalBatch([controlled_vlm_microbatch(0, 6)])
+        graph = build_iteration_graph(
+            arch, plan, batch, small_cluster, parallel2, cost_model,
+            partitioner=partitioner,
+        )
+        vit_bw_first = next(
+            s for s in graph.stages
+            if s.key.module == "tiny-vit" and s.direction is Direction.BACKWARD
+        )
+        dep_modules = {graph.stages[d].key.module for d in vit_bw_first.deps}
+        assert "tiny-lm" in dep_modules
+
+    def test_loss_module_bw_follows_own_fw(self, vlm_graph):
+        lm_bw_first = next(
+            s for s in vlm_graph.stages
+            if s.key.module == "tiny-lm" and s.direction is Direction.BACKWARD
+        )
+        dep_dirs = {vlm_graph.stages[d].direction for d in lm_bw_first.deps}
+        assert dep_dirs == {Direction.FORWARD}
+
+    def test_no_images_no_vit_stages(self, vlm_setup, small_cluster, parallel2,
+                                     cost_model):
+        arch, plan, partitioner = vlm_setup
+        batch = GlobalBatch([controlled_vlm_microbatch(0, 0)])
+        graph = build_iteration_graph(
+            arch, plan, batch, small_cluster, parallel2, cost_model,
+            partitioner=partitioner,
+        )
+        modules = {s.key.module for s in graph.stages}
+        assert modules == {"tiny-lm"}
+
+    def test_static_memory_positive_all_ranks(self, vlm_graph):
+        assert all(b > 0 for b in vlm_graph.static_bytes_per_rank)
+
+    def test_model_flops_positive(self, vlm_graph):
+        assert vlm_graph.model_flops > 0
+
+    def test_groups_have_total_latency(self, vlm_graph):
+        for group in vlm_graph.groups().values():
+            assert group.total_ms > 0
+            assert group.segment_keys
+
+    def test_t2v_graph_builds(self, t2v_graph):
+        modules = {s.key.module for s in t2v_graph.stages}
+        assert modules == {"tiny-lm", "tiny-dit"}
+
+    def test_t2v_dit_depends_on_lm(self, t2v_graph):
+        dit_fw_first = next(
+            s for s in t2v_graph.stages
+            if s.key.module == "tiny-dit" and s.direction is Direction.FORWARD
+        )
+        dep_modules = {t2v_graph.stages[d].key.module for d in dit_fw_first.deps}
+        assert dep_modules == {"tiny-lm"}
+
+
+class TestLatencyAccessors:
+    def test_latency_positive(self, vlm_graph):
+        for stage in vlm_graph.stages:
+            assert vlm_graph.latency_ms(stage) > 0
+
+    def test_bw_slower_than_fw(self, vlm_graph):
+        for pair in vlm_graph.pairs:
+            assert pair.backward_ms() > pair.forward_ms()
+
+    def test_busy_time_per_rank(self, vlm_graph):
+        busy = vlm_graph.total_compute_ms_per_rank()
+        assert len(busy) == vlm_graph.num_ranks
+        assert all(b > 0 for b in busy)
+
+    def test_reset_strategies(self, vlm_graph):
+        vlm_graph.reset_strategies(0)
+        assert all(p.selected == 0 for p in vlm_graph.pairs)

@@ -1,0 +1,108 @@
+"""Tests for per-layer memory optimization (section 5.3)."""
+
+import pytest
+
+from repro.core.interleaver import interleave_stages
+from repro.core.memopt import (
+    DEFAULT_NUM_CANDIDATES,
+    generate_candidates,
+    optimize_memory,
+)
+from repro.sim.pipeline import simulate_pipeline
+
+
+class TestCandidateGeneration:
+    def test_candidates_populated(self, vlm_graph):
+        generate_candidates(vlm_graph)
+        for pair in vlm_graph.pairs:
+            assert 2 <= len(pair.candidates) <= DEFAULT_NUM_CANDIDATES
+
+    def test_fastest_first_leanest_present(self, vlm_graph):
+        generate_candidates(vlm_graph)
+        for pair in vlm_graph.pairs:
+            extras = [c.total_extra_ms for c in pair.candidates]
+            residents = [c.resident_bytes for c in pair.candidates]
+            # Fastest candidate: zero extra latency, full residency.
+            assert min(extras) == 0.0
+            assert pair.candidates[0].resident_bytes == max(residents)
+
+    def test_pareto_frontier(self, vlm_graph):
+        generate_candidates(vlm_graph)
+        for pair in vlm_graph.pairs:
+            cands = pair.candidates
+            for a in cands:
+                dominated = any(
+                    b.resident_bytes < a.resident_bytes
+                    and b.total_extra_ms < a.total_extra_ms
+                    for b in cands
+                )
+                assert not dominated
+
+    def test_most_memory_efficient_selection(self, vlm_graph):
+        generate_candidates(vlm_graph)
+        vlm_graph.select_most_memory_efficient()
+        for pair in vlm_graph.pairs:
+            chosen = pair.strategy.resident_bytes
+            assert chosen == min(c.resident_bytes for c in pair.candidates)
+
+    def test_candidates_shared_across_identical_pairs(self, vlm_graph):
+        generate_candidates(vlm_graph)
+        by_cost = {}
+        for pair in vlm_graph.pairs:
+            key = (id(pair.cost), pair.num_layers)
+            if key in by_cost:
+                assert [c.label for c in pair.candidates] == by_cost[key]
+            else:
+                by_cost[key] = [c.label for c in pair.candidates]
+
+
+class TestOptimizeMemory:
+    def _prepared(self, graph, cluster, parallel, cost_model):
+        generate_candidates(graph)
+        graph.select_most_memory_efficient()
+        inter = interleave_stages(graph, cluster, parallel, cost_model)
+        return inter
+
+    def test_reduces_extra_latency(self, vlm_graph, small_cluster, parallel2,
+                                   cost_model):
+        inter = self._prepared(vlm_graph, small_cluster, parallel2, cost_model)
+        report = optimize_memory(vlm_graph, inter.start_ms, inter.end_ms)
+        assert report.extra_ms_after <= report.extra_ms_before
+
+    def test_final_schedule_fits_memory(self, vlm_graph, small_cluster,
+                                        parallel2, cost_model):
+        inter = self._prepared(vlm_graph, small_cluster, parallel2, cost_model)
+        optimize_memory(vlm_graph, inter.start_ms, inter.end_ms)
+        sim = simulate_pipeline(vlm_graph, inter.order, small_cluster,
+                                parallel2, cost_model)
+        assert sim.memory_exceeded == []
+
+    def test_final_faster_than_memory_efficient_baseline(
+        self, vlm_graph, small_cluster, parallel2, cost_model
+    ):
+        inter = self._prepared(vlm_graph, small_cluster, parallel2, cost_model)
+        before = simulate_pipeline(vlm_graph, inter.order, small_cluster,
+                                   parallel2, cost_model).total_ms
+        optimize_memory(vlm_graph, inter.start_ms, inter.end_ms)
+        after = simulate_pipeline(vlm_graph, inter.order, small_cluster,
+                                  parallel2, cost_model).total_ms
+        assert after <= before + 1e-9
+
+    def test_greedy_vs_exact(self, vlm_graph, small_cluster, parallel2,
+                             cost_model):
+        inter = self._prepared(vlm_graph, small_cluster, parallel2, cost_model)
+        greedy = optimize_memory(vlm_graph, inter.start_ms, inter.end_ms,
+                                 exact=False)
+        # Re-prepare and run exact.
+        vlm_graph.select_most_memory_efficient()
+        exact = optimize_memory(vlm_graph, inter.start_ms, inter.end_ms,
+                                exact=True)
+        assert exact.extra_ms_after <= greedy.extra_ms_after + 1e-6
+
+    def test_t2v_graph(self, t2v_graph, small_cluster, parallel2, cost_model):
+        inter = self._prepared(t2v_graph, small_cluster, parallel2, cost_model)
+        report = optimize_memory(t2v_graph, inter.start_ms, inter.end_ms)
+        sim = simulate_pipeline(t2v_graph, inter.order, small_cluster,
+                                parallel2, cost_model)
+        assert sim.memory_exceeded == []
+        assert report.improvement_ms >= 0

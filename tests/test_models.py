@@ -1,0 +1,169 @@
+"""Tests for module specs, the model zoo and LMM composition."""
+
+import pytest
+
+from repro.models.config import Modality, ModalityModuleSpec, ModuleRole
+from repro.models.lmm import (
+    architecture_summary,
+    build_combination,
+    build_t2v,
+    build_unimodal,
+    build_vlm,
+)
+from repro.models.zoo import (
+    COMBINATIONS,
+    DIT_5B,
+    GPT_175B,
+    LLAMA3_8B,
+    MODEL_ZOO,
+    QWEN2_32B,
+    QWEN2_72B,
+    VIT_5B,
+    VIT_22B,
+    combination_by_name,
+    module_by_name,
+)
+
+
+class TestModalityModuleSpec:
+    def test_head_dim(self):
+        assert LLAMA3_8B.head_dim == 128
+
+    def test_gqa_kv_channels(self):
+        # Llama3 8B: 8 KV groups of 128 channels.
+        assert LLAMA3_8B.kv_channels == 1024
+
+    def test_full_attention_kv_channels(self):
+        assert VIT_5B.kv_channels == VIT_5B.hidden_size
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ModalityModuleSpec(
+                "bad", ModuleRole.BACKBONE, Modality.TEXT,
+                num_layers=2, hidden_size=100, ffn_hidden_size=400,
+                num_attention_heads=3, num_query_groups=3,
+            )
+
+    def test_rejects_indivisible_groups(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ModalityModuleSpec(
+                "bad", ModuleRole.BACKBONE, Modality.TEXT,
+                num_layers=2, hidden_size=96, ffn_hidden_size=400,
+                num_attention_heads=8, num_query_groups=3,
+            )
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError, match="num_layers"):
+            ModalityModuleSpec(
+                "bad", ModuleRole.BACKBONE, Modality.TEXT,
+                num_layers=0, hidden_size=96, ffn_hidden_size=400,
+                num_attention_heads=8, num_query_groups=8,
+            )
+
+
+class TestZooParameterCounts:
+    """Zoo modules must land near their nominal parameter counts."""
+
+    @pytest.mark.parametrize(
+        "name,nominal_b",
+        [
+            ("vit-5b", 5.0),
+            ("vit-22b", 22.0),
+            ("llama3-8b", 8.0),
+            ("qwen2-32b", 32.0),
+            ("qwen2-72b", 72.0),
+            ("dit-5b", 5.0),
+            ("dit-30b", 30.0),
+            ("gpt-175b", 175.0),
+            ("lm-7b", 7.0),
+            ("vit-2b", 2.0),
+            ("lm-5b", 5.0),
+        ],
+    )
+    def test_nominal_size(self, name, nominal_b):
+        spec = module_by_name(name)
+        assert spec.parameters_billion() == pytest.approx(nominal_b, rel=0.18)
+
+    def test_unknown_module(self):
+        with pytest.raises(KeyError, match="unknown module"):
+            module_by_name("nonexistent")
+
+    def test_table2_shapes(self):
+        # Spot-check Table 2 rows.
+        assert VIT_5B.num_layers == 63 and VIT_5B.hidden_size == 1792
+        assert VIT_22B.num_layers == 48 and VIT_22B.ffn_hidden_size == 24576
+        assert QWEN2_72B.num_layers == 80 and QWEN2_72B.num_attention_heads == 64
+        assert DIT_5B.cross_attention and DIT_5B.modality is Modality.VIDEO
+
+
+class TestCombinations:
+    def test_table3_gpu_counts(self):
+        assert combination_by_name("VLM-S").num_gpus == 16
+        assert combination_by_name("VLM-M").num_gpus == 32
+        assert combination_by_name("VLM-L").num_gpus == 64
+        assert combination_by_name("T2V-S").num_gpus == 16
+        assert combination_by_name("T2V-L").num_gpus == 64
+
+    def test_table6_gpu_counts(self):
+        assert combination_by_name("VLM-XL-8k").num_gpus == 8192
+        assert combination_by_name("VLM-XL-16k").num_gpus == 16384
+        assert combination_by_name("T2V-XL-3k").num_gpus == 3072
+        assert combination_by_name("T2V-XL-6k").num_gpus == 6144
+
+    @pytest.mark.parametrize("name,total_b", [
+        ("VLM-S", 12.3), ("VLM-M", 37.0), ("VLM-L", 94.4),
+        ("T2V-S", 13.0), ("T2V-L", 61.8),
+    ])
+    def test_combination_totals(self, name, total_b):
+        arch = build_combination(combination_by_name(name))
+        assert arch.parameters_billion() == pytest.approx(total_b, rel=0.05)
+
+    def test_all_combinations_buildable(self):
+        for name in COMBINATIONS:
+            arch = build_combination(combination_by_name(name))
+            assert arch.num_levels == 2
+
+
+class TestLMMArchitecture:
+    def test_vlm_dataflow(self):
+        arch = build_vlm(VIT_5B, LLAMA3_8B)
+        assert arch.kind == "vlm"
+        assert arch.loss_module.name == "llama3-8b"
+        assert [b.name for b in arch.upstream_of("llama3-8b")] == ["vit-5b"]
+        assert arch.upstream_of("vit-5b") == []
+        assert [b.name for b in arch.downstream_of("vit-5b")] == ["llama3-8b"]
+
+    def test_t2v_roles(self):
+        arch = build_t2v(QWEN2_32B, DIT_5B)
+        # In a T2V model, the LLM serves as the conditioning encoder.
+        assert arch.binding("qwen2-32b").role is ModuleRole.ENCODER
+        assert arch.loss_module.name == "dit-5b"
+
+    def test_unimodal(self):
+        arch = build_unimodal(LLAMA3_8B)
+        assert arch.num_levels == 1
+        assert arch.loss_module.name == "llama3-8b"
+
+    def test_binding_lookup_error(self):
+        arch = build_vlm(VIT_5B, LLAMA3_8B)
+        with pytest.raises(KeyError):
+            arch.binding("missing")
+
+    def test_levels_grouping(self):
+        arch = build_vlm(VIT_5B, LLAMA3_8B)
+        levels = arch.levels()
+        assert len(levels) == 2
+        assert levels[0][0].name == "vit-5b"
+        assert levels[1][0].name == "llama3-8b"
+
+    def test_summary_includes_total(self):
+        arch = build_vlm(VIT_5B, LLAMA3_8B)
+        summary = architecture_summary(arch)
+        assert summary["total"] == pytest.approx(
+            summary["vit-5b"] + summary["llama3-8b"]
+        )
+
+    def test_gpt175b_is_gpt3_shaped(self):
+        assert GPT_175B.num_layers == 96
+        assert GPT_175B.hidden_size == 12288
+        assert not GPT_175B.gated_mlp

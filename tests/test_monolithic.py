@@ -1,0 +1,99 @@
+"""Tests for the monolithic exact schedulers (Fig. 12 baselines).
+
+The exhaustive branch-and-bound doubles as the *optimal oracle* used to
+check how close DIP's greedy + MCTS search gets on tiny instances.
+"""
+
+import pytest
+
+from repro.cluster.topology import ParallelConfig
+from repro.core.graphbuilder import build_iteration_graph
+from repro.core.interleaver import interleave_stages
+from repro.core.schedule import validate_schedule
+from repro.data.batching import GlobalBatch
+from repro.data.packing import controlled_vlm_microbatch
+from repro.solver.monolithic import (
+    exhaustive_optimal_schedule,
+    milp_optimal_schedule,
+)
+from repro.sim.pipeline import simulate_pipeline
+from tests.test_pipeline_sim import two_rank_graph
+
+
+@pytest.fixture
+def tiny_graph(vlm_setup, small_cluster, parallel2, cost_model):
+    arch, plan, partitioner = vlm_setup
+    batch = GlobalBatch([controlled_vlm_microbatch(0, 2)])
+    return build_iteration_graph(
+        arch, plan, batch, small_cluster, parallel2, cost_model,
+        partitioner=partitioner,
+    )
+
+
+class TestExhaustive:
+    def test_finds_known_optimum(self, small_cluster, parallel2, cost_model):
+        graph = two_rank_graph(fw=10.0, bw=20.0)
+        result = exhaustive_optimal_schedule(graph, small_cluster, parallel2,
+                                             cost_model)
+        assert not result.timed_out
+        assert result.total_ms == pytest.approx(60.0)  # only one real option
+
+    def test_optimal_no_worse_than_greedy(self, tiny_graph, small_cluster,
+                                          parallel2, cost_model):
+        greedy = interleave_stages(tiny_graph, small_cluster, parallel2,
+                                   cost_model)
+        exact = exhaustive_optimal_schedule(tiny_graph, small_cluster,
+                                            parallel2, cost_model,
+                                            time_limit_s=20.0)
+        if not exact.timed_out:
+            assert exact.total_ms <= greedy.total_ms + 1e-6
+
+    def test_order_is_valid_schedule(self, tiny_graph, small_cluster,
+                                     parallel2, cost_model):
+        exact = exhaustive_optimal_schedule(tiny_graph, small_cluster,
+                                            parallel2, cost_model,
+                                            time_limit_s=20.0)
+        assert exact.order is not None
+        assert validate_schedule(tiny_graph, exact.order) == []
+        sim = simulate_pipeline(tiny_graph, exact.order, small_cluster,
+                                parallel2, cost_model)
+        assert sim.total_ms == pytest.approx(exact.total_ms)
+
+    def test_time_limit_enforced(self, vlm_setup, small_cluster, parallel2,
+                                 cost_model):
+        arch, plan, partitioner = vlm_setup
+        batch = GlobalBatch([controlled_vlm_microbatch(i, 40)
+                             for i in range(4)])
+        graph = build_iteration_graph(
+            arch, plan, batch, small_cluster, parallel2, cost_model,
+            partitioner=partitioner,
+        )
+        result = exhaustive_optimal_schedule(graph, small_cluster,
+                                             parallel2, cost_model,
+                                             time_limit_s=0.05)
+        assert result.timed_out  # the full graph is far too big
+
+    def test_node_limit_enforced(self, tiny_graph, small_cluster, parallel2,
+                                 cost_model):
+        result = exhaustive_optimal_schedule(tiny_graph, small_cluster,
+                                             parallel2, cost_model,
+                                             node_limit=50)
+        assert result.timed_out or result.nodes <= 51
+
+
+class TestMilp:
+    def test_agrees_with_exhaustive_on_tiny(self, small_cluster, parallel2,
+                                            cost_model):
+        graph = two_rank_graph(fw=10.0, bw=20.0)
+        exact = exhaustive_optimal_schedule(graph, small_cluster, parallel2,
+                                            cost_model)
+        milp = milp_optimal_schedule(graph, small_cluster, parallel2,
+                                     cost_model, time_limit_s=20.0)
+        assert milp.total_ms == pytest.approx(exact.total_ms, rel=1e-4)
+
+    def test_order_valid(self, small_cluster, parallel2, cost_model):
+        graph = two_rank_graph()
+        milp = milp_optimal_schedule(graph, small_cluster, parallel2,
+                                     cost_model, time_limit_s=20.0)
+        assert milp.order is not None
+        assert validate_schedule(graph, milp.order) == []

@@ -1,0 +1,180 @@
+"""Tests for the pipeline discrete-event simulator (hand-checked cases)."""
+
+import pytest
+
+from repro.cluster.devices import GPU_H800_80G
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.core.stages import (
+    Direction,
+    IterationGraph,
+    SegmentKey,
+    StagePair,
+    StageTask,
+)
+from repro.sim.costmodel import CostModel, StageCost
+from repro.sim.pipeline import (
+    ScheduleDeadlockError,
+    simulate_pipeline,
+)
+
+
+def make_cost(fw=10.0, bw=20.0, act=100.0):
+    return StageCost(
+        forward_ms=fw,
+        backward_ms=bw,
+        act_bytes=act,
+        act_ckpt_bytes=act / 10,
+        recompute_ms=fw,
+        offload_ms=fw / 2,
+        p2p_bytes=0.0,
+    )
+
+
+def two_rank_graph(fw=10.0, bw=20.0, act=100.0, limit=1e12):
+    """One microbatch: fw r0 -> fw r1 -> bw r1 -> bw r0."""
+    pairs = [
+        StagePair(0, 0, "m", 0, 0, rank=0, num_layers=1, cost=make_cost(fw, bw, act)),
+        StagePair(1, 0, "m", 0, 0, rank=1, num_layers=1, cost=make_cost(fw, bw, act)),
+    ]
+    stages = [
+        StageTask(0, SegmentKey(0, "m", 0, 0, Direction.FORWARD), 0, 0, ()),
+        StageTask(1, SegmentKey(0, "m", 0, 0, Direction.FORWARD), 1, 1, (0,)),
+        StageTask(2, SegmentKey(0, "m", 0, 0, Direction.BACKWARD), 1, 1, (1,)),
+        StageTask(3, SegmentKey(0, "m", 0, 0, Direction.BACKWARD), 0, 0, (2,)),
+    ]
+    return IterationGraph(
+        num_ranks=2,
+        stages=stages,
+        pairs=pairs,
+        static_bytes_per_rank=[0.0, 0.0],
+        memory_limit_bytes=limit,
+    )
+
+
+@pytest.fixture
+def small_env():
+    cluster = ClusterSpec(gpu=GPU_H800_80G, gpus_per_node=4)
+    parallel = ParallelConfig(dp=1, tp=1, pp=2)
+    return cluster, parallel
+
+
+class TestHandComputedTimelines:
+    def test_sequential_chain(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph(fw=10.0, bw=20.0)
+        order = [[0, 3], [1, 2]]
+        result = simulate_pipeline(graph, order, cluster, parallel, CostModel())
+        # fw0: 0-10, fw1: 10-20, bw1: 20-40, bw0: 40-60 (p2p_bytes=0).
+        assert result.start_ms[0] == 0.0
+        assert result.start_ms[1] == pytest.approx(10.0)
+        assert result.start_ms[2] == pytest.approx(20.0)
+        assert result.start_ms[3] == pytest.approx(40.0)
+        assert result.total_ms == pytest.approx(60.0)
+
+    def test_bubble_ratio(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph(fw=10.0, bw=20.0)
+        result = simulate_pipeline(graph, [[0, 3], [1, 2]], cluster, parallel)
+        # Each rank busy 30ms of 60ms -> idle 0.5.
+        assert result.bubble_ratio == pytest.approx(0.5)
+
+    def test_p2p_latency_added(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph(fw=10.0, bw=20.0)
+        graph.stages[1].p2p_bytes = 200e6  # 200 MB over NVLink
+        cm = CostModel()
+        expected_hop = cm.p2p_latency_ms(200e6, cluster.gpu.nvlink_bandwidth)
+        result = simulate_pipeline(graph, [[0, 3], [1, 2]], cluster, parallel, cm)
+        assert result.start_ms[1] == pytest.approx(10.0 + expected_hop)
+
+    def test_memory_accounting(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph(act=500.0)
+        result = simulate_pipeline(graph, [[0, 3], [1, 2]], cluster, parallel)
+        # Each rank holds one pair's activations at peak.
+        assert result.peak_memory_bytes[0] == pytest.approx(500.0)
+        assert result.peak_memory_bytes[1] == pytest.approx(500.0)
+        assert result.memory_exceeded == []
+
+    def test_memory_limit_flagged(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph(act=500.0, limit=400.0)
+        result = simulate_pipeline(graph, [[0, 3], [1, 2]], cluster, parallel)
+        assert result.memory_exceeded == [0, 1]
+
+    def test_static_memory_included(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph(act=100.0)
+        graph.static_bytes_per_rank = [1000.0, 2000.0]
+        result = simulate_pipeline(graph, [[0, 3], [1, 2]], cluster, parallel)
+        assert result.peak_memory_bytes[0] == pytest.approx(1100.0)
+        assert result.peak_memory_bytes[1] == pytest.approx(2100.0)
+
+    def test_jitter_applied(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph(fw=10.0, bw=20.0)
+        result = simulate_pipeline(
+            graph, [[0, 3], [1, 2]], cluster, parallel,
+            jitter=lambda uid, ms: ms * 2.0,
+        )
+        assert result.total_ms == pytest.approx(120.0)
+
+
+class TestOrderValidation:
+    def test_deadlock_detected(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph()
+        # Rank 0 schedules bw before fw: circular wait with rank 1.
+        with pytest.raises(ScheduleDeadlockError):
+            simulate_pipeline(graph, [[3, 0], [1, 2]], cluster, parallel)
+
+    def test_missing_stage_rejected(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph()
+        with pytest.raises(ValueError, match="misses"):
+            simulate_pipeline(graph, [[0], [1, 2]], cluster, parallel)
+
+    def test_duplicate_stage_rejected(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph()
+        with pytest.raises(ValueError, match="twice"):
+            simulate_pipeline(graph, [[0, 3, 0], [1, 2]], cluster, parallel)
+
+    def test_wrong_rank_rejected(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph()
+        with pytest.raises(ValueError, match="belongs"):
+            simulate_pipeline(graph, [[0, 3, 1], [2]], cluster, parallel)
+
+    def test_wrong_rank_count_rejected(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph()
+        with pytest.raises(ValueError, match="ranks"):
+            simulate_pipeline(graph, [[0, 3], [1], [2]], cluster, parallel)
+
+
+class TestGraphValidation:
+    def test_dep_on_later_stage_rejected(self):
+        pairs = [StagePair(0, 0, "m", 0, 0, rank=0, num_layers=1, cost=make_cost())]
+        stages = [
+            StageTask(0, SegmentKey(0, "m", 0, 0, Direction.FORWARD), 0, 0, (1,)),
+            StageTask(1, SegmentKey(0, "m", 0, 0, Direction.BACKWARD), 0, 0, ()),
+        ]
+        with pytest.raises(ValueError, match="topological"):
+            IterationGraph(1, stages, pairs, [0.0], 1e12)
+
+    def test_bad_rank_rejected(self):
+        pairs = [StagePair(0, 0, "m", 0, 0, rank=0, num_layers=1, cost=make_cost())]
+        stages = [
+            StageTask(0, SegmentKey(0, "m", 0, 0, Direction.FORWARD), 5, 0, ()),
+        ]
+        with pytest.raises(ValueError, match="invalid rank"):
+            IterationGraph(1, stages, pairs, [0.0], 1e12)
+
+    def test_uid_mismatch_rejected(self):
+        pairs = [StagePair(0, 0, "m", 0, 0, rank=0, num_layers=1, cost=make_cost())]
+        stages = [
+            StageTask(3, SegmentKey(0, "m", 0, 0, Direction.FORWARD), 0, 0, ()),
+        ]
+        with pytest.raises(ValueError, match="uid"):
+            IterationGraph(1, stages, pairs, [0.0], 1e12)

@@ -1,0 +1,84 @@
+"""Tests for the asynchronous online planner (section 3.2)."""
+
+import pytest
+
+from repro.core.planner import OnlinePlanner, reference_microbatch
+from repro.core.searcher import ScheduleSearcher
+from repro.data import constants
+from repro.data.workload import vlm_workload
+
+
+@pytest.fixture
+def planner(tiny_vlm, small_cluster, parallel2, cost_model):
+    searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                budget_evaluations=8, seed=0)
+    return OnlinePlanner(tiny_vlm, small_cluster, parallel2, cost_model,
+                         searcher=searcher)
+
+
+class TestReferenceMicrobatch:
+    def test_vlm_reference_full_capacity(self):
+        mb = reference_microbatch("vlm")
+        assert mb.num_images == constants.MAX_IMAGES_PER_MICROBATCH
+
+    def test_t2v_reference(self):
+        mb = reference_microbatch("t2v")
+        assert mb.num_clips == constants.MAX_CLIPS_PER_MICROBATCH
+        assert mb.video_seconds == constants.MAX_VIDEO_SECONDS
+
+    def test_lm_reference(self):
+        mb = reference_microbatch("lm")
+        assert mb.kind == "lm"
+
+
+class TestOnlinePlanner:
+    def test_synchronous_run(self, planner):
+        batches = vlm_workload(2, seed=0).batches(3)
+        reports = planner.run(batches, asynchronous=False)
+        assert len(reports) == 3
+        for report in reports:
+            assert report.train_ms > 0
+            assert report.search_seconds > 0
+
+    def test_asynchronous_run(self, planner):
+        batches = vlm_workload(2, seed=0).batches(3)
+        reports = planner.run(batches, asynchronous=True)
+        assert len(reports) == 3
+        assert reports[0].stall_seconds == 0.0  # first search is priming
+
+    def test_empty_batches(self, planner):
+        assert planner.run([]) == []
+
+    def test_schedule_adapts_to_batch(self, planner):
+        """Different batches get genuinely different schedules."""
+        batches = vlm_workload(2, seed=0).batches(2)
+        reports = planner.run(batches, asynchronous=False)
+        orders = [r.search.schedule.order for r in reports]
+        assert orders[0] != orders[1]
+
+    def test_deploy_engine_agrees_with_simulation(self, tiny_vlm, small_cluster,
+                                                  parallel2, cost_model):
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=5, seed=0)
+        planner = OnlinePlanner(tiny_vlm, small_cluster, parallel2, cost_model,
+                                searcher=searcher, deploy=True)
+        batches = vlm_workload(2, seed=1).batches(1)
+        report = planner.run(batches, asynchronous=False)[0]
+        assert report.engine is not None
+        # The runtime replay must land on the planner's predicted time.
+        assert report.engine.total_ms == pytest.approx(report.train_ms, rel=1e-6)
+
+    def test_average_images_recorded(self, planner):
+        batches = vlm_workload(2, seed=0).batches(1)
+        report = planner.run(batches, asynchronous=False)[0]
+        assert report.average_images == batches[0].average_images
+
+
+class TestQuickPlan:
+    def test_quick_plan_smoke(self):
+        from repro import quick_plan
+
+        reports = quick_plan("VLM-S", num_microbatches=2, iterations=1,
+                             budget_evaluations=4)
+        assert len(reports) == 1
+        assert reports[0].train_ms > 0

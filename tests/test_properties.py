@@ -1,0 +1,135 @@
+"""Property-based tests over randomly generated iteration graphs.
+
+Fuzzes the central pipeline: random multimodal batches -> graph ->
+interleave -> validate -> simulate -> compile -> replay, asserting the
+invariants that must hold for *any* input.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.devices import GPU_H800_80G
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.core.graphbuilder import build_iteration_graph
+from repro.core.interleaver import interleave_stages
+from repro.core.memopt import generate_candidates, optimize_memory
+from repro.core.partitioner import ModalityPartitioner
+from repro.core.planner import reference_microbatch
+from repro.core.schedule import validate_schedule
+from repro.data.batching import GlobalBatch
+from repro.data.packing import controlled_vlm_microbatch
+from repro.models.lmm import build_vlm
+from repro.runtime.compiler import compile_schedule
+from repro.runtime.engine import execute_plan
+from repro.sim.costmodel import CostModel
+from repro.sim.pipeline import simulate_pipeline
+from tests.conftest import TINY_LM, TINY_VIT
+
+_CLUSTER = ClusterSpec(gpu=GPU_H800_80G, gpus_per_node=4)
+_CM = CostModel()
+_ARCH = build_vlm(TINY_VIT, TINY_LM)
+_CACHE = {}
+
+
+def _setup(pp):
+    if pp not in _CACHE:
+        parallel = ParallelConfig(dp=1, tp=1, pp=pp)
+        partitioner = ModalityPartitioner(_ARCH, _CLUSTER, parallel, _CM)
+        plan = partitioner.plan(reference_microbatch("vlm"))
+        _CACHE[pp] = (parallel, partitioner, plan)
+    return _CACHE[pp]
+
+
+@st.composite
+def image_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    counts = draw(st.lists(st.integers(0, 48), min_size=n, max_size=n))
+    return GlobalBatch([
+        controlled_vlm_microbatch(i, c) for i, c in enumerate(counts)
+    ])
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=image_batches(), pp=st.sampled_from([2, 4]))
+def test_property_interleave_always_valid(batch, pp):
+    """Any random batch yields a dependency- and coverage-valid order."""
+    parallel, partitioner, plan = _setup(pp)
+    graph = build_iteration_graph(_ARCH, plan, batch, _CLUSTER, parallel, _CM,
+                                  partitioner=partitioner)
+    result = interleave_stages(graph, _CLUSTER, parallel, _CM)
+    assert validate_schedule(graph, result.order) == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(batch=image_batches())
+def test_property_interleaver_agrees_with_simulator(batch):
+    parallel, partitioner, plan = _setup(2)
+    graph = build_iteration_graph(_ARCH, plan, batch, _CLUSTER, parallel, _CM,
+                                  partitioner=partitioner)
+    result = interleave_stages(graph, _CLUSTER, parallel, _CM)
+    sim = simulate_pipeline(graph, result.order, _CLUSTER, parallel, _CM)
+    assert sim.total_ms == pytest.approx(result.total_ms)
+
+
+@settings(max_examples=15, deadline=None)
+@given(batch=image_batches())
+def test_property_makespan_at_least_critical_path(batch):
+    """Makespan can never beat the busiest rank's total compute."""
+    parallel, partitioner, plan = _setup(2)
+    graph = build_iteration_graph(_ARCH, plan, batch, _CLUSTER, parallel, _CM,
+                                  partitioner=partitioner)
+    result = interleave_stages(graph, _CLUSTER, parallel, _CM)
+    busiest = max(graph.total_compute_ms_per_rank())
+    assert result.total_ms >= busiest - 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(batch=image_batches())
+def test_property_memopt_never_slows_schedule(batch):
+    parallel, partitioner, plan = _setup(2)
+    graph = build_iteration_graph(_ARCH, plan, batch, _CLUSTER, parallel, _CM,
+                                  partitioner=partitioner)
+    generate_candidates(graph)
+    graph.select_most_memory_efficient()
+    inter = interleave_stages(graph, _CLUSTER, parallel, _CM)
+    before = simulate_pipeline(graph, inter.order, _CLUSTER, parallel, _CM)
+    optimize_memory(graph, inter.start_ms, inter.end_ms, exact=False)
+    after = simulate_pipeline(graph, inter.order, _CLUSTER, parallel, _CM)
+    assert after.total_ms <= before.total_ms + 1e-6
+    assert after.memory_exceeded == []
+
+
+@settings(max_examples=10, deadline=None)
+@given(batch=image_batches())
+def test_property_compiled_plan_replays_exactly(batch):
+    """Compilation and replay must reproduce the simulated timeline."""
+    parallel, partitioner, plan = _setup(2)
+    graph = build_iteration_graph(_ARCH, plan, batch, _CLUSTER, parallel, _CM,
+                                  partitioner=partitioner)
+    inter = interleave_stages(graph, _CLUSTER, parallel, _CM)
+    sim = simulate_pipeline(graph, inter.order, _CLUSTER, parallel, _CM)
+    exec_plan = compile_schedule(graph, inter.order, _CLUSTER, parallel, _CM)
+    engine = execute_plan(exec_plan)
+    assert engine.total_ms == pytest.approx(sim.total_ms, rel=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    batch=image_batches(),
+    scale=st.floats(min_value=1.1, max_value=3.0),
+)
+def test_property_uniform_slowdown_scales_makespan(batch, scale):
+    """Scaling every stage latency by k scales the makespan by >= ~k
+    (communication terms keep it from being exactly linear)."""
+    parallel, partitioner, plan = _setup(2)
+    graph = build_iteration_graph(_ARCH, plan, batch, _CLUSTER, parallel, _CM,
+                                  partitioner=partitioner)
+    inter = interleave_stages(graph, _CLUSTER, parallel, _CM)
+    base = simulate_pipeline(graph, inter.order, _CLUSTER, parallel, _CM)
+    slowed = simulate_pipeline(
+        graph, inter.order, _CLUSTER, parallel, _CM,
+        jitter=lambda uid, ms: ms * scale,
+    )
+    assert slowed.total_ms >= base.total_ms
+    assert slowed.total_ms <= base.total_ms * scale + 1e-6

@@ -1,0 +1,134 @@
+"""Failure-injection and robustness tests.
+
+Schedules are planned against the analytic model but executed on noisy
+hardware: these tests inject stragglers, latency noise and perturbed
+inputs, asserting the system degrades gracefully (no deadlocks, bounded
+slowdown, invariants preserved).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core.interleaver import interleave_stages
+from repro.core.schedule import validate_schedule
+from repro.sim.pipeline import simulate_pipeline
+
+
+class TestStragglerInjection:
+    def test_single_straggler_bounded_impact(self, vlm_graph, small_cluster,
+                                             parallel2, cost_model):
+        """One stage running 5x slower delays the iteration by at most
+        that stage's extra latency (no cascade amplification)."""
+        inter = interleave_stages(vlm_graph, small_cluster, parallel2,
+                                  cost_model)
+        base = simulate_pipeline(vlm_graph, inter.order, small_cluster,
+                                 parallel2, cost_model)
+        victim = max(range(len(vlm_graph.stages)),
+                     key=lambda u: vlm_graph.latency_ms(vlm_graph.stages[u]))
+        extra = vlm_graph.latency_ms(vlm_graph.stages[victim]) * 4.0
+
+        slowed = simulate_pipeline(
+            vlm_graph, inter.order, small_cluster, parallel2, cost_model,
+            jitter=lambda uid, ms: ms * 5.0 if uid == victim else ms,
+        )
+        assert slowed.total_ms >= base.total_ms
+        assert slowed.total_ms <= base.total_ms + extra + 1e-6
+
+    def test_slow_rank_stretches_iteration(self, vlm_graph, small_cluster,
+                                           parallel2, cost_model):
+        inter = interleave_stages(vlm_graph, small_cluster, parallel2,
+                                  cost_model)
+        base = simulate_pipeline(vlm_graph, inter.order, small_cluster,
+                                 parallel2, cost_model)
+        slow_rank = 1
+
+        def rank_jitter(uid, ms):
+            if vlm_graph.stages[uid].rank == slow_rank:
+                return ms * 1.5
+            return ms
+
+        slowed = simulate_pipeline(vlm_graph, inter.order, small_cluster,
+                                   parallel2, cost_model, jitter=rank_jitter)
+        assert base.total_ms < slowed.total_ms <= base.total_ms * 1.5 + 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), sigma=st.floats(0.01, 0.20))
+    def test_property_noise_never_deadlocks(self, seed, sigma):
+        """Arbitrary multiplicative noise cannot deadlock a valid order
+        (timing changes never invalidate a dependency-consistent
+        schedule)."""
+        from tests.test_pipeline_sim import two_rank_graph
+        from repro.cluster.devices import GPU_H800_80G
+        from repro.cluster.topology import ClusterSpec, ParallelConfig
+
+        graph = two_rank_graph()
+        cluster = ClusterSpec(gpu=GPU_H800_80G, gpus_per_node=4)
+        parallel = ParallelConfig(dp=1, tp=1, pp=2)
+        rng = np.random.default_rng(seed)
+        result = simulate_pipeline(
+            graph, [[0, 3], [1, 2]], cluster, parallel,
+            jitter=lambda uid, ms: float(ms * rng.lognormal(0.0, sigma)),
+        )
+        assert result.total_ms > 0
+
+    def test_noisy_execution_preserves_order_semantics(
+        self, vlm_graph, small_cluster, parallel2, cost_model
+    ):
+        """Under noise, stage start times still respect dependencies."""
+        inter = interleave_stages(vlm_graph, small_cluster, parallel2,
+                                  cost_model)
+        rng = np.random.default_rng(5)
+        noisy = simulate_pipeline(
+            vlm_graph, inter.order, small_cluster, parallel2, cost_model,
+            jitter=lambda uid, ms: float(ms * rng.lognormal(0.0, 0.1)),
+        )
+        for stage in vlm_graph.stages:
+            for dep in stage.deps:
+                assert noisy.start_ms[stage.uid] >= noisy.end_ms[dep] - 1e-6
+
+
+class TestDegenerateWorkloads:
+    def test_single_microbatch(self, vlm_setup, small_cluster, parallel2,
+                               cost_model):
+        from repro.core.graphbuilder import build_iteration_graph
+        from repro.core.searcher import ScheduleSearcher
+        from repro.data.workload import vlm_workload
+
+        arch, plan, partitioner = vlm_setup
+        batch = vlm_workload(1, seed=0).next_batch()
+        graph = build_iteration_graph(arch, plan, batch, small_cluster,
+                                      parallel2, cost_model,
+                                      partitioner=partitioner)
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=5, seed=0)
+        result = searcher.search(graph)
+        assert validate_schedule(graph, result.schedule.order) == []
+
+    def test_text_only_iteration(self, vlm_setup, small_cluster, parallel2,
+                                 cost_model):
+        from repro.core.graphbuilder import build_iteration_graph
+        from repro.core.searcher import ScheduleSearcher
+        from repro.data.batching import GlobalBatch
+        from repro.data.packing import controlled_vlm_microbatch
+
+        arch, plan, partitioner = vlm_setup
+        batch = GlobalBatch([controlled_vlm_microbatch(i, 0)
+                             for i in range(3)])
+        graph = build_iteration_graph(arch, plan, batch, small_cluster,
+                                      parallel2, cost_model,
+                                      partitioner=partitioner)
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=5, seed=0)
+        result = searcher.search(graph)
+        assert validate_schedule(graph, result.schedule.order) == []
+
+
+class TestCliTune:
+    def test_tune_command(self, capsys):
+        code = main(["tune", "VLM-S", "--microbatches", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MFU" in out and "layout candidates" in out

@@ -1,0 +1,125 @@
+"""Tests for execution-plan compilation and the runtime engine."""
+
+import pytest
+
+from repro.core.interleaver import interleave_stages
+from repro.runtime.actions import Action, ActionKind, ExecutionPlan
+from repro.runtime.compiler import compile_schedule
+from repro.runtime.engine import PlanDeadlockError, execute_plan
+from repro.sim.pipeline import simulate_pipeline
+from tests.test_pipeline_sim import two_rank_graph
+
+
+class TestCompiler:
+    def test_every_stage_compiled(self, vlm_graph, small_cluster, parallel2,
+                                  cost_model):
+        inter = interleave_stages(vlm_graph, small_cluster, parallel2, cost_model)
+        plan = compile_schedule(vlm_graph, inter.order, small_cluster,
+                                parallel2, cost_model)
+        compute_uids = {
+            a.stage_uid
+            for rank in range(plan.num_ranks)
+            for a in plan.compute_actions(rank)
+        }
+        assert compute_uids == {s.uid for s in vlm_graph.stages}
+
+    def test_sends_match_receives(self, vlm_graph, small_cluster, parallel2,
+                                  cost_model):
+        inter = interleave_stages(vlm_graph, small_cluster, parallel2, cost_model)
+        plan = compile_schedule(vlm_graph, inter.order, small_cluster,
+                                parallel2, cost_model)
+        sends, receives = set(), set()
+        for actions in plan.actions_per_rank:
+            for a in actions:
+                if a.kind is ActionKind.ISEND:
+                    sends.add(a.tag)
+                elif a.kind is ActionKind.IRECV:
+                    receives.add(a.tag)
+        assert sends == receives
+
+    def test_strategy_labels_propagate(self, vlm_graph, small_cluster,
+                                       parallel2, cost_model):
+        from repro.core.memopt import generate_candidates
+
+        generate_candidates(vlm_graph)
+        vlm_graph.select_most_memory_efficient()
+        inter = interleave_stages(vlm_graph, small_cluster, parallel2, cost_model)
+        plan = compile_schedule(vlm_graph, inter.order, small_cluster,
+                                parallel2, cost_model)
+        labels = {
+            a.strategy
+            for rank in range(plan.num_ranks)
+            for a in plan.compute_actions(rank)
+        }
+        assert labels  # carries the chosen strategies
+        assert all(label for label in labels)
+
+    def test_describe_readable(self, small_cluster, parallel2, cost_model):
+        graph = two_rank_graph()
+        plan = compile_schedule(graph, [[0, 3], [1, 2]], small_cluster,
+                                parallel2, cost_model)
+        text = plan.describe()
+        assert "fw_stage" in text and "rank0" in text
+
+
+class TestEngine:
+    def test_matches_simulator_on_tiny_graph(self, small_cluster, parallel2,
+                                             cost_model):
+        graph = two_rank_graph(fw=10.0, bw=20.0)
+        order = [[0, 3], [1, 2]]
+        sim = simulate_pipeline(graph, order, small_cluster, parallel2,
+                                cost_model)
+        plan = compile_schedule(graph, order, small_cluster, parallel2,
+                                cost_model)
+        engine = execute_plan(plan)
+        assert engine.total_ms == pytest.approx(sim.total_ms)
+
+    def test_matches_simulator_on_vlm_graph(self, vlm_graph, small_cluster,
+                                            parallel2, cost_model):
+        """Deployment invariant: compiled-plan replay == planner timeline."""
+        inter = interleave_stages(vlm_graph, small_cluster, parallel2, cost_model)
+        sim = simulate_pipeline(vlm_graph, inter.order, small_cluster,
+                                parallel2, cost_model)
+        plan = compile_schedule(vlm_graph, inter.order, small_cluster,
+                                parallel2, cost_model)
+        engine = execute_plan(plan)
+        assert engine.total_ms == pytest.approx(sim.total_ms, rel=1e-9)
+        for uid in range(len(vlm_graph.stages)):
+            assert engine.stage_end_ms[uid] == pytest.approx(
+                sim.end_ms[uid], rel=1e-9
+            )
+
+    def test_message_count_matches_cross_rank_deps(self, vlm_graph,
+                                                   small_cluster, parallel2,
+                                                   cost_model):
+        inter = interleave_stages(vlm_graph, small_cluster, parallel2, cost_model)
+        plan = compile_schedule(vlm_graph, inter.order, small_cluster,
+                                parallel2, cost_model)
+        engine = execute_plan(plan)
+        expected = sum(
+            1
+            for s in vlm_graph.stages
+            for d in s.deps
+            if vlm_graph.stages[d].rank != s.rank
+        )
+        assert engine.messages == expected
+
+    def test_deadlock_detected(self):
+        # wait_irecv for a message that is never sent.
+        plan = ExecutionPlan(actions_per_rank=[
+            [Action(kind=ActionKind.WAIT_IRECV, tag=(0, 1), peer=1)],
+            [],
+        ])
+        with pytest.raises(PlanDeadlockError):
+            execute_plan(plan)
+
+    def test_wait_on_unposted_send_detected(self):
+        plan = ExecutionPlan(actions_per_rank=[
+            [Action(kind=ActionKind.WAIT_ISEND, tag=(0, 1))],
+        ])
+        with pytest.raises(PlanDeadlockError):
+            execute_plan(plan)
+
+    def test_empty_plan(self):
+        result = execute_plan(ExecutionPlan(actions_per_rank=[[], []]))
+        assert result.total_ms == 0.0

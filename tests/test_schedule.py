@@ -1,0 +1,65 @@
+"""Tests for schedule objects and invariant validation."""
+
+import pytest
+
+from repro.core.schedule import PipelineSchedule, validate_schedule
+from tests.test_pipeline_sim import two_rank_graph
+
+
+class TestValidateSchedule:
+    def test_valid_order_passes(self):
+        graph = two_rank_graph()
+        assert validate_schedule(graph, [[0, 3], [1, 2]]) == []
+
+    def test_duplicate_detected(self):
+        graph = two_rank_graph()
+        violations = validate_schedule(graph, [[0, 0, 3], [1, 2]])
+        assert any("twice" in v for v in violations)
+
+    def test_missing_detected(self):
+        graph = two_rank_graph()
+        violations = validate_schedule(graph, [[0], [1, 2]])
+        assert any("covers" in v for v in violations)
+
+    def test_wrong_rank_detected(self):
+        graph = two_rank_graph()
+        violations = validate_schedule(graph, [[0, 3, 2], [1]])
+        assert any("listed" in v for v in violations)
+
+    def test_unknown_stage_detected(self):
+        graph = two_rank_graph()
+        violations = validate_schedule(graph, [[0, 3, 9], [1, 2]])
+        assert any("unknown" in v for v in violations)
+
+    def test_cycle_detected(self):
+        graph = two_rank_graph()
+        violations = validate_schedule(graph, [[3, 0], [1, 2]])
+        assert any("cycle" in v for v in violations)
+
+    def test_memory_check(self, small_cluster, parallel2):
+        graph = two_rank_graph(act=500.0, limit=100.0)
+        violations = validate_schedule(
+            graph, [[0, 3], [1, 2]], check_memory=True,
+            cluster=small_cluster, parallel=parallel2,
+        )
+        assert any("memory" in v for v in violations)
+
+    def test_memory_check_requires_env(self):
+        graph = two_rank_graph()
+        with pytest.raises(ValueError, match="cluster"):
+            validate_schedule(graph, [[0, 3], [1, 2]], check_memory=True)
+
+
+class TestPipelineSchedule:
+    def test_total_before_simulate_raises(self):
+        graph = two_rank_graph()
+        schedule = PipelineSchedule(graph=graph, order=[[0, 3], [1, 2]])
+        with pytest.raises(ValueError, match="simulated"):
+            _ = schedule.total_ms
+
+    def test_simulate_caches(self, small_cluster, parallel2):
+        graph = two_rank_graph(fw=10.0, bw=20.0)
+        schedule = PipelineSchedule(graph=graph, order=[[0, 3], [1, 2]])
+        result = schedule.simulate(small_cluster, parallel2)
+        assert schedule.predicted is result
+        assert schedule.total_ms == pytest.approx(60.0)

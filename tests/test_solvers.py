@@ -1,0 +1,150 @@
+"""Tests for the solver substrate: MCKP, branch-and-bound, MILP backend."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.bnb import (
+    McIntervalProblem,
+    greedy_warm_start,
+    solve_mc_interval,
+)
+from repro.solver.mckp import mckp_min_latency
+from repro.solver.scipy_backend import HAVE_MILP, solve_mc_interval_milp
+
+
+def brute_force_mckp(latencies, memories, limit):
+    best = None
+    for combo in itertools.product(*[range(len(g)) for g in latencies]):
+        mem = sum(memories[g][j] for g, j in enumerate(combo))
+        if mem > limit:
+            continue
+        lat = sum(latencies[g][j] for g, j in enumerate(combo))
+        if best is None or lat < best[1]:
+            best = (list(combo), lat)
+    return best
+
+
+class TestMckp:
+    def test_trivial(self):
+        sel, lat = mckp_min_latency([[5.0, 1.0]], [[0.0, 10.0]], 20.0)
+        assert sel == [1] and lat == 1.0
+
+    def test_budget_forces_slow_option(self):
+        sel, lat = mckp_min_latency([[5.0, 1.0]], [[0.0, 10.0]], 5.0)
+        assert sel == [0] and lat == 5.0
+
+    def test_empty_groups(self):
+        assert mckp_min_latency([], [], 10.0) == ([], 0.0)
+
+    def test_infeasible(self):
+        assert mckp_min_latency([[1.0]], [[10.0]], 5.0) is None
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mckp_min_latency([[1.0]], [], 5.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_property_matches_brute_force(self, data):
+        rng_seed = data.draw(st.integers(0, 10_000))
+        rng = np.random.default_rng(rng_seed)
+        groups = data.draw(st.integers(1, 4))
+        latencies, memories = [], []
+        for _ in range(groups):
+            k = int(rng.integers(1, 4))
+            latencies.append([float(x) for x in rng.uniform(0, 10, k)])
+            memories.append([float(x) for x in rng.integers(0, 8, k)])
+        limit = float(rng.integers(0, 20))
+        expected = brute_force_mckp(latencies, memories, limit)
+        got = mckp_min_latency(latencies, memories, limit, resolution=4096)
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None
+            # Equal optimal latency (selection may differ on ties).
+            assert got[1] == pytest.approx(expected[1], abs=1e-9)
+
+
+def random_interval_problem(seed, pairs=5, cands=3):
+    rng = np.random.default_rng(seed)
+    latencies = [[float(x) for x in np.sort(rng.uniform(0, 5, cands))[::-1]]
+                 for _ in range(pairs)]
+    memories = [[float(x) for x in np.sort(rng.uniform(1, 10, cands))]
+                for _ in range(pairs)]
+    # Swap so that low latency costs more memory (pareto-like).
+    latencies = [list(reversed(l)) for l in latencies]
+    memories = [list(reversed(m)) for m in memories]
+    num_cliques = int(rng.integers(1, 4))
+    cliques = []
+    for _ in range(num_cliques):
+        size = int(rng.integers(1, pairs + 1))
+        cliques.append(sorted(rng.choice(pairs, size=size, replace=False).tolist()))
+    min_need = max(
+        sum(min(memories[i]) for i in clique) for clique in cliques
+    )
+    limit = float(min_need + rng.uniform(0, 10))
+    return McIntervalProblem(latencies, memories, cliques, limit)
+
+
+class TestBranchAndBound:
+    def test_no_constraint_picks_fastest(self):
+        problem = McIntervalProblem(
+            latencies=[[5.0, 1.0], [4.0, 2.0]],
+            memories=[[1.0, 2.0], [1.0, 2.0]],
+            cliques=[[0, 1]],
+            limit=100.0,
+        )
+        solution = solve_mc_interval(problem, rel_gap=0.0)
+        assert solution.selection == [1, 1]
+        assert solution.latency == 3.0
+        assert solution.optimal
+
+    def test_tight_constraint(self):
+        problem = McIntervalProblem(
+            latencies=[[5.0, 1.0], [4.0, 2.0]],
+            memories=[[1.0, 10.0], [1.0, 10.0]],
+            cliques=[[0, 1]],
+            limit=11.0,  # only one pair may take the fast option
+        )
+        solution = solve_mc_interval(problem, rel_gap=0.0)
+        assert sorted(solution.selection) == [0, 1]
+        assert solution.latency == pytest.approx(min(5.0 + 2.0, 1.0 + 4.0))
+
+    def test_infeasible_raises(self):
+        problem = McIntervalProblem(
+            latencies=[[1.0]], memories=[[10.0]], cliques=[[0]], limit=5.0
+        )
+        with pytest.raises(ValueError, match="infeasible"):
+            solve_mc_interval(problem)
+
+    def test_warm_start_feasible(self):
+        problem = random_interval_problem(5)
+        warm = greedy_warm_start(problem)
+        assert warm is not None
+        assert problem.is_feasible(warm)
+
+    def test_gap_terminates_early(self):
+        problem = random_interval_problem(11, pairs=8, cands=4)
+        loose = solve_mc_interval(problem, rel_gap=0.5)
+        tight = solve_mc_interval(problem, rel_gap=0.0)
+        assert tight.latency <= loose.latency + 1e-9
+        assert loose.gap <= 0.5 + 1e-9
+
+    @pytest.mark.skipif(not HAVE_MILP, reason="scipy.optimize.milp unavailable")
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_property_matches_milp(self, seed):
+        problem = random_interval_problem(seed, pairs=4, cands=3)
+        ours = solve_mc_interval(problem, rel_gap=0.0)
+        milp = solve_mc_interval_milp(problem)
+        assert ours.latency == pytest.approx(milp.latency, rel=1e-6, abs=1e-6)
+
+    def test_empty_problem(self):
+        problem = McIntervalProblem([], [], [], 10.0)
+        solution = solve_mc_interval(problem)
+        assert solution.selection == []
+        assert solution.latency == 0.0

@@ -1,0 +1,120 @@
+"""Tests for schedule visualisation and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.interleaver import interleave_stages
+from repro.core.visualize import (
+    ascii_timeline,
+    chrome_trace,
+    memory_sparkline,
+    save_chrome_trace,
+)
+from repro.sim.pipeline import simulate_pipeline
+
+
+@pytest.fixture
+def simulated(vlm_graph, small_cluster, parallel2, cost_model):
+    inter = interleave_stages(vlm_graph, small_cluster, parallel2, cost_model)
+    sim = simulate_pipeline(vlm_graph, inter.order, small_cluster, parallel2,
+                            cost_model)
+    return vlm_graph, sim
+
+
+class TestAsciiTimeline:
+    def test_one_row_per_rank(self, simulated):
+        graph, sim = simulated
+        text = ascii_timeline(graph, sim, width=60, legend=False)
+        assert len(text.splitlines()) == graph.num_ranks
+
+    def test_width_respected(self, simulated):
+        graph, sim = simulated
+        text = ascii_timeline(graph, sim, width=50, legend=False)
+        for line in text.splitlines():
+            assert len(line) == len("PP0 |") + 50 + 1
+
+    def test_legend_has_stats(self, simulated):
+        graph, sim = simulated
+        text = ascii_timeline(graph, sim, width=50)
+        assert "bubble" in text
+        assert "s total" in text
+
+    def test_forward_and_backward_glyphs(self, simulated):
+        graph, sim = simulated
+        text = ascii_timeline(graph, sim, width=120, legend=False)
+        assert any(c.isdigit() for c in text)  # forwards
+        assert any(c.isalpha() and c.islower() and c not in "Pp"
+                   for line in text.splitlines()
+                   for c in line.split("|")[1])  # backwards
+
+
+class TestChromeTrace:
+    def test_every_stage_becomes_slice(self, simulated):
+        graph, sim = simulated
+        trace = chrome_trace(graph, sim)
+        slices = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert len(slices) == len(graph.stages)
+
+    def test_slices_carry_metadata(self, simulated):
+        graph, sim = simulated
+        trace = chrome_trace(graph, sim)
+        one = next(e for e in trace["traceEvents"] if e.get("ph") == "X")
+        assert {"microbatch", "module", "strategy", "uid"} <= set(one["args"])
+
+    def test_save_round_trips(self, simulated, tmp_path):
+        graph, sim = simulated
+        path = save_chrome_trace(graph, sim, str(tmp_path / "t.json"))
+        loaded = json.load(open(path))
+        assert loaded["displayTimeUnit"] == "ms"
+        assert loaded["traceEvents"]
+
+    def test_durations_match_simulation(self, simulated):
+        graph, sim = simulated
+        trace = chrome_trace(graph, sim)
+        for event in trace["traceEvents"]:
+            if event.get("ph") != "X":
+                continue
+            uid = event["args"]["uid"]
+            expected = (sim.end_ms[uid] - sim.start_ms[uid]) * 1e3
+            assert event["dur"] == pytest.approx(expected)
+
+
+class TestSparkline:
+    def test_length_and_peak(self, simulated):
+        graph, sim = simulated
+        line = memory_sparkline(sim, 0, width=40)
+        assert "peak" in line
+        assert len(line.split("  peak")[0]) == 40
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["plan", "VLM-S", "--microbatches", "2"])
+        assert args.command == "plan" and args.model == "VLM-S"
+
+    def test_models_command(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "vit-5b" in out and "VLM-S" in out
+
+    def test_plan_command_smoke(self, capsys):
+        code = main(["plan", "VLM-S", "--microbatches", "2",
+                     "--iterations", "1", "--budget", "4", "--diagram",
+                     "--width", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MFU" in out and "PP0" in out
+
+    def test_trace_command(self, tmp_path, capsys):
+        out_file = str(tmp_path / "trace.json")
+        code = main(["trace", "VLM-S", "--microbatches", "2",
+                     "--budget", "4", "--output", out_file])
+        assert code == 0
+        assert json.load(open(out_file))["traceEvents"]
+
+    def test_unknown_model_errors(self):
+        with pytest.raises(KeyError):
+            main(["plan", "VLM-XXL", "--microbatches", "2"])
