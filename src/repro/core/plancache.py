@@ -1,0 +1,248 @@
+"""LRU plan cache with a near-miss warm-start tier.
+
+Sits between the online planner and the schedule searcher:
+
+* **Exact hit** — the incoming graph's canonical signature matches a
+  cached entry: the cached schedule (per-rank order, memory-strategy
+  selections, group ordering) is *replayed* onto the new graph through
+  the signature's uid/pair translation tables.  Replay costs one
+  pipeline simulation instead of a full MCTS + memopt-ILP search.
+* **Near miss** — no exact match, but a cached signature with the same
+  planning context lies within ``near_miss_max_distance`` of the new
+  graph's feature vector: its winning group ordering is remapped onto
+  the new graph and used to *warm-start* the search
+  (:meth:`repro.core.searcher.ScheduleSearcher.search` with
+  ``seed_ordering``), so the tree is primed with the prior best instead
+  of starting uniform.
+* **Miss** — cold search; the result is stored for future iterations.
+
+All telemetry (hits, near hits, misses, evictions) is tracked in
+:class:`CacheStats`; the cache is thread-safe so the planner's
+asynchronous search thread can share it with the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.signature import GraphSignature, feature_distance
+from repro.core.stages import GroupKey, IterationGraph
+
+#: Default number of cached plans the planner keeps.
+DEFAULT_CACHE_SIZE = 64
+
+#: Default feature-distance ceiling for the near-miss tier.
+DEFAULT_NEAR_MISS_DISTANCE = 0.25
+
+CanonicalGroup = Tuple[int, str, str]
+
+
+@dataclass
+class CachedPlan:
+    """One cached schedule, stored in canonical (signature) space."""
+
+    signature: GraphSignature
+    ordering: List[CanonicalGroup]
+    order: List[List[int]]  # per rank, canonical stage uids
+    selected: List[int]  # per canonical pair, chosen strategy index
+    total_ms: float
+    interleave_ms: float
+    evaluations: int
+    label: str = ""
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction telemetry."""
+
+    hits: int = 0
+    near_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.near_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered without a cold search."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    @property
+    def warm_rate(self) -> float:
+        """Fraction of lookups answered with at least a warm start."""
+        if self.lookups == 0:
+            return 0.0
+        return (self.hits + self.near_hits) / self.lookups
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hits, {self.near_hits} near, {self.misses} misses "
+            f"({self.hit_rate * 100:.0f}% exact, {self.warm_rate * 100:.0f}% "
+            f"warm), {self.evictions} evictions"
+        )
+
+
+@dataclass
+class CacheLookup:
+    """Outcome of one :meth:`PlanCache.lookup`."""
+
+    kind: str  # "hit" | "near" | "miss"
+    entry: Optional[CachedPlan] = None
+    distance: float = float("inf")
+
+
+class PlanCache:
+    """LRU signature → :class:`CachedPlan` store with near-miss retrieval.
+
+    Args:
+        capacity: Maximum number of cached plans (LRU eviction beyond).
+        near_miss: Enable the warm-start tier.
+        near_miss_max_distance: Feature-distance ceiling for a cached
+            entry to count as a near miss.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CACHE_SIZE,
+        near_miss: bool = True,
+        near_miss_max_distance: float = DEFAULT_NEAR_MISS_DISTANCE,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.near_miss = near_miss
+        self.near_miss_max_distance = near_miss_max_distance
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def lookup(self, signature: GraphSignature,
+               allow_near: bool = True) -> CacheLookup:
+        """Find the cached plan for ``signature`` (exact, then nearest).
+
+        ``allow_near=False`` restricts the lookup to exact hits — the
+        planner passes it when the searcher cannot consume a seed
+        ordering (natural strategy, single-group graph), so near-hit
+        telemetry only counts retrievals that actually warm a search.
+        """
+        with self._lock:
+            entry = self._entries.get(signature.digest)
+            if entry is not None:
+                self._entries.move_to_end(signature.digest)
+                self.stats.hits += 1
+                return CacheLookup(kind="hit", entry=entry, distance=0.0)
+            if self.near_miss and allow_near:
+                best: Optional[CachedPlan] = None
+                best_distance = float("inf")
+                for candidate in self._entries.values():
+                    sig = candidate.signature
+                    if sig.context_digest != signature.context_digest:
+                        continue
+                    if sig.num_ranks != signature.num_ranks:
+                        continue
+                    if not candidate.ordering:
+                        continue  # no transferable ordering to warm with
+                    distance = feature_distance(sig.features,
+                                                signature.features)
+                    if distance < best_distance:
+                        best_distance = distance
+                        best = candidate
+                if best is not None and best_distance <= self.near_miss_max_distance:
+                    self._entries.move_to_end(best.signature.digest)
+                    self.stats.near_hits += 1
+                    return CacheLookup(kind="near", entry=best,
+                                       distance=best_distance)
+            self.stats.misses += 1
+            return CacheLookup(kind="miss")
+
+    def store(self, plan: CachedPlan) -> None:
+        """Insert (or refresh) a plan, evicting the LRU entry if full."""
+        with self._lock:
+            digest = plan.signature.digest
+            if digest in self._entries:
+                self._entries.move_to_end(digest)
+            self._entries[digest] = plan
+            self.stats.stores += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+# -- canonical-space encode / decode ----------------------------------------
+
+
+def encode_plan(result, signature: GraphSignature,
+                graph: IterationGraph) -> CachedPlan:
+    """Translate a :class:`~repro.core.searcher.SearchResult` into
+    canonical space for storage."""
+    order = [
+        [signature.canonical_uid(uid) for uid in rank_order]
+        for rank_order in result.schedule.order
+    ]
+    selected = [0] * signature.num_pairs
+    for pair in graph.pairs:
+        selected[signature.canonical_pair(pair.pair_id)] = pair.selected
+    try:
+        ordering = [signature.canonical_group(g) for g in result.ordering]
+    except KeyError:
+        ordering = []  # whole-graph fallback signature: no group mapping
+    return CachedPlan(
+        signature=signature,
+        ordering=ordering,
+        order=order,
+        selected=selected,
+        total_ms=result.total_ms,
+        interleave_ms=result.interleave_ms,
+        evaluations=result.evaluations,
+        label=result.schedule.label,
+    )
+
+
+def decode_order(plan: CachedPlan,
+                 signature: GraphSignature) -> List[List[int]]:
+    """Map a cached per-rank order onto a new, signature-equal graph."""
+    return [
+        [signature.actual_uid(uid) for uid in rank_order]
+        for rank_order in plan.order
+    ]
+
+
+def decode_selection(plan: CachedPlan, signature: GraphSignature,
+                     graph: IterationGraph) -> None:
+    """Apply cached memory-strategy selections to the new graph's pairs."""
+    for canonical, choice in enumerate(plan.selected):
+        pair = graph.pairs[signature.actual_pair(canonical)]
+        pair.selected = min(choice, len(pair.candidates) - 1)
+
+
+def decode_ordering(plan: CachedPlan,
+                    signature: GraphSignature) -> List[GroupKey]:
+    """Map a cached group ordering onto a (possibly merely similar) graph.
+
+    Canonical microbatch slots beyond the new graph's block count are
+    dropped; the searcher appends any groups the seed does not cover.
+    """
+    out: List[GroupKey] = []
+    for canonical in plan.ordering:
+        if canonical[0] >= len(signature.blocks):
+            continue
+        out.append(signature.actual_group(canonical))
+    return out

@@ -11,6 +11,13 @@ Per training iteration the planner:
 Schedule search for batch ``k+1`` overlaps the training of batch ``k``;
 the planner reports any *stall* — search time exceeding the iteration it
 hides behind — which the paper's design keeps at zero.
+
+Planning is *incremental*: every built iteration graph is fingerprinted
+(:mod:`repro.core.signature`) and looked up in an LRU plan cache
+(:mod:`repro.core.plancache`) before searching.  Repeated batch shapes —
+common in real dynamic workloads — replay their cached schedule in one
+simulation; similar shapes warm-start the search from the closest cached
+ordering.
 """
 
 from __future__ import annotations
@@ -23,7 +30,15 @@ from typing import List, Optional, Sequence
 from repro.cluster.topology import ClusterSpec, ParallelConfig
 from repro.core.graphbuilder import build_iteration_graph
 from repro.core.partitioner import ModalityPartitioner, PartitionPlan
+from repro.core.plancache import (
+    DEFAULT_CACHE_SIZE,
+    CacheStats,
+    PlanCache,
+    decode_ordering,
+    encode_plan,
+)
 from repro.core.searcher import ScheduleSearcher, SearchResult
+from repro.core.signature import compute_signature
 from repro.data import constants
 from repro.data.batching import GlobalBatch, Microbatch
 from repro.data.packing import controlled_vlm_microbatch
@@ -53,7 +68,16 @@ def reference_microbatch(kind: str) -> Microbatch:
 
 @dataclass
 class PlannerReport:
-    """Per-iteration planner telemetry."""
+    """Per-iteration planner telemetry.
+
+    Attributes:
+        cache_hit: This iteration's plan was replayed from the plan
+            cache (no search ran).
+        warm_start: The search was seeded with a near-miss cached
+            ordering.
+        signature: Canonical graph-signature digest of the batch (None
+            when the plan cache is disabled).
+    """
 
     iteration: int
     train_ms: float
@@ -62,6 +86,9 @@ class PlannerReport:
     search: SearchResult
     engine: Optional[EngineResult] = None
     average_images: float = 0.0
+    cache_hit: bool = False
+    warm_start: bool = False
+    signature: Optional[str] = None
 
 
 class OnlinePlanner:
@@ -77,6 +104,13 @@ class OnlinePlanner:
             when omitted.
         deploy: Compile and execute plans on the runtime engine,
             verifying timeline agreement.
+        plan_cache: Shared :class:`PlanCache` instance; built internally
+            (capacity ``cache_size``) when omitted and ``enable_plan_cache``
+            is true.
+        enable_plan_cache: Consult the incremental plan cache before
+            searching (exact hits replay, near misses warm-start).
+            ``False`` disables caching even when ``plan_cache`` is given.
+        cache_size: Capacity of the internally built cache.
     """
 
     def __init__(
@@ -88,6 +122,9 @@ class OnlinePlanner:
         searcher: Optional[ScheduleSearcher] = None,
         plan: Optional[PartitionPlan] = None,
         deploy: bool = False,
+        plan_cache: Optional[PlanCache] = None,
+        enable_plan_cache: bool = True,
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         self.arch = arch
         self.cluster = cluster
@@ -106,9 +143,29 @@ class OnlinePlanner:
         self._controller = (
             DeploymentController(parallel.pp) if deploy else None
         )
+        # enable_plan_cache=False always wins, even over an explicit
+        # shared cache — a disabled planner must never serve cached plans.
+        if not enable_plan_cache:
+            self.cache: Optional[PlanCache] = None
+        elif plan_cache is not None:
+            self.cache = plan_cache
+        else:
+            self.cache = PlanCache(capacity=cache_size)
+
+    @property
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Aggregate plan-cache telemetry (None when caching is off)."""
+        return self.cache.stats if self.cache is not None else None
 
     def plan_iteration(self, batch: GlobalBatch) -> SearchResult:
-        """Stages 1-3: prefetch metadata, partition, search."""
+        """Stages 1-3: prefetch metadata, partition, search.
+
+        With the plan cache enabled, the batch's canonical signature is
+        consulted first: an exact hit replays the cached schedule (one
+        simulation, no search), a near miss warm-starts the search from
+        the closest cached ordering, and a miss falls back to the cold
+        search — whose result is cached for future iterations.
+        """
         graph = build_iteration_graph(
             self.arch,
             self.plan,
@@ -118,7 +175,33 @@ class OnlinePlanner:
             self.cost_model,
             partitioner=self.partitioner,
         )
-        return self.searcher.search(graph)
+        if self.cache is None:
+            return self.searcher.search(graph)
+
+        signature = compute_signature(
+            graph,
+            self.cluster,
+            self.parallel,
+            self.cost_model,
+            extra=self.searcher.fingerprint(),
+        )
+        # Near misses only help when the search can consume a seed; keep
+        # the warm-rate telemetry honest for natural / single-group runs.
+        allow_near = (
+            self.searcher.supports_warm_start and len(graph.groups()) > 1
+        )
+        lookup = self.cache.lookup(signature, allow_near=allow_near)
+        if lookup.kind == "hit":
+            return self.searcher.replay(graph, lookup.entry, signature)
+        seed = (
+            decode_ordering(lookup.entry, signature)
+            if lookup.kind == "near"
+            else None
+        )
+        result = self.searcher.search(graph, seed_ordering=seed or None)
+        result.signature = signature.digest
+        self.cache.store(encode_plan(result, signature, graph))
+        return result
 
     def run(
         self,
@@ -190,4 +273,7 @@ class OnlinePlanner:
             search=result,
             engine=engine,
             average_images=batch.average_images,
+            cache_hit=result.cache_hit,
+            warm_start=result.warm_started,
+            signature=result.signature,
         )

@@ -15,18 +15,21 @@ deterministic, used by tests) and/or wall-clock seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.topology import ClusterSpec, ParallelConfig
 from repro.core.interleaver import InterleaveResult, interleave_stages
 from repro.core.mcts import (
     ReorderResult,
+    align_seed_ordering,
     dfs_reorder,
     mcts_reorder,
     natural_ordering,
     random_reorder,
 )
+from repro.core.plancache import CachedPlan, decode_order, decode_ordering, decode_selection
+from repro.core.signature import GraphSignature
 from repro.core.memopt import (
     MemoptReport,
     apply_uniform_memory_policy,
@@ -41,7 +44,21 @@ from repro.sim.pipeline import simulate_pipeline
 
 @dataclass
 class SearchResult:
-    """Everything the searcher learned about one iteration."""
+    """Everything the searcher learned about one iteration.
+
+    Attributes:
+        ordering: The winning segment-group ordering (the natural order
+            when no reordering search ran) — what the plan cache stores
+            and warm starts are seeded from.
+        evaluations: Ordering evaluations actually performed; 0 on the
+            natural / single-group path and on cache replays, where no
+            ordering evaluation runs.
+        cache_hit: The result was replayed from the plan cache.
+        warm_started: The search was seeded with a cached near-miss
+            ordering.
+        signature: Canonical graph-signature digest, when the planner
+            computed one.
+    """
 
     schedule: PipelineSchedule
     reorder: Optional[ReorderResult]
@@ -49,6 +66,10 @@ class SearchResult:
     interleave_ms: float
     total_ms: float
     evaluations: int = 0
+    ordering: List[GroupKey] = field(default_factory=list)
+    cache_hit: bool = False
+    warm_started: bool = False
+    signature: Optional[str] = None
 
     @property
     def trace(self) -> List:
@@ -144,8 +165,34 @@ class ScheduleSearcher:
 
     # -- search --------------------------------------------------------------
 
-    def search(self, graph: IterationGraph) -> SearchResult:
-        """Run the full three-phase search on one iteration graph."""
+    @property
+    def supports_warm_start(self) -> bool:
+        """Whether this searcher can consume a ``seed_ordering`` at all."""
+        return self.strategy != "natural"
+
+    def fingerprint(self) -> tuple:
+        """Configuration tuple folded into graph signatures.
+
+        Covers every setting that changes what a valid, comparable
+        schedule *means* (strategy, objective direction, memory-policy
+        semantics).  Effort knobs — evaluation/time budget, seed, worker
+        count — are deliberately excluded: they tune how hard one search
+        tries, and replaying a plan found with more effort is strictly
+        better than re-searching with less.  Disable the plan cache when
+        bitwise-identical cold-search runs are required.
+        """
+        return (
+            "searcher",
+            self.strategy,
+            self.enable_memopt,
+            self.memopt_mode,
+            self.memopt_exact,
+            self.rel_gap,
+            self.invert,
+        )
+
+    def _prepare_memory(self, graph: IterationGraph) -> None:
+        """Set up per-pair memory strategies ahead of interleaving."""
         if self.memopt_mode in ("full", "lean"):
             generate_candidates(graph)
             # Section 5.2: interleave with the most memory-efficient
@@ -158,8 +205,27 @@ class ScheduleSearcher:
             # memory-feasible.
             apply_uniform_memory_policy(graph)
 
+    def search(
+        self,
+        graph: IterationGraph,
+        seed_ordering: Optional[Sequence[GroupKey]] = None,
+    ) -> SearchResult:
+        """Run the full three-phase search on one iteration graph.
+
+        Args:
+            graph: The iteration graph to schedule.
+            seed_ordering: Optional warm-start group ordering (typically a
+                plan-cache near miss).  It is aligned onto this graph's
+                groups — stale keys dropped, missing ones appended — and
+                primes the reordering search so it starts from the prior
+                best instead of uniform.
+        """
+        self._prepare_memory(graph)
+
         groups = list(graph.groups().keys())
+        seed_aligned = align_seed_ordering(seed_ordering, groups)
         reorder: Optional[ReorderResult] = None
+        warm_started = False
         if self.strategy == "natural" or len(groups) <= 1:
             ordering = natural_ordering(groups)
         else:
@@ -173,6 +239,7 @@ class ScheduleSearcher:
                     seed=self.seed,
                     invert=self.invert,
                     num_workers=self.num_workers,
+                    seed_ordering=seed_aligned,
                 )
             elif self.strategy == "dfs":
                 reorder = dfs_reorder(
@@ -182,6 +249,7 @@ class ScheduleSearcher:
                     time_budget_s=self.time_budget_s,
                     seed=self.seed,
                     invert=self.invert,
+                    seed_ordering=seed_aligned,
                 )
             else:
                 reorder = random_reorder(
@@ -191,8 +259,10 @@ class ScheduleSearcher:
                     time_budget_s=self.time_budget_s,
                     seed=self.seed,
                     invert=self.invert,
+                    seed_ordering=seed_aligned,
                 )
             ordering = reorder.ordering
+            warm_started = seed_aligned is not None
 
         interleaved = self._interleave(graph, ordering)
         graph.apply_group_priorities(
@@ -224,5 +294,61 @@ class ScheduleSearcher:
             memopt=memopt,
             interleave_ms=interleaved.total_ms,
             total_ms=predicted.total_ms,
-            evaluations=reorder.evaluations if reorder else 1,
+            # No ordering evaluation runs on the natural / single-group
+            # path, so the count is honestly zero there.
+            evaluations=reorder.evaluations if reorder else 0,
+            ordering=list(ordering),
+            warm_started=warm_started,
+        )
+
+    # -- cache replay --------------------------------------------------------
+
+    def replay(
+        self,
+        graph: IterationGraph,
+        cached: CachedPlan,
+        signature: GraphSignature,
+    ) -> SearchResult:
+        """Re-instantiate a cached plan on a signature-identical graph.
+
+        Skips the ordering search and the memory-optimization ILP
+        entirely: memory candidates are regenerated (they are a pure
+        function of the hashed stage costs), the cached per-pair strategy
+        selections and per-rank order are translated through the
+        signature's canonical mappings, and a single pipeline simulation
+        recovers the timeline — which matches the cached one exactly
+        because every stage latency is signature-equal.
+        """
+        if cached.signature.digest != signature.digest:
+            raise ValueError(
+                "cannot replay a plan across different signatures; use a "
+                "warm-started search for near misses"
+            )
+        self._prepare_memory(graph)
+        decode_selection(cached, signature, graph)
+        ordering = decode_ordering(cached, signature)
+        if ordering:
+            graph.apply_group_priorities(
+                {g: len(ordering) - i for i, g in enumerate(ordering)}
+            )
+        order = decode_order(cached, signature)
+        predicted = simulate_pipeline(
+            graph, order, self.cluster, self.parallel, self.cost_model
+        )
+        schedule = PipelineSchedule(
+            graph=graph,
+            order=order,
+            predicted=predicted,
+            label=cached.label or f"dip-{self.strategy}",
+        )
+        return SearchResult(
+            schedule=schedule,
+            reorder=None,
+            memopt=None,
+            interleave_ms=cached.interleave_ms,
+            total_ms=predicted.total_ms,
+            evaluations=0,
+            ordering=ordering,
+            cache_hit=True,
+            signature=signature.digest,
         )

@@ -1,0 +1,54 @@
+"""Round-robin progress driving for discrete-event executors.
+
+Both the pipeline simulator (:mod:`repro.sim.pipeline`) and the runtime
+engine (:mod:`repro.runtime.engine`) advance a set of per-rank work lists
+by sweeping the ranks round-robin: each sweep lets every rank run as far
+as it can, and a full sweep that completes nothing while work remains
+means the ranks are deadlocked (an order edge or message wait forms a
+cycle).  This module hosts that shared control loop so the two executors
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple, Type
+
+
+def drive_round_robin(
+    num_ranks: int,
+    total_items: int,
+    advance_rank: Callable[[int], int],
+    describe_stuck: Callable[[], str],
+    error_cls: Type[Exception],
+) -> None:
+    """Sweep ranks round-robin until every work item completes.
+
+    Args:
+        num_ranks: Number of per-rank work lists.
+        total_items: Items that must complete overall.
+        advance_rank: Runs one rank as far as it can go *right now* and
+            returns how many items it completed this sweep.
+        describe_stuck: Builds the deadlock error message; only called
+            when a full sweep makes no progress with items remaining.
+        error_cls: Exception type raised on deadlock.
+
+    Raises:
+        error_cls: when no rank can progress but items remain.
+    """
+    remaining = total_items
+    while remaining > 0:
+        progressed = 0
+        for rank in range(num_ranks):
+            progressed += advance_rank(rank)
+        if progressed == 0:
+            raise error_cls(describe_stuck())
+        remaining -= progressed
+
+
+def format_stuck_ranks(waiting: List[Tuple[int, object]], what: str,
+                       limit: int = 8) -> str:
+    """Render ``(rank, item)`` heads of stuck queues for error messages."""
+    shown = ", ".join(f"rank {rank} -> {what} {item}"
+                      for rank, item in waiting[:limit])
+    suffix = ", ..." if len(waiting) > limit else ""
+    return shown + suffix

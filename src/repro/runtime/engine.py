@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.progress import drive_round_robin, format_stuck_ranks
 from repro.runtime.actions import Action, ActionKind, ExecutionPlan
 
 
@@ -58,46 +59,50 @@ def execute_plan(plan: ExecutionPlan) -> EngineResult:
     stage_end: Dict[int, float] = {}
     messages = 0
 
-    remaining = plan.num_actions()
-    while remaining > 0:
-        progressed = False
-        for rank in range(num_ranks):
-            actions = plan.actions_per_rank[rank]
-            while pointers[rank] < len(actions):
-                action = actions[pointers[rank]]
-                if action.kind is ActionKind.IRECV:
-                    irecv_posted.add(action.tag)
-                elif action.kind is ActionKind.WAIT_IRECV:
-                    if action.tag not in arrivals:
-                        break  # blocked until the matching isend posts
-                    clocks[rank] = max(clocks[rank], arrivals[action.tag])
-                elif action.kind is ActionKind.ISEND:
-                    post = clocks[rank]
-                    arrivals[action.tag] = post + action.transfer_ms
-                    posted_sends[action.tag] = post
-                    messages += 1
-                elif action.kind is ActionKind.WAIT_ISEND:
-                    if action.tag not in posted_sends:
-                        raise PlanDeadlockError(
-                            f"rank {rank} waits on unposted send {action.tag}"
-                        )
-                    # Async sends complete once delivered.
-                    clocks[rank] = max(clocks[rank], arrivals[action.tag])
-                else:  # compute
-                    start = clocks[rank]
-                    clocks[rank] = start + action.duration_ms
-                    stage_start[action.stage_uid] = start
-                    stage_end[action.stage_uid] = clocks[rank]
-                pointers[rank] += 1
-                remaining -= 1
-                progressed = True
-        if not progressed and remaining > 0:
-            blocked = [
-                (rank, plan.actions_per_rank[rank][pointers[rank]].tag)
-                for rank in range(num_ranks)
-                if pointers[rank] < len(plan.actions_per_rank[rank])
-            ]
-            raise PlanDeadlockError(f"all ranks blocked; waiting on {blocked[:6]}")
+    def advance_rank(rank: int) -> int:
+        nonlocal messages
+        completed = 0
+        actions = plan.actions_per_rank[rank]
+        while pointers[rank] < len(actions):
+            action = actions[pointers[rank]]
+            if action.kind is ActionKind.IRECV:
+                irecv_posted.add(action.tag)
+            elif action.kind is ActionKind.WAIT_IRECV:
+                if action.tag not in arrivals:
+                    break  # blocked until the matching isend posts
+                clocks[rank] = max(clocks[rank], arrivals[action.tag])
+            elif action.kind is ActionKind.ISEND:
+                post = clocks[rank]
+                arrivals[action.tag] = post + action.transfer_ms
+                posted_sends[action.tag] = post
+                messages += 1
+            elif action.kind is ActionKind.WAIT_ISEND:
+                if action.tag not in posted_sends:
+                    raise PlanDeadlockError(
+                        f"rank {rank} waits on unposted send {action.tag}"
+                    )
+                # Async sends complete once delivered.
+                clocks[rank] = max(clocks[rank], arrivals[action.tag])
+            else:  # compute
+                start = clocks[rank]
+                clocks[rank] = start + action.duration_ms
+                stage_start[action.stage_uid] = start
+                stage_end[action.stage_uid] = clocks[rank]
+            pointers[rank] += 1
+            completed += 1
+        return completed
+
+    def describe_stuck() -> str:
+        waiting = [
+            (rank, plan.actions_per_rank[rank][pointers[rank]].tag)
+            for rank in range(num_ranks)
+            if pointers[rank] < len(plan.actions_per_rank[rank])
+        ]
+        return ("all ranks blocked; waiting on "
+                + format_stuck_ranks(waiting, "tag", limit=6))
+
+    drive_round_robin(num_ranks, plan.num_actions(), advance_rank,
+                      describe_stuck, PlanDeadlockError)
 
     return EngineResult(
         total_ms=max(clocks) if clocks else 0.0,

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.progress import drive_round_robin, format_stuck_ranks
 from repro.sim.costmodel import CostModel
 
 
@@ -95,46 +96,47 @@ def simulate_pipeline(
             p2p_ms_cache[key] = cached
         return cached
 
-    remaining = num_stages
-    while remaining > 0:
-        progressed = False
-        for rank in range(graph.num_ranks):
-            while pointer[rank] < len(order[rank]):
-                uid = order[rank][pointer[rank]]
-                stage = graph.stages[uid]
-                ready = 0.0
-                blocked = False
-                for dep in stage.deps:
-                    if not done[dep]:
-                        blocked = True
-                        break
-                    dep_stage = graph.stages[dep]
-                    arrival = end[dep] + p2p_ms(
-                        dep_stage.rank, stage.rank, stage.p2p_bytes
-                    )
-                    ready = max(ready, arrival)
-                if blocked:
+    def advance_rank(rank: int) -> int:
+        completed = 0
+        while pointer[rank] < len(order[rank]):
+            uid = order[rank][pointer[rank]]
+            stage = graph.stages[uid]
+            ready = 0.0
+            blocked = False
+            for dep in stage.deps:
+                if not done[dep]:
+                    blocked = True
                     break
-                base = graph.latency_ms(stage)
-                latency = jitter(uid, base) if jitter is not None else base
-                begin = max(rank_clock[rank], ready)
-                start[uid] = begin
-                end[uid] = begin + latency
-                rank_clock[rank] = end[uid]
-                busy[rank] += latency
-                done[uid] = True
-                pointer[rank] += 1
-                remaining -= 1
-                progressed = True
-        if not progressed and remaining > 0:
-            stuck = [
-                order[r][pointer[r]]
-                for r in range(graph.num_ranks)
-                if pointer[r] < len(order[r])
-            ]
-            raise ScheduleDeadlockError(
-                f"no rank can progress; waiting stages: {stuck[:8]}"
-            )
+                dep_stage = graph.stages[dep]
+                arrival = end[dep] + p2p_ms(
+                    dep_stage.rank, stage.rank, stage.p2p_bytes
+                )
+                ready = max(ready, arrival)
+            if blocked:
+                break
+            base = graph.latency_ms(stage)
+            latency = jitter(uid, base) if jitter is not None else base
+            begin = max(rank_clock[rank], ready)
+            start[uid] = begin
+            end[uid] = begin + latency
+            rank_clock[rank] = end[uid]
+            busy[rank] += latency
+            done[uid] = True
+            pointer[rank] += 1
+            completed += 1
+        return completed
+
+    def describe_stuck() -> str:
+        waiting = [
+            (r, order[r][pointer[r]])
+            for r in range(graph.num_ranks)
+            if pointer[r] < len(order[r])
+        ]
+        return ("no rank can progress; waiting stages: "
+                + format_stuck_ranks(waiting, "stage"))
+
+    drive_round_robin(graph.num_ranks, num_stages, advance_rank,
+                      describe_stuck, ScheduleDeadlockError)
 
     total = max(end) if end else 0.0
     if total > 0:

@@ -128,6 +128,23 @@ class TestOrderValidation:
         with pytest.raises(ScheduleDeadlockError):
             simulate_pipeline(graph, [[3, 0], [1, 2]], cluster, parallel)
 
+    def test_deadlock_message_names_stuck_ranks(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph()
+        with pytest.raises(ScheduleDeadlockError) as excinfo:
+            simulate_pipeline(graph, [[3, 0], [1, 2]], cluster, parallel)
+        message = str(excinfo.value)
+        # Both stuck ranks and their waiting stage uids must be named:
+        # rank 0 waits on bw stage 3 (needs 2), rank 1 on fw stage 1
+        # (needs 0, queued behind 3 on rank 0).
+        assert "rank 0 -> stage 3" in message
+        assert "rank 1 -> stage 1" in message
+
+    def test_deadlock_error_is_runtime_error(self):
+        # Callers catching RuntimeError (e.g. validate_schedule) rely on
+        # the subclassing.
+        assert issubclass(ScheduleDeadlockError, RuntimeError)
+
     def test_missing_stage_rejected(self, small_env):
         cluster, parallel = small_env
         graph = two_rank_graph()
@@ -151,6 +168,66 @@ class TestOrderValidation:
         graph = two_rank_graph()
         with pytest.raises(ValueError, match="ranks"):
             simulate_pipeline(graph, [[0, 3], [1], [2]], cluster, parallel)
+
+    def test_duplicate_error_names_stage(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph()
+        with pytest.raises(ValueError, match="stage 3 appears twice"):
+            simulate_pipeline(graph, [[0, 3, 3], [1, 2]], cluster, parallel)
+
+    def test_wrong_rank_error_names_both_ranks(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph()
+        # Stage 1 belongs to rank 1 but is listed under rank 0.
+        with pytest.raises(ValueError,
+                           match="stage 1 belongs to rank 1.*rank 0"):
+            simulate_pipeline(graph, [[0, 3, 1], [2]], cluster, parallel)
+
+    def test_missing_error_counts_stages(self, small_env):
+        cluster, parallel = small_env
+        graph = two_rank_graph()
+        with pytest.raises(ValueError, match="misses 2 stages"):
+            simulate_pipeline(graph, [[0], [1]], cluster, parallel)
+
+
+class TestRoundRobinHelper:
+    """The shared progress loop used by the simulator and the engine."""
+
+    def test_advances_until_done(self):
+        from repro.progress import drive_round_robin
+
+        work = [[1, 1], [1, 1, 1]]
+        done = []
+
+        def advance(rank):
+            if work[rank]:
+                done.append(rank)
+                work[rank].pop()
+                return 1
+            return 0
+
+        drive_round_robin(2, 5, advance, lambda: "stuck", RuntimeError)
+        assert len(done) == 5
+
+    def test_raises_on_no_progress(self):
+        from repro.progress import drive_round_robin
+
+        class Boom(RuntimeError):
+            pass
+
+        with pytest.raises(Boom, match="nothing moved"):
+            drive_round_robin(2, 3, lambda rank: 0,
+                              lambda: "nothing moved", Boom)
+
+    def test_format_stuck_ranks_truncates(self):
+        from repro.progress import format_stuck_ranks
+
+        waiting = [(r, r * 10) for r in range(12)]
+        message = format_stuck_ranks(waiting, "stage", limit=3)
+        assert "rank 0 -> stage 0" in message
+        assert "rank 2 -> stage 20" in message
+        assert message.endswith(", ...")
+        assert "rank 3" not in message
 
 
 class TestGraphValidation:

@@ -1,0 +1,342 @@
+"""Tests for iteration-graph signatures and the incremental plan cache."""
+
+import pytest
+
+from repro.core.graphbuilder import build_iteration_graph
+from repro.core.plancache import (
+    CachedPlan,
+    PlanCache,
+    decode_order,
+    encode_plan,
+)
+from repro.core.planner import OnlinePlanner
+from repro.core.schedule import validate_schedule
+from repro.core.searcher import ScheduleSearcher
+from repro.core.signature import (
+    GraphSignature,
+    compute_signature,
+    context_fingerprint,
+    feature_distance,
+)
+from repro.data.batching import GlobalBatch
+from repro.data.packing import controlled_vlm_microbatch
+from repro.data.workload import vlm_workload
+from repro.sim.costmodel import CostModel
+
+
+def controlled_batch(image_counts, start_index=0):
+    return GlobalBatch([
+        controlled_vlm_microbatch(index=start_index + i, num_images=count)
+        for i, count in enumerate(image_counts)
+    ])
+
+
+@pytest.fixture
+def build(vlm_setup, small_cluster, parallel2, cost_model):
+    arch, plan, partitioner = vlm_setup
+
+    def _build(batch):
+        return build_iteration_graph(
+            arch, plan, batch, small_cluster, parallel2, cost_model,
+            partitioner=partitioner,
+        )
+
+    return _build
+
+
+class TestGraphSignature:
+    def test_deterministic(self, build, small_cluster, parallel2, cost_model):
+        batch = controlled_batch([4, 8])
+        a = compute_signature(build(batch), small_cluster, parallel2, cost_model)
+        b = compute_signature(build(batch), small_cluster, parallel2, cost_model)
+        assert a.digest == b.digest
+        assert a.features == b.features
+
+    def test_relabelled_batch_same_digest(self, build, small_cluster,
+                                          parallel2, cost_model):
+        """Microbatch index labels (iteration offsets) do not matter."""
+        a = compute_signature(build(controlled_batch([4, 8], start_index=0)),
+                              small_cluster, parallel2, cost_model)
+        b = compute_signature(build(controlled_batch([4, 8], start_index=20)),
+                              small_cluster, parallel2, cost_model)
+        assert a.digest == b.digest
+
+    def test_order_insensitive(self, build, small_cluster, parallel2,
+                               cost_model):
+        """Permuting the microbatches of a batch keeps the digest."""
+        a = compute_signature(build(controlled_batch([4, 8, 2])),
+                              small_cluster, parallel2, cost_model)
+        b = compute_signature(build(controlled_batch([2, 4, 8])),
+                              small_cluster, parallel2, cost_model)
+        assert a.digest == b.digest
+
+    def test_shape_changes_digest(self, build, small_cluster, parallel2,
+                                  cost_model):
+        a = compute_signature(build(controlled_batch([4, 8])),
+                              small_cluster, parallel2, cost_model)
+        b = compute_signature(build(controlled_batch([4, 9])),
+                              small_cluster, parallel2, cost_model)
+        assert a.digest != b.digest
+
+    def test_context_changes_digest(self, build, small_cluster, parallel2,
+                                    cost_model):
+        batch = controlled_batch([4, 8])
+        a = compute_signature(build(batch), small_cluster, parallel2,
+                              cost_model)
+        b = compute_signature(build(batch), small_cluster, parallel2,
+                              cost_model.with_factors(compute_efficiency=0.5))
+        c = compute_signature(build(batch), small_cluster, parallel2,
+                              cost_model, extra=("mcts", 120))
+        assert len({a.digest, b.digest, c.digest}) == 3
+        assert a.context_digest != b.context_digest
+
+    def test_uid_round_trip(self, build, small_cluster, parallel2, cost_model):
+        graph = build(controlled_batch([4, 8, 2]))
+        sig = compute_signature(graph, small_cluster, parallel2, cost_model)
+        for stage in graph.stages:
+            assert sig.actual_uid(sig.canonical_uid(stage.uid)) == stage.uid
+        for pair in graph.pairs:
+            assert sig.actual_pair(sig.canonical_pair(pair.pair_id)) == pair.pair_id
+
+    def test_cross_batch_uid_translation(self, build, small_cluster,
+                                         parallel2, cost_model):
+        """Canonical uids line up across a microbatch permutation."""
+        g1 = build(controlled_batch([4, 8]))
+        g2 = build(controlled_batch([8, 4]))
+        s1 = compute_signature(g1, small_cluster, parallel2, cost_model)
+        s2 = compute_signature(g2, small_cluster, parallel2, cost_model)
+        assert s1.digest == s2.digest
+        for canonical in range(s1.num_stages):
+            a = g1.stages[s1.actual_uid(canonical)]
+            b = g2.stages[s2.actual_uid(canonical)]
+            assert a.rank == b.rank
+            assert a.key.module == b.key.module
+            assert a.key.direction == b.key.direction
+            assert g1.latency_ms(a) == pytest.approx(g2.latency_ms(b))
+
+    def test_feature_distance(self):
+        assert feature_distance((1.0, 2.0), (1.0, 2.0)) == 0.0
+        assert feature_distance((1.0,), (2.0,)) == pytest.approx(0.5)
+        assert feature_distance((1.0,), (1.0, 2.0)) == float("inf")
+
+    def test_context_fingerprint_stable(self, small_cluster, parallel2,
+                                        cost_model):
+        a = context_fingerprint(small_cluster, parallel2, cost_model)
+        b = context_fingerprint(small_cluster, parallel2, cost_model)
+        assert a == b
+
+
+class TestPlanCache:
+    def _plan_for(self, digest_suffix, sig):
+        # A token non-empty ordering: entries without one are excluded
+        # from the near-miss tier (nothing to warm-start with).
+        return CachedPlan(signature=sig, ordering=[(0, "m", "fw")],
+                          order=[[]], selected=[], total_ms=1.0,
+                          interleave_ms=1.0, evaluations=5)
+
+    def test_exact_hit_and_stats(self, build, small_cluster, parallel2,
+                                 cost_model):
+        sig = compute_signature(build(controlled_batch([4])),
+                                small_cluster, parallel2, cost_model)
+        cache = PlanCache(capacity=4)
+        assert cache.lookup(sig).kind == "miss"
+        cache.store(self._plan_for("a", sig))
+        found = cache.lookup(sig)
+        assert found.kind == "hit"
+        assert found.distance == 0.0
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self, build, small_cluster, parallel2, cost_model):
+        cache = PlanCache(capacity=2, near_miss=False)
+        sigs = [
+            compute_signature(build(controlled_batch([n])), small_cluster,
+                              parallel2, cost_model)
+            for n in (2, 4, 8)
+        ]
+        for sig in sigs:
+            cache.store(self._plan_for("x", sig))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert sigs[0].digest not in cache  # oldest evicted
+        assert sigs[2].digest in cache
+
+    def test_lru_recency_on_lookup(self, build, small_cluster, parallel2,
+                                   cost_model):
+        cache = PlanCache(capacity=2, near_miss=False)
+        sigs = [
+            compute_signature(build(controlled_batch([n])), small_cluster,
+                              parallel2, cost_model)
+            for n in (2, 4, 8)
+        ]
+        cache.store(self._plan_for("a", sigs[0]))
+        cache.store(self._plan_for("b", sigs[1]))
+        cache.lookup(sigs[0])  # refresh entry 0
+        cache.store(self._plan_for("c", sigs[2]))
+        assert sigs[0].digest in cache
+        assert sigs[1].digest not in cache
+
+    def test_near_miss_retrieval(self, build, small_cluster, parallel2,
+                                 cost_model):
+        cache = PlanCache(capacity=4, near_miss=True,
+                          near_miss_max_distance=0.5)
+        base = compute_signature(build(controlled_batch([8, 8])),
+                                 small_cluster, parallel2, cost_model)
+        near = compute_signature(build(controlled_batch([8, 9])),
+                                 small_cluster, parallel2, cost_model)
+        cache.store(self._plan_for("base", base))
+        found = cache.lookup(near)
+        assert found.kind == "near"
+        assert found.entry.signature.digest == base.digest
+        assert found.distance < 0.5
+        assert cache.stats.near_hits == 1
+
+    def test_near_miss_respects_context(self, build, small_cluster,
+                                        parallel2, cost_model):
+        cache = PlanCache(capacity=4, near_miss=True)
+        base = compute_signature(build(controlled_batch([8, 8])),
+                                 small_cluster, parallel2, cost_model,
+                                 extra=("A",))
+        other = compute_signature(build(controlled_batch([8, 9])),
+                                  small_cluster, parallel2, cost_model,
+                                  extra=("B",))
+        cache.store(self._plan_for("base", base))
+        assert cache.lookup(other).kind == "miss"
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestEncodeDecode:
+    def test_round_trip_order(self, build, small_cluster, parallel2,
+                              cost_model):
+        graph = build(controlled_batch([4, 8]))
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=8, seed=0)
+        result = searcher.search(graph)
+        sig = compute_signature(graph, small_cluster, parallel2, cost_model)
+        plan = encode_plan(result, sig, graph)
+        assert decode_order(plan, sig) == result.schedule.order
+
+    def test_replay_identical_schedule(self, build, small_cluster, parallel2,
+                                       cost_model):
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=10, seed=0)
+        g1 = build(controlled_batch([4, 8], start_index=0))
+        result = searcher.search(g1)
+        sig1 = compute_signature(g1, small_cluster, parallel2, cost_model)
+        cached = encode_plan(result, sig1, g1)
+
+        g2 = build(controlled_batch([4, 8], start_index=2))
+        sig2 = compute_signature(g2, small_cluster, parallel2, cost_model)
+        assert sig1.digest == sig2.digest
+        replayed = searcher.replay(g2, cached, sig2)
+        assert replayed.cache_hit
+        assert replayed.evaluations == 0
+        assert replayed.schedule.order == result.schedule.order
+        assert replayed.total_ms == pytest.approx(result.total_ms)
+        assert validate_schedule(g2, replayed.schedule.order) == []
+        assert [p.selected for p in g2.pairs] == [p.selected for p in g1.pairs]
+
+    def test_replay_rejects_wrong_signature(self, build, small_cluster,
+                                            parallel2, cost_model):
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=5, seed=0)
+        g1 = build(controlled_batch([4, 8]))
+        result = searcher.search(g1)
+        sig1 = compute_signature(g1, small_cluster, parallel2, cost_model)
+        cached = encode_plan(result, sig1, g1)
+        g2 = build(controlled_batch([4, 9]))
+        sig2 = compute_signature(g2, small_cluster, parallel2, cost_model)
+        with pytest.raises(ValueError, match="signatures"):
+            searcher.replay(g2, cached, sig2)
+
+
+class TestPlannerIntegration:
+    @pytest.fixture
+    def cached_planner(self, tiny_vlm, small_cluster, parallel2, cost_model):
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=8, seed=0)
+        return OnlinePlanner(tiny_vlm, small_cluster, parallel2, cost_model,
+                             searcher=searcher, cache_size=8)
+
+    def test_repeated_batch_hits(self, cached_planner):
+        batch = controlled_batch([4, 8])
+        first = cached_planner.plan_iteration(batch)
+        second = cached_planner.plan_iteration(batch)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.evaluations == 0
+        assert second.schedule.order == first.schedule.order
+        assert cached_planner.cache_stats.hits == 1
+
+    def test_near_batch_warm_starts(self, cached_planner):
+        cached_planner.plan_iteration(controlled_batch([8, 8]))
+        result = cached_planner.plan_iteration(controlled_batch([8, 9]))
+        assert not result.cache_hit
+        assert result.warm_started
+        assert cached_planner.cache_stats.near_hits == 1
+
+    def test_cache_disabled(self, tiny_vlm, small_cluster, parallel2,
+                            cost_model):
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=6, seed=0)
+        planner = OnlinePlanner(tiny_vlm, small_cluster, parallel2,
+                                cost_model, searcher=searcher,
+                                enable_plan_cache=False)
+        batch = controlled_batch([4, 8])
+        first = planner.plan_iteration(batch)
+        second = planner.plan_iteration(batch)
+        assert planner.cache_stats is None
+        assert not second.cache_hit
+        assert second.signature is None
+        assert first.evaluations > 0 and second.evaluations > 0
+
+    def test_natural_strategy_never_counts_warm(self, tiny_vlm, small_cluster,
+                                                parallel2, cost_model):
+        """A searcher that cannot consume seeds reports misses, not near
+        hits, so warm-rate telemetry stays honest."""
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    strategy="natural", seed=0)
+        planner = OnlinePlanner(tiny_vlm, small_cluster, parallel2,
+                                cost_model, searcher=searcher)
+        planner.plan_iteration(controlled_batch([8, 8]))
+        result = planner.plan_iteration(controlled_batch([8, 9]))
+        assert not result.warm_started
+        stats = planner.cache_stats
+        assert stats.near_hits == 0
+        assert stats.misses == 2
+
+    def test_disable_wins_over_explicit_cache(self, tiny_vlm, small_cluster,
+                                              parallel2, cost_model):
+        """enable_plan_cache=False must override a passed-in cache."""
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=6, seed=0)
+        shared = PlanCache()
+        planner = OnlinePlanner(tiny_vlm, small_cluster, parallel2,
+                                cost_model, searcher=searcher,
+                                plan_cache=shared, enable_plan_cache=False)
+        assert planner.cache is None
+        batch = controlled_batch([4, 8])
+        planner.plan_iteration(batch)
+        result = planner.plan_iteration(batch)
+        assert not result.cache_hit
+        assert shared.stats.lookups == 0
+
+    def test_run_reports_cache_fields(self, cached_planner):
+        batches = [controlled_batch([4, 8]), controlled_batch([4, 8])]
+        reports = cached_planner.run(batches, asynchronous=False)
+        assert not reports[0].cache_hit
+        assert reports[1].cache_hit
+        assert reports[0].signature == reports[1].signature
+        assert reports[0].signature is not None
+
+    def test_workload_stream_hit_rate(self, cached_planner):
+        """Repeated stream batches are near misses or hits, never all cold."""
+        stream_batches = vlm_workload(2, seed=0).batches(4)
+        cached_planner.run(stream_batches, asynchronous=False)
+        stats = cached_planner.cache_stats
+        assert stats.lookups == 4
+        assert stats.warm_rate > 0.0

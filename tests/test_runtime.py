@@ -113,6 +113,18 @@ class TestEngine:
         with pytest.raises(PlanDeadlockError):
             execute_plan(plan)
 
+    def test_deadlock_message_names_stuck_ranks(self):
+        # Two ranks each waiting on a message the other never sends.
+        plan = ExecutionPlan(actions_per_rank=[
+            [Action(kind=ActionKind.WAIT_IRECV, tag=(0, 1), peer=1)],
+            [Action(kind=ActionKind.WAIT_IRECV, tag=(1, 0), peer=0)],
+        ])
+        with pytest.raises(PlanDeadlockError) as excinfo:
+            execute_plan(plan)
+        message = str(excinfo.value)
+        assert "rank 0 -> tag (0, 1)" in message
+        assert "rank 1 -> tag (1, 0)" in message
+
     def test_wait_on_unposted_send_detected(self):
         plan = ExecutionPlan(actions_per_rank=[
             [Action(kind=ActionKind.WAIT_ISEND, tag=(0, 1))],

@@ -108,6 +108,22 @@ class TestCli:
         out = capsys.readouterr().out
         assert "MFU" in out and "PP0" in out
 
+    def test_plan_reports_cache_stats(self, capsys):
+        code = main(["plan", "VLM-S", "--microbatches", "2",
+                     "--iterations", "2", "--budget", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan cache:" in out
+        assert "cold search" in out
+
+    def test_plan_cache_can_be_disabled(self, capsys):
+        code = main(["plan", "VLM-S", "--microbatches", "2",
+                     "--iterations", "1", "--budget", "4",
+                     "--no-plan-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan cache:" not in out
+
     def test_trace_command(self, tmp_path, capsys):
         out_file = str(tmp_path / "trace.json")
         code = main(["trace", "VLM-S", "--microbatches", "2",
