@@ -1,0 +1,152 @@
+"""Trace & telemetry subsystem: observability with closed-loop calibration.
+
+DynaPipe and DistTrain both lean on per-iteration timeline
+instrumentation to diagnose dynamic-workload imbalance; this benchmark
+exercises DIP's trace subsystem end to end on a Table 3 model:
+
+* a planned + simulated iteration exports to valid Chrome trace-event
+  JSON (loadable in ``chrome://tracing`` / Perfetto);
+* the per-rank bubble decomposition (warmup / dependency / straggler /
+  cooldown) partitions idle time exactly — busy + bubbles equals the
+  makespan per rank to 1e-6;
+* the critical path extracted from the event stream spans the full
+  makespan with zero slack;
+* trace-driven recalibration fits the uncalibrated analytic model's
+  efficiency factors from observed span durations, recovering the
+  reference system's hidden (perturbed) factors to a lower
+  mean-abs-error than the uncalibrated model — calibration as a closed
+  loop instead of an offline one-shot.
+"""
+
+import json
+
+import pytest
+
+from repro.core.graphbuilder import build_iteration_graph
+from repro.core.searcher import ScheduleSearcher
+from repro.metrics import bubble_ratio
+from repro.sim.costmodel import CostModel
+from repro.sim.reference import ReferenceCostModel
+from repro.trace import (
+    critical_path,
+    decompose_bubbles,
+    measure_reference_traces,
+    recalibrate_from_traces,
+    to_chrome,
+    trace_from_sim,
+    validate_chrome_trace,
+)
+
+from common import make_setup, print_table, save_results
+
+NUM_MICROBATCHES = 4
+SEARCH_BUDGET = 20
+RECAL_ITERATIONS = 2
+REFERENCE_SEED = 7
+
+
+def run_traced_iteration(setup):
+    """Plan + simulate one iteration and build its trace."""
+    searcher = ScheduleSearcher(setup.cluster, setup.parallel,
+                                setup.cost_model,
+                                budget_evaluations=SEARCH_BUDGET, seed=0)
+    batch = setup.workload(NUM_MICROBATCHES, seed=0).next_batch()
+    graph = build_iteration_graph(setup.arch, setup.plan, batch,
+                                  setup.cluster, setup.parallel,
+                                  setup.cost_model,
+                                  partitioner=setup.partitioner)
+    result = searcher.search(graph)
+    trace = trace_from_sim(graph, result.schedule.predicted, setup.cluster,
+                           setup.parallel, setup.cost_model,
+                           label=setup.name)
+    return result, trace
+
+
+def run_recalibration(setup):
+    """'Measure' iterations on the reference system and fit from traces."""
+    reference = ReferenceCostModel(seed=REFERENCE_SEED)
+    stream = setup.workload(NUM_MICROBATCHES, seed=1)
+    traces = measure_reference_traces(
+        setup.arch, setup.plan, stream.batches(RECAL_ITERATIONS),
+        setup.cluster, setup.parallel, reference,
+        partitioner=setup.partitioner)
+    report = recalibrate_from_traces(
+        traces, CostModel(), setup.cluster.gpu,
+        {b.name: b.spec for b in setup.arch.bindings},
+        tp=setup.parallel.tp)
+    return reference, report
+
+
+def run_trace_benchmark():
+    setup = make_setup("VLM-S")
+    result, trace = run_traced_iteration(setup)
+    reference, recal = run_recalibration(setup)
+    return setup, result, trace, reference, recal
+
+
+@pytest.mark.benchmark(group="trace")
+def test_trace_subsystem(benchmark):
+    setup, result, trace, reference, recal = benchmark.pedantic(
+        run_trace_benchmark, rounds=1, iterations=1)
+
+    # -- Chrome export is valid trace-event JSON ----------------------------
+    payload = to_chrome(trace)
+    json.loads(json.dumps(payload))  # round-trips through JSON text
+    assert validate_chrome_trace(payload) == []
+    slices = [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+    assert len(slices) >= len(result.schedule.graph.stages)
+
+    # -- bubble decomposition sums to (makespan - busy) within 1e-6 ---------
+    assert trace.validate() == []  # non-overlapping spans per rank
+    bubbles = decompose_bubbles(trace)
+    sim = result.schedule.predicted
+    for rank, per_rank in enumerate(bubbles.per_rank):
+        assert per_rank.busy_ms == pytest.approx(
+            sim.busy_ms_per_rank[rank], abs=1e-9)
+        assert per_rank.idle_ms == pytest.approx(
+            sim.total_ms - sim.busy_ms_per_rank[rank], abs=1e-6)
+    assert bubble_ratio(trace) == pytest.approx(sim.bubble_ratio, abs=1e-9)
+
+    # -- critical path spans the makespan with zero slack -------------------
+    path = critical_path(trace)
+    assert path.length_ms == pytest.approx(sim.total_ms, rel=1e-12)
+    assert path.slack_ms == pytest.approx(0.0, abs=1e-9)
+
+    # -- recalibration recovers the perturbed reference factors -------------
+    assert recal.improved, "trace fit must beat the uncalibrated model"
+    assert recal.mean_abs_error_after < recal.mean_abs_error_before / 2
+    # The fitted factors move toward the hidden truth on the dominant axes.
+    base = CostModel()
+    for factor in ("compute_efficiency", "saturation_tokens"):
+        hidden = getattr(reference, factor)
+        assert abs(getattr(recal.calibrated, factor) - hidden) <= abs(
+            getattr(base, factor) - hidden)
+
+    totals = bubbles.totals()
+    rows = [
+        {"metric": "trace spans", "value": len(trace)},
+        {"metric": "makespan (ms)", "value": trace.total_ms},
+        {"metric": "bubble ratio", "value": bubbles.bubble_ratio},
+        {"metric": "warmup (ms)", "value": totals["warmup"]},
+        {"metric": "dependency (ms)", "value": totals["dependency"]},
+        {"metric": "cooldown (ms)", "value": totals["cooldown"]},
+        {"metric": "critical-path stages", "value": len(path.uids)},
+        {"metric": "cp comm (ms)", "value": path.comm_ms},
+        {"metric": "recal samples", "value": recal.samples},
+        {"metric": "MAE before", "value": recal.mean_abs_error_before},
+        {"metric": "MAE after", "value": recal.mean_abs_error_after},
+    ]
+    print_table("Trace subsystem on VLM-S", rows, ["metric", "value"])
+    save_results("trace", {
+        "spans": len(trace),
+        "makespan_ms": trace.total_ms,
+        "bubble_ratio": bubbles.bubble_ratio,
+        "bubble_breakdown_ms": totals,
+        "critical_path_stages": len(path.uids),
+        "critical_path_comm_ms": path.comm_ms,
+        "recalibration_samples": recal.samples,
+        "recalibration_shapes": recal.distinct_shapes,
+        "mae_before": recal.mean_abs_error_before,
+        "mae_after": recal.mean_abs_error_after,
+        "accuracy_after": recal.accuracy_after,
+    })

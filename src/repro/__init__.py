@@ -21,6 +21,8 @@ Package map:
 * :mod:`repro.baselines` - Megatron-LM 1F1B/VPP, nnScaler*, Optimus and
   FSDP comparison systems.
 * :mod:`repro.runtime` - execution-plan compilation and replay.
+* :mod:`repro.trace` - per-rank event timelines, Chrome-trace export,
+  critical-path / bubble analytics and trace-driven recalibration.
 """
 
 from repro.cluster import ClusterSpec, ParallelConfig
@@ -33,8 +35,9 @@ from repro.metrics import mfu, speedup
 from repro.models import build_t2v, build_vlm, combination_by_name
 from repro.models.lmm import build_combination
 from repro.sim import CostModel
+from repro.trace import critical_path, decompose_bubbles, trace_from_sim
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ClusterSpec",
@@ -55,6 +58,9 @@ __all__ = [
     "analyze_workload",
     "ascii_timeline",
     "chrome_trace",
+    "trace_from_sim",
+    "critical_path",
+    "decompose_bubbles",
 ]
 
 

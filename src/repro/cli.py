@@ -6,14 +6,20 @@ Commands:
                   print per-iteration statistics and the schedule diagram.
 * ``compare``   — run all systems on a shared workload (a mini Fig. 8a).
 * ``models``    — list the model zoo and combinations.
-* ``trace``     — export a searched schedule as a Chrome trace JSON.
+* ``trace``     — the trace & telemetry subsystem: ``export`` /
+                  ``analyze`` / ``compare`` / ``recalibrate`` /
+                  ``validate`` over per-rank event timelines.
 
 Examples::
 
     python -m repro models
     python -m repro plan VLM-S --microbatches 6 --iterations 2 --diagram
     python -m repro compare T2V-S --microbatches 8
-    python -m repro trace VLM-S --output /tmp/vlm_s.trace.json
+    python -m repro trace export VLM-S --output /tmp/vlm_s.trace.json
+    python -m repro trace analyze VLM-S --microbatches 4
+    python -m repro trace compare VLM-S --against natural
+    python -m repro trace recalibrate VLM-S
+    python -m repro trace validate /tmp/vlm_s.trace.json
 """
 
 from __future__ import annotations
@@ -23,9 +29,10 @@ import sys
 from typing import List, Optional
 
 from repro.cluster.topology import ParallelConfig, cluster_h100, cluster_h800
+from repro.core.plancache import PlanCache
 from repro.core.planner import OnlinePlanner
 from repro.core.searcher import ScheduleSearcher
-from repro.core.visualize import ascii_timeline, memory_sparkline, save_chrome_trace
+from repro.core.visualize import ascii_timeline, memory_sparkline
 from repro.data.workload import t2v_workload, vlm_workload
 from repro.metrics import mfu
 from repro.models.lmm import build_combination
@@ -34,7 +41,8 @@ from repro.sim.costmodel import CostModel
 
 
 def _setup(combo_name: str, budget: int, seed: int,
-           plan_cache: bool = True, cache_size: int = 64):
+           plan_cache: bool = True, cache_size: int = 64,
+           cache_file: Optional[str] = None, strategy: str = "mcts"):
     combo = combination_by_name(combo_name)
     arch = build_combination(combo)
     parallel = ParallelConfig(dp=1, tp=combo.tp, pp=combo.pp)
@@ -45,12 +53,24 @@ def _setup(combo_name: str, budget: int, seed: int,
         cluster = cluster_h800(nodes)
     cost_model = CostModel()
     searcher = ScheduleSearcher(cluster, parallel, cost_model,
+                                strategy=strategy,
                                 budget_evaluations=budget, seed=seed)
+    shared_cache = None
+    if plan_cache and cache_file:
+        shared_cache = PlanCache.load(cache_file, capacity=cache_size)
     planner = OnlinePlanner(arch, cluster, parallel, cost_model,
                             searcher=searcher,
+                            plan_cache=shared_cache,
                             enable_plan_cache=plan_cache,
                             cache_size=cache_size)
     return arch, cluster, parallel, planner
+
+
+def _save_cache(planner: OnlinePlanner, args) -> None:
+    """Persist the plan cache when ``--cache-file`` was given."""
+    cache_file = getattr(args, "cache_file", None)
+    if cache_file and planner.cache is not None:
+        planner.cache.save(cache_file)
 
 
 def _workload(arch, microbatches: int, seed: int):
@@ -75,7 +95,8 @@ def cmd_models(_args) -> int:
 def cmd_plan(args) -> int:
     arch, cluster, parallel, planner = _setup(args.model, args.budget,
                                               args.seed, args.plan_cache,
-                                              args.cache_size)
+                                              args.cache_size,
+                                              args.cache_file)
     print(f"{arch.name}: {arch.parameters_billion():.1f}B on "
           f"{parallel.describe()}  |  plan: {planner.plan.describe()}")
     stream = _workload(arch, args.microbatches, args.seed)
@@ -101,6 +122,7 @@ def cmd_plan(args) -> int:
     stats = planner.cache_stats
     if stats is not None:
         print(f"plan cache: {stats.describe()}")
+    _save_cache(planner, args)
     return 0
 
 
@@ -147,16 +169,188 @@ def cmd_tune(args) -> int:
     return 0
 
 
-def cmd_trace(args) -> int:
-    arch, cluster, parallel, planner = _setup(args.model, args.budget,
-                                              args.seed, args.plan_cache,
-                                              args.cache_size)
+def _planned_trace(args, strategy: str = "mcts"):
+    """Plan one batch and build its trace (shared by trace subcommands)."""
+    from repro.trace import trace_from_sim
+
+    arch, cluster, parallel, planner = _setup(
+        args.model, args.budget, args.seed, args.plan_cache,
+        args.cache_size, getattr(args, "cache_file", None),
+        strategy=strategy,
+    )
     batch = _workload(arch, args.microbatches, args.seed).next_batch()
     result = planner.plan_iteration(batch)
-    path = save_chrome_trace(result.schedule.graph, result.schedule.predicted,
-                             args.output, process_name=args.model)
-    print(f"wrote {path} — open in chrome://tracing or ui.perfetto.dev")
+    trace = trace_from_sim(
+        result.schedule.graph, result.schedule.predicted,
+        cluster, parallel, planner.cost_model,
+        label=f"{args.model} ({result.schedule.label})",
+        schedule_uid=result.signature or "",
+    )
+    return trace, planner
+
+
+def cmd_trace_export(args) -> int:
+    from repro.trace import save_chrome
+
+    trace, planner = _planned_trace(args)
+    if args.format == "chrome":
+        path = save_chrome(trace, args.output, process_name=args.model)
+        print(f"wrote {path} — open in chrome://tracing or ui.perfetto.dev")
+    else:
+        path = trace.save(args.output)
+        print(f"wrote {path} (native format — analyze with "
+              f"'repro trace analyze --input {path}')")
+    _save_cache(planner, args)
     return 0
+
+
+def _load_or_plan(args):
+    import json
+
+    from repro.trace import Trace, TraceValidationError
+
+    if args.input:
+        try:
+            return Trace.load(args.input)
+        except (OSError, json.JSONDecodeError,
+                TraceValidationError) as exc:
+            print(f"cannot load trace {args.input}: {exc}", file=sys.stderr)
+            return None
+    if not args.model:
+        print("trace analyze needs a model name or --input FILE",
+              file=sys.stderr)
+        return None
+    trace, planner = _planned_trace(args)
+    _save_cache(planner, args)
+    return trace
+
+
+def cmd_trace_analyze(args) -> int:
+    from repro.trace import critical_path, decompose_bubbles
+
+    trace = _load_or_plan(args)
+    if trace is None:
+        return 2
+    problems = trace.validate()
+    if problems:
+        print(f"invalid trace: {problems[0]}", file=sys.stderr)
+        return 1
+    report = decompose_bubbles(trace)
+    print(f"{trace.meta.label or 'trace'}: {len(trace)} spans over "
+          f"{trace.num_ranks} ranks, makespan {trace.total_ms:.2f} ms")
+    print(report.describe())
+    print(f"bubble ratio (event stream): {report.bubble_ratio * 100:.2f}%")
+    header = (f"{'rank':>4} {'busy':>10} {'warmup':>10} {'depend':>10} "
+              f"{'straggl':>10} {'cooldown':>10}")
+    print(header)
+    for bubbles in report.per_rank:
+        print(f"{bubbles.rank:>4} {bubbles.busy_ms:>10.2f} "
+              f"{bubbles.warmup_ms:>10.2f} {bubbles.dependency_ms:>10.2f} "
+              f"{bubbles.straggler_ms:>10.2f} {bubbles.cooldown_ms:>10.2f}")
+    print(critical_path(trace).describe())
+    return 0
+
+
+def cmd_trace_compare(args) -> int:
+    from repro.trace import diff_traces, trace_from_sim
+
+    if args.against == "replay":
+        # Plan the identical batch twice through one *fresh private*
+        # cache: the first pass must be a genuine cold search, the second
+        # an exact-hit replay whose timeline must match.  A pre-loaded
+        # --cache-file would silently turn the "cold" leg into a replay
+        # too, so the flag is ignored (and never overwritten) here.
+        arch, cluster, parallel, planner = _setup(
+            args.model, args.budget, args.seed, True, args.cache_size)
+        batch = _workload(arch, args.microbatches, args.seed).next_batch()
+
+        def build(tag):
+            result = planner.plan_iteration(batch)
+            assert result.cache_hit == (tag == "replay")
+            return trace_from_sim(
+                result.schedule.graph, result.schedule.predicted,
+                cluster, parallel, planner.cost_model,
+                label=f"{args.model} ({tag})")
+
+        trace_a, trace_b = build("cold"), build("replay")
+    else:
+        trace_a, planner_a = _planned_trace(args)
+        trace_b, _ = _planned_trace(args, strategy=args.against)
+        # Persist only the primary (mcts) planner's cache — the baseline
+        # strategy's entries live under a different context fingerprint.
+        _save_cache(planner_a, args)
+    print(f"A: {trace_a.meta.label}   B: {trace_b.meta.label} "
+          f"({args.against})")
+    print(diff_traces(trace_a, trace_b).describe())
+    return 0
+
+
+def cmd_trace_recalibrate(args) -> int:
+    from repro.sim.reference import ReferenceCostModel
+    from repro.trace import measure_reference_traces, recalibrate_from_traces
+
+    arch, cluster, parallel, planner = _setup(args.model, args.budget,
+                                              args.seed, False)
+    reference = ReferenceCostModel(seed=args.ref_seed)
+    stream = _workload(arch, args.microbatches, args.seed)
+    traces = measure_reference_traces(
+        arch, planner.plan, stream.batches(args.iterations), cluster,
+        parallel, reference, partitioner=planner.partitioner,
+        label=args.model)
+    report = recalibrate_from_traces(
+        traces, planner.cost_model, cluster.gpu,
+        {b.name: b.spec for b in arch.bindings}, tp=parallel.tp)
+    print(report.describe())
+    base = planner.cost_model
+    fitted = report.calibrated
+    print(f"{'factor':<22} {'analytic':>10} {'fitted':>10} {'hidden':>10}")
+    for factor in ("compute_efficiency", "memory_efficiency",
+                   "saturation_tokens", "kernel_overhead_us",
+                   "stage_overhead_us"):
+        print(f"{factor:<22} {getattr(base, factor):>10.3f} "
+              f"{getattr(fitted, factor):>10.3f} "
+              f"{getattr(reference, factor):>10.3f}")
+    return 0 if report.improved else 1
+
+
+def cmd_trace_validate(args) -> int:
+    import json
+
+    from repro.trace import Trace, validate_chrome_trace
+
+    try:
+        with open(args.file) as f:
+            payload = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot load {args.file}: {exc}", file=sys.stderr)
+        return 1
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        problems = validate_chrome_trace(payload)
+        flavor = "chrome"
+    else:
+        try:
+            problems = Trace.from_dict(payload).validate()
+        except Exception as exc:  # noqa: BLE001 — report, don't crash
+            problems = [str(exc)]
+        flavor = "native"
+    if problems:
+        print(f"{args.file}: INVALID {flavor} trace", file=sys.stderr)
+        for problem in problems[:10]:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(f"{args.file}: valid {flavor} trace")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    handlers = {
+        "export": cmd_trace_export,
+        "analyze": cmd_trace_analyze,
+        "compare": cmd_trace_compare,
+        "recalibrate": cmd_trace_recalibrate,
+        "validate": cmd_trace_validate,
+    }
+    return handlers[args.trace_command](args)
 
 
 def _positive_int(value: str) -> int:
@@ -192,6 +386,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "shapes (--no-plan-cache disables)")
         p.add_argument("--cache-size", type=_positive_int, default=64,
                        help="plan-cache capacity (LRU entries)")
+        p.add_argument("--cache-file", default=None,
+                       help="persist the plan cache to this JSON file "
+                            "(loaded on start, saved on exit) so restarts "
+                            "keep their amortization")
 
     plan = sub.add_parser("plan", help="plan + simulate training iterations")
     common_args(plan)
@@ -203,10 +401,66 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="compare all systems")
     common_args(compare)
 
-    trace = sub.add_parser("trace", help="export a Chrome trace")
-    common_args(trace)
-    cache_args(trace)
-    trace.add_argument("--output", default="schedule.trace.json")
+    trace = sub.add_parser(
+        "trace", help="trace & telemetry: export / analyze / compare / "
+                      "recalibrate / validate")
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def trace_batch_args(p, optional_model=False):
+        # Trace subcommands plan exactly one batch — no --iterations,
+        # which would otherwise be accepted and silently ignored.
+        if optional_model:
+            p.add_argument("model", nargs="?", default=None,
+                           help="combination name, e.g. VLM-S (omit when "
+                                "using --input)")
+        else:
+            p.add_argument("model", help="combination name, e.g. VLM-S")
+        p.add_argument("--microbatches", type=int, default=6)
+        p.add_argument("--budget", type=int, default=25,
+                       help="schedule-search evaluations")
+        p.add_argument("--seed", type=int, default=0)
+
+    texport = tsub.add_parser("export",
+                              help="plan one batch and export its trace")
+    trace_batch_args(texport)
+    cache_args(texport)
+    texport.add_argument("--output", default="schedule.trace.json")
+    texport.add_argument("--format", choices=("chrome", "native"),
+                         default="chrome",
+                         help="chrome://tracing JSON or the compact "
+                              "native format (lossless, re-analyzable)")
+
+    tanalyze = tsub.add_parser(
+        "analyze", help="critical path + per-rank bubble decomposition")
+    trace_batch_args(tanalyze, optional_model=True)
+    tanalyze.add_argument("--input", default=None,
+                          help="analyze a saved native trace instead of "
+                               "planning a fresh batch")
+    cache_args(tanalyze)
+
+    tcompare = tsub.add_parser(
+        "compare", help="diff two schedules of the same batch")
+    trace_batch_args(tcompare)
+    cache_args(tcompare)
+    tcompare.add_argument("--against",
+                          choices=("natural", "dfs", "random", "replay"),
+                          default="natural",
+                          help="baseline: another search strategy, or "
+                               "'replay' to diff a cold search against "
+                               "its plan-cache replay")
+
+    trecal = tsub.add_parser(
+        "recalibrate",
+        help="fit cost-model efficiency factors from reference-system "
+             "traces")
+    common_args(trecal)
+    trecal.add_argument("--ref-seed", type=int, default=7,
+                        help="hidden-factor seed of the reference "
+                             "'hardware' being traced")
+
+    tvalidate = tsub.add_parser(
+        "validate", help="validate a trace file against the event schema")
+    tvalidate.add_argument("file", help="chrome or native trace JSON")
 
     tune = sub.add_parser("tune", help="rank DP x TP x PP layouts")
     common_args(tune)

@@ -138,6 +138,9 @@ class _Builder:
                     rank=rank,
                     num_layers=layers,
                     cost=cost,
+                    instances=instances,
+                    seq=seq,
+                    context=context,
                 )
                 self.pairs.append(pair)
                 if prev_uid is None:

@@ -23,12 +23,18 @@ asynchronous search thread can share it with the caller.
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.core.signature import GraphSignature, feature_distance
+from repro.core.signature import (
+    SIGNATURE_VERSION,
+    BlockInfo,
+    GraphSignature,
+    feature_distance,
+)
 from repro.core.stages import GroupKey, IterationGraph
 
 #: Default number of cached plans the planner keeps.
@@ -36,6 +42,10 @@ DEFAULT_CACHE_SIZE = 64
 
 #: Default feature-distance ceiling for the near-miss tier.
 DEFAULT_NEAR_MISS_DISTANCE = 0.25
+
+#: Bumped whenever the persisted cache-file schema changes shape.
+CACHE_FILE_VERSION = 1
+CACHE_FILE_FORMAT = "repro-plan-cache"
 
 CanonicalGroup = Tuple[int, str, str]
 
@@ -184,6 +194,136 @@ class PlanCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_payload(self) -> Dict:
+        """JSON-serialisable snapshot (entries in LRU -> MRU order)."""
+        with self._lock:
+            return {
+                "format": CACHE_FILE_FORMAT,
+                "version": CACHE_FILE_VERSION,
+                "signature_version": SIGNATURE_VERSION,
+                "capacity": self.capacity,
+                "near_miss": self.near_miss,
+                "near_miss_max_distance": self.near_miss_max_distance,
+                "entries": [_plan_to_dict(p) for p in self._entries.values()],
+            }
+
+    def save(self, path: str) -> str:
+        """Persist the cache to ``path`` so restarts keep amortization."""
+        with open(path, "w") as f:
+            json.dump(self.to_payload(), f)
+        return path
+
+    @classmethod
+    def from_payload(cls, payload: Dict, capacity: Optional[int] = None,
+                     **kwargs) -> "PlanCache":
+        """Rebuild a cache from :meth:`to_payload` output.
+
+        Entries persisted under a different file-schema or signature
+        version are dropped (they could never match a lookup anyway);
+        ``capacity`` and the near-miss knobs default to the persisted
+        values but can be overridden.  Telemetry starts fresh — stats
+        describe the current run, not the file's history.
+        """
+        stale = (
+            payload.get("format") != CACHE_FILE_FORMAT
+            or payload.get("version") != CACHE_FILE_VERSION
+            or payload.get("signature_version") != SIGNATURE_VERSION
+        )
+        cache = cls(
+            capacity=capacity or int(payload.get("capacity",
+                                                 DEFAULT_CACHE_SIZE)),
+            near_miss=kwargs.get("near_miss",
+                                 payload.get("near_miss", True)),
+            near_miss_max_distance=kwargs.get(
+                "near_miss_max_distance",
+                payload.get("near_miss_max_distance",
+                            DEFAULT_NEAR_MISS_DISTANCE)),
+        )
+        if stale:
+            return cache
+        entries = payload.get("entries", [])
+        if not isinstance(entries, list):
+            return cache
+        for entry in entries[-cache.capacity:]:
+            # A malformed entry is dropped, never fatal — the cache is an
+            # amortization, and the rest of the file may still be good.
+            try:
+                plan = _plan_from_dict(entry)
+            except (KeyError, TypeError, ValueError, AttributeError):
+                continue
+            cache._entries[plan.signature.digest] = plan
+        return cache
+
+    @classmethod
+    def load(cls, path: str, capacity: Optional[int] = None,
+             **kwargs) -> "PlanCache":
+        """Load a persisted cache; unreadable files yield an empty cache.
+
+        A training restart must never fail on a corrupt or stale cache
+        file — the cache is an amortization, not a correctness input.
+        """
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+            if not isinstance(payload, dict):
+                raise ValueError("cache file is not a JSON object")
+            return cls.from_payload(payload, capacity=capacity, **kwargs)
+        except (OSError, json.JSONDecodeError, ValueError, KeyError,
+                TypeError):
+            return cls(capacity=capacity or DEFAULT_CACHE_SIZE, **kwargs)
+
+
+def _signature_to_dict(signature: GraphSignature) -> Dict:
+    return {
+        "digest": signature.digest,
+        "context_digest": signature.context_digest,
+        "features": list(signature.features),
+        "num_ranks": signature.num_ranks,
+        "blocks": [
+            [b.microbatch, b.uid_start, b.uid_stop, b.pair_start,
+             b.pair_stop, b.digest]
+            for b in signature.blocks
+        ],
+    }
+
+
+def _signature_from_dict(payload: Dict) -> GraphSignature:
+    return GraphSignature(
+        digest=payload["digest"],
+        context_digest=payload["context_digest"],
+        features=tuple(payload["features"]),
+        blocks=[BlockInfo(*entry) for entry in payload["blocks"]],
+        num_ranks=payload["num_ranks"],
+    )
+
+
+def _plan_to_dict(plan: CachedPlan) -> Dict:
+    return {
+        "signature": _signature_to_dict(plan.signature),
+        "ordering": [list(g) for g in plan.ordering],
+        "order": plan.order,
+        "selected": plan.selected,
+        "total_ms": plan.total_ms,
+        "interleave_ms": plan.interleave_ms,
+        "evaluations": plan.evaluations,
+        "label": plan.label,
+    }
+
+
+def _plan_from_dict(payload: Dict) -> CachedPlan:
+    return CachedPlan(
+        signature=_signature_from_dict(payload["signature"]),
+        ordering=[tuple(g) for g in payload["ordering"]],
+        order=[list(rank_order) for rank_order in payload["order"]],
+        selected=list(payload["selected"]),
+        total_ms=payload["total_ms"],
+        interleave_ms=payload["interleave_ms"],
+        evaluations=payload["evaluations"],
+        label=payload.get("label", ""),
+    )
 
 
 # -- canonical-space encode / decode ----------------------------------------

@@ -209,6 +209,7 @@ class ScheduleSearcher:
         self,
         graph: IterationGraph,
         seed_ordering: Optional[Sequence[GroupKey]] = None,
+        budget_evaluations: Optional[int] = None,
     ) -> SearchResult:
         """Run the full three-phase search on one iteration graph.
 
@@ -219,7 +220,13 @@ class ScheduleSearcher:
                 groups — stale keys dropped, missing ones appended — and
                 primes the reordering search so it starts from the prior
                 best instead of uniform.
+            budget_evaluations: Per-call override of the configured
+                evaluation budget — the planner's cache-aware budget
+                control passes a shrunken budget when a close near miss
+                seeds the search.
         """
+        budget = (self.budget_evaluations if budget_evaluations is None
+                  else budget_evaluations)
         self._prepare_memory(graph)
 
         groups = list(graph.groups().keys())
@@ -234,7 +241,7 @@ class ScheduleSearcher:
                 reorder = mcts_reorder(
                     groups,
                     evaluator,
-                    budget_evaluations=self.budget_evaluations,
+                    budget_evaluations=budget,
                     time_budget_s=self.time_budget_s,
                     seed=self.seed,
                     invert=self.invert,
@@ -245,7 +252,7 @@ class ScheduleSearcher:
                 reorder = dfs_reorder(
                     groups,
                     evaluator,
-                    budget_evaluations=self.budget_evaluations,
+                    budget_evaluations=budget,
                     time_budget_s=self.time_budget_s,
                     seed=self.seed,
                     invert=self.invert,
@@ -255,7 +262,7 @@ class ScheduleSearcher:
                 reorder = random_reorder(
                     groups,
                     evaluator,
-                    budget_evaluations=self.budget_evaluations,
+                    budget_evaluations=budget,
                     time_budget_s=self.time_budget_s,
                     seed=self.seed,
                     invert=self.invert,

@@ -92,7 +92,13 @@ class StrategyCandidate:
 
 @dataclass
 class StagePair:
-    """A forward/backward stage couple sharing one strategy choice."""
+    """A forward/backward stage couple sharing one strategy choice.
+
+    ``instances`` / ``seq`` / ``context`` record the workload the pair's
+    :class:`StageCost` was computed for — the attribution trace spans
+    carry so observed durations can be fitted back into the cost model
+    (:mod:`repro.trace.recalibrate`).
+    """
 
     pair_id: int
     microbatch: int
@@ -102,6 +108,9 @@ class StagePair:
     rank: int
     num_layers: int
     cost: StageCost
+    instances: int = 0
+    seq: int = 0
+    context: int = 0
     candidates: List[StrategyCandidate] = field(default_factory=list)
     selected: int = 0
 

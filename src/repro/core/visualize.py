@@ -6,16 +6,19 @@ Two complementary views of a simulated pipeline schedule:
   per rank, microbatch digits in boxes) — the style of the paper's
   Fig. 3/5 — directly in the terminal.
 * :func:`chrome_trace` emits a ``chrome://tracing`` / Perfetto JSON
-  object for interactive inspection.
+  object for interactive inspection — built on the trace subsystem's
+  shared event stream (:mod:`repro.trace`), so the interactive view,
+  the analytics and the CLI all read the same spans.
 """
 
 from __future__ import annotations
 
-import json
 from typing import Dict, List, Optional
 
 from repro.core.stages import Direction, IterationGraph
 from repro.sim.pipeline import PipelineSimResult
+from repro.trace.builders import trace_from_sim
+from repro.trace.export import save_chrome, to_chrome
 
 
 def ascii_timeline(
@@ -68,45 +71,13 @@ def chrome_trace(
     Load the returned object (serialised with :func:`save_chrome_trace`)
     in ``chrome://tracing`` or https://ui.perfetto.dev: one row per
     pipeline rank, one slice per stage, with module / microbatch /
-    strategy metadata attached.
+    strategy metadata attached.  Thin wrapper over
+    :func:`repro.trace.builders.trace_from_sim` +
+    :func:`repro.trace.export.to_chrome`; pass the cluster/parallel
+    context to ``trace_from_sim`` directly for comm spans too.
     """
-    events: List[Dict] = [{
-        "name": "process_name",
-        "ph": "M",
-        "pid": 0,
-        "args": {"name": process_name},
-    }]
-    for rank in range(graph.num_ranks):
-        events.append({
-            "name": "thread_name",
-            "ph": "M",
-            "pid": 0,
-            "tid": rank,
-            "args": {"name": f"PP rank {rank}"},
-        })
-    for stage in graph.stages:
-        pair = graph.pairs[stage.pair_id]
-        start_us = result.start_ms[stage.uid] * 1e3
-        duration_us = (result.end_ms[stage.uid] - result.start_ms[stage.uid]) * 1e3
-        direction = "fw" if stage.is_forward else "bw"
-        events.append({
-            "name": f"{direction} {stage.key.module} mb{stage.key.microbatch}",
-            "cat": direction,
-            "ph": "X",
-            "pid": 0,
-            "tid": stage.rank,
-            "ts": start_us,
-            "dur": duration_us,
-            "args": {
-                "microbatch": stage.key.microbatch,
-                "module": stage.key.module,
-                "sub": stage.key.sub_index,
-                "chunk": stage.key.chunk,
-                "strategy": pair.strategy.label,
-                "uid": stage.uid,
-            },
-        })
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    trace = trace_from_sim(graph, result, label=process_name, stalls=False)
+    return to_chrome(trace, process_name=process_name)
 
 
 def save_chrome_trace(
@@ -116,10 +87,8 @@ def save_chrome_trace(
     process_name: str = "pipeline",
 ) -> str:
     """Serialise :func:`chrome_trace` to ``path``; returns the path."""
-    trace = chrome_trace(graph, result, process_name)
-    with open(path, "w") as f:
-        json.dump(trace, f)
-    return path
+    trace = trace_from_sim(graph, result, label=process_name, stalls=False)
+    return save_chrome(trace, path, process_name=process_name)
 
 
 def memory_sparkline(

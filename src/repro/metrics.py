@@ -3,12 +3,19 @@
 MFU (model FLOPs utilization) follows the paper's definition: the model's
 train-step FLOPs divided by elapsed time and the aggregate peak FLOPs of
 the GPUs in one data-parallel replica.
+
+Bubble ratio is computed from the trace event stream
+(:func:`bubble_ratio`): the per-rank bubble decomposition's idle
+fraction, which by construction partitions idle time exactly — the same
+number every trace consumer (CLI analytics, benchmarks, Chrome export)
+sees, instead of each call site recomputing busy/idle ad hoc.
 """
 
 from __future__ import annotations
 
 from repro.cluster.devices import GpuSpec
 from repro.cluster.topology import ParallelConfig
+from repro.trace.analysis import BubbleReport, decompose_bubbles
 
 
 def mfu(
@@ -41,6 +48,34 @@ def throughput_tokens_per_s(total_tokens: float, iteration_ms: float) -> float:
 def pflops_per_iteration(model_flops: float) -> float:
     """Convenience: iteration FLOPs in petaFLOPs (Table 1's unit)."""
     return model_flops / 1e15
+
+
+def bubble_ratio(trace) -> float:
+    """Idle fraction across ranks within the makespan, from the trace.
+
+    Delegates to the trace subsystem's bubble decomposition, whose four
+    categories partition each rank's idle time exactly — so this agrees
+    with the per-cause breakdown to the last ulp.  Accepts either a
+    :class:`~repro.trace.events.Trace` or an already-computed
+    :class:`~repro.trace.analysis.BubbleReport` (pass the report when
+    you need several bubble metrics from one decomposition pass).
+    """
+    return _bubble_report(trace).bubble_ratio
+
+
+def bubble_time_ms(trace) -> float:
+    """Aggregate idle time across all ranks, from the trace.
+
+    Accepts a :class:`~repro.trace.events.Trace` or a precomputed
+    :class:`~repro.trace.analysis.BubbleReport`, like :func:`bubble_ratio`.
+    """
+    return _bubble_report(trace).idle_ms
+
+
+def _bubble_report(trace_or_report):
+    if isinstance(trace_or_report, BubbleReport):
+        return trace_or_report
+    return decompose_bubbles(trace_or_report)
 
 
 def speedup(baseline_ms: float, optimized_ms: float) -> float:

@@ -12,10 +12,11 @@ integration tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.progress import drive_round_robin, format_stuck_ranks
 from repro.runtime.actions import Action, ActionKind, ExecutionPlan
+from repro.trace.events import TraceCollector
 
 
 class PlanDeadlockError(RuntimeError):
@@ -41,8 +42,21 @@ class EngineResult:
     messages: int = 0
 
 
-def execute_plan(plan: ExecutionPlan) -> EngineResult:
+def execute_plan(
+    plan: ExecutionPlan,
+    collector: Optional[TraceCollector] = None,
+) -> EngineResult:
     """Run the plan to completion.
+
+    Args:
+        plan: The compiled per-rank action lists.
+        collector: Optional :class:`~repro.trace.events.TraceCollector`
+            the executed timeline is emitted into — compute spans keyed
+            by stage uid plus one comm span per delivered message.
+            Engine spans carry uid-level attribution only; enrich the
+            built trace with the source graph
+            (:meth:`repro.trace.events.Trace.enrich`) for microbatch /
+            module / dependency metadata.
 
     Raises:
         PlanDeadlockError: if the ranks block forever (e.g. a
@@ -103,6 +117,35 @@ def execute_plan(plan: ExecutionPlan) -> EngineResult:
 
     drive_round_robin(num_ranks, plan.num_actions(), advance_rank,
                       describe_stuck, PlanDeadlockError)
+
+    if collector is not None:
+        if collector.meta.num_ranks == 0:
+            collector.meta.num_ranks = num_ranks
+        collector.meta.total_ms = max(clocks) if clocks else 0.0
+        for rank, actions in enumerate(plan.actions_per_rank):
+            for action in actions:
+                if action.is_compute():
+                    direction = (
+                        "fw" if action.kind is ActionKind.FW_STAGE else "bw"
+                    )
+                    collector.record_compute(
+                        rank=rank,
+                        uid=action.stage_uid,
+                        start_ms=stage_start[action.stage_uid],
+                        end_ms=stage_end[action.stage_uid],
+                        direction=direction,
+                        strategy=action.strategy,
+                    )
+                elif (action.kind is ActionKind.ISEND
+                      and action.transfer_ms > 0):
+                    collector.record_comm(
+                        src_uid=action.tag[0],
+                        dst_uid=action.tag[1],
+                        src_rank=rank,
+                        dst_rank=action.peer,
+                        start_ms=posted_sends[action.tag],
+                        end_ms=arrivals[action.tag],
+                    )
 
     return EngineResult(
         total_ms=max(clocks) if clocks else 0.0,

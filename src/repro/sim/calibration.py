@@ -11,7 +11,7 @@ factors so predicted latencies match the measurements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +19,48 @@ from repro.cluster.devices import GpuSpec
 from repro.models.config import ModalityModuleSpec
 from repro.sim.costmodel import CostModel
 from repro.sim.reference import ReferenceCostModel
+
+
+def default_factor_grids() -> Dict[str, np.ndarray]:
+    """Search grids for the fit-able efficiency factors.
+
+    The compute factor and saturation knee dominate, memory factor and
+    launch overheads refine.  Shared by offline microbenchmark
+    calibration and trace-driven recalibration
+    (:mod:`repro.trace.recalibrate`).
+    """
+    return {
+        "compute_efficiency": np.linspace(0.45, 0.75, 31),
+        "saturation_tokens": np.linspace(800.0, 2600.0, 19),
+        "memory_efficiency": np.linspace(0.55, 0.90, 15),
+        "kernel_overhead_us": np.linspace(10.0, 40.0, 13),
+        "stage_overhead_us": np.linspace(40.0, 160.0, 13),
+    }
+
+
+def fit_efficiency_factors(
+    base: CostModel,
+    error: Callable[[CostModel], float],
+    grids: Optional[Dict[str, np.ndarray]] = None,
+    sweeps: int = 3,
+) -> Tuple[CostModel, float]:
+    """Coordinate descent over efficiency factors minimising ``error``.
+
+    Robust, dependency-free and deterministic; returns the best model
+    found and its error.  ``error`` maps a candidate model to a scalar
+    (typically mean relative absolute error against measurements).
+    """
+    grids = grids if grids is not None else default_factor_grids()
+    best = base
+    best_err = error(base)
+    for _sweep in range(sweeps):
+        for factor, grid in grids.items():
+            for value in grid:
+                candidate = best.with_factors(**{factor: float(value)})
+                err = error(candidate)
+                if err < best_err:
+                    best, best_err = candidate, err
+    return best, best_err
 
 
 @dataclass
@@ -84,26 +126,7 @@ def calibrate_cost_model(
         return float(np.mean(np.abs(predict(model) - measured) / measured))
 
     before_err = error(base)
-
-    # Coordinate descent over the efficiency factors (two sweeps): the
-    # compute factor and saturation knee dominate, memory factor and
-    # launch overheads refine.  Robust, dependency-free, deterministic.
-    best = base
-    best_err = before_err
-    grids = {
-        "compute_efficiency": np.linspace(0.45, 0.75, 31),
-        "saturation_tokens": np.linspace(800.0, 2600.0, 19),
-        "memory_efficiency": np.linspace(0.55, 0.90, 15),
-        "kernel_overhead_us": np.linspace(10.0, 40.0, 13),
-        "stage_overhead_us": np.linspace(40.0, 160.0, 13),
-    }
-    for _sweep in range(3):
-        for field, grid in grids.items():
-            for value in grid:
-                candidate = best.with_factors(**{field: float(value)})
-                err = error(candidate)
-                if err < best_err:
-                    best, best_err = candidate, err
+    best, best_err = fit_efficiency_factors(base, error)
     # Network factor: align against the reference directly (collectives).
     best = best.with_factors(network_efficiency=reference.network_efficiency)
 

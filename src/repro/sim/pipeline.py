@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.cluster.topology import ClusterSpec, ParallelConfig
 from repro.progress import drive_round_robin, format_stuck_ranks
 from repro.sim.costmodel import CostModel
+from repro.trace.events import TraceCollector, emit_sim_spans
 
 
 class ScheduleDeadlockError(RuntimeError):
@@ -54,6 +55,7 @@ def simulate_pipeline(
     cost_model: Optional[CostModel] = None,
     jitter: Optional[Callable[[int, float], float]] = None,
     track_memory: bool = True,
+    collector: Optional[TraceCollector] = None,
 ) -> PipelineSimResult:
     """Simulate a scheduled iteration.
 
@@ -67,6 +69,9 @@ def simulate_pipeline(
             ``(uid, base_ms) -> ms`` — used by the reference "hardware"
             simulator.
         track_memory: Compute memory timelines (small extra cost).
+        collector: Optional :class:`~repro.trace.events.TraceCollector`
+            the executed timeline (compute + P2P comm spans) is emitted
+            into.
 
     Raises:
         ScheduleDeadlockError: if the order contradicts the dependencies.
@@ -150,6 +155,10 @@ def simulate_pipeline(
     exceeded: List[int] = []
     if track_memory:
         peaks, timelines, exceeded = _memory_accounting(graph, start, end)
+
+    if collector is not None:
+        collector.meta.total_ms = total
+        emit_sim_spans(collector, graph, start, end, p2p_ms)
 
     return PipelineSimResult(
         total_ms=total,

@@ -1,0 +1,69 @@
+"""Trace & telemetry subsystem: per-rank event timelines and analytics.
+
+* :mod:`repro.trace.events` — structured span schema, collector, native
+  (compact columnar JSON) serialisation.
+* :mod:`repro.trace.builders` — traces from simulator results and
+  compiled execution plans.
+* :mod:`repro.trace.export` — Chrome-trace / Perfetto export and
+  trace-event schema validation.
+* :mod:`repro.trace.analysis` — critical-path extraction, per-rank
+  bubble decomposition (warmup / dependency / straggler / cooldown),
+  cross-trace diff.
+* :mod:`repro.trace.recalibrate` — fit observed span durations back
+  into the analytic cost model's efficiency factors.
+"""
+
+from repro.trace.analysis import (
+    BubbleReport,
+    CriticalPath,
+    TraceDiff,
+    annotate_stalls,
+    critical_path,
+    decompose_bubbles,
+    diff_traces,
+)
+from repro.trace.builders import trace_from_engine, trace_from_sim
+from repro.trace.events import (
+    Span,
+    Trace,
+    TraceCollector,
+    TraceMeta,
+    TraceValidationError,
+)
+from repro.trace.export import (
+    save_chrome,
+    to_chrome,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+)
+from repro.trace.recalibrate import (
+    TraceCalibrationReport,
+    measure_reference_traces,
+    recalibrate_from_trace,
+    recalibrate_from_traces,
+)
+
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceCollector",
+    "TraceMeta",
+    "TraceValidationError",
+    "trace_from_sim",
+    "trace_from_engine",
+    "to_chrome",
+    "save_chrome",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "critical_path",
+    "CriticalPath",
+    "decompose_bubbles",
+    "BubbleReport",
+    "annotate_stalls",
+    "diff_traces",
+    "TraceDiff",
+    "recalibrate_from_trace",
+    "recalibrate_from_traces",
+    "measure_reference_traces",
+    "TraceCalibrationReport",
+]

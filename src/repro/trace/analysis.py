@@ -1,0 +1,419 @@
+"""Trace analytics: critical path, bubble decomposition, cross-trace diff.
+
+All analytics operate purely on the event stream — they never re-simulate
+— so the same code reads simulator traces, runtime-engine traces and
+traces loaded from the native file format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.events import (
+    EPS_MS,
+    KIND_COMM,
+    KIND_STALL,
+    Span,
+    Trace,
+)
+
+
+# -- critical path -----------------------------------------------------------
+
+
+@dataclass
+class CriticalPath:
+    """The executed dependency DAG's longest chain, walked off the trace.
+
+    Attributes:
+        uids: Schedule uids along the path, in execution order.
+        compute_ms: Total compute time on the path.
+        comm_ms: Total P2P wire time between consecutive path stages.
+        slack_ms: Idle time on the path no recorded constraint explains
+            (zero on deterministic simulator traces; jitter and engine
+            wait semantics surface here).
+        length_ms: End timestamp of the final path stage.  On a tight
+            path starting at t=0 this equals the trace makespan and
+            ``compute_ms + comm_ms + slack_ms``.
+        by_module: Path compute time aggregated per module.
+        by_rank: Number of path stages per rank.
+    """
+
+    uids: List[int]
+    compute_ms: float
+    comm_ms: float
+    slack_ms: float
+    length_ms: float
+    by_module: Dict[str, float] = field(default_factory=dict)
+    by_rank: Dict[int, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        modules = ", ".join(
+            f"{name} {ms:.1f}ms"
+            for name, ms in sorted(self.by_module.items(),
+                                   key=lambda kv: -kv[1])
+        )
+        return (
+            f"critical path: {len(self.uids)} stages, "
+            f"{self.compute_ms:.1f}ms compute + {self.comm_ms:.1f}ms comm "
+            f"+ {self.slack_ms:.1f}ms slack = {self.length_ms:.1f}ms "
+            f"({modules})"
+        )
+
+
+def critical_path(trace: Trace) -> CriticalPath:
+    """Extract the binding chain ending at the trace's last compute span.
+
+    Walks backwards from the span with the latest end time; at each span
+    the binding predecessor is whichever constraint released its start
+    latest — the previous span on the same rank (execution-order edge) or
+    a dependency's arrival (dependency edge, including P2P wire time when
+    a comm span recorded it).
+    """
+    computes = trace.compute_spans()
+    if not computes:
+        return CriticalPath([], 0.0, 0.0, 0.0, 0.0)
+    by_uid = trace.span_by_uid()
+    arrivals: Dict[Tuple[int, int], float] = {
+        (s.src_uid, s.uid): s.end_ms
+        for s in trace.spans_of_kind(KIND_COMM)
+    }
+    prev_on_rank: Dict[int, Optional[Span]] = {}
+    for rank in range(trace.num_ranks):
+        ordered = sorted(trace.compute_spans(rank), key=lambda s: s.start_ms)
+        for prev, cur in zip(ordered, ordered[1:]):
+            prev_on_rank[id(cur)] = prev
+
+    cur: Optional[Span] = max(computes, key=lambda s: s.end_ms)
+    path: List[Span] = []
+    comm_ms = 0.0
+    slack_ms = 0.0
+    length_ms = cur.end_ms
+    while cur is not None:
+        path.append(cur)
+        if cur.start_ms <= EPS_MS:
+            break
+        candidates: List[Tuple[float, float, Optional[Span]]] = []
+        rank_prev = prev_on_rank.get(id(cur))
+        if rank_prev is not None:
+            candidates.append((rank_prev.end_ms, 0.0, rank_prev))
+        for dep in cur.deps:
+            dep_span = by_uid.get(dep)
+            if dep_span is None:
+                continue
+            arrival = arrivals.get((dep, cur.uid), dep_span.end_ms)
+            candidates.append((arrival, arrival - dep_span.end_ms, dep_span))
+        if not candidates:
+            slack_ms += cur.start_ms
+            break
+        constraint, wire, chosen = max(candidates, key=lambda c: c[0])
+        slack_ms += max(0.0, cur.start_ms - constraint)
+        comm_ms += wire
+        cur = chosen
+    path.reverse()
+
+    by_module: Dict[str, float] = {}
+    by_rank: Dict[int, int] = {}
+    for span in path:
+        if span.module:
+            by_module[span.module] = (
+                by_module.get(span.module, 0.0) + span.duration_ms
+            )
+        by_rank[span.rank] = by_rank.get(span.rank, 0) + 1
+    return CriticalPath(
+        uids=[s.uid for s in path],
+        compute_ms=sum(s.duration_ms for s in path),
+        comm_ms=comm_ms,
+        slack_ms=slack_ms,
+        length_ms=length_ms,
+        by_module=by_module,
+        by_rank=by_rank,
+    )
+
+
+# -- bubble decomposition ----------------------------------------------------
+
+
+@dataclass
+class RankBubbles:
+    """One rank's idle time, partitioned by cause."""
+
+    rank: int
+    busy_ms: float = 0.0
+    warmup_ms: float = 0.0
+    dependency_ms: float = 0.0
+    straggler_ms: float = 0.0
+    cooldown_ms: float = 0.0
+
+    @property
+    def idle_ms(self) -> float:
+        return (self.warmup_ms + self.dependency_ms + self.straggler_ms
+                + self.cooldown_ms)
+
+
+@dataclass
+class BubbleReport:
+    """Per-rank bubble decomposition over one trace.
+
+    The four categories partition each rank's idle time exactly:
+    ``busy + warmup + dependency + straggler + cooldown == makespan`` per
+    rank (the invariant the trace tests assert to 1e-6).
+
+    * **warmup** — idle before the rank's first stage (pipeline fill);
+    * **cooldown** — idle after its last stage (pipeline drain);
+    * **dependency** — interior gaps where the next stage's recorded
+      dependency arrival binds its start;
+    * **straggler** — interior idle no recorded constraint explains
+      (measurement jitter, engine wait reordering, external traces).
+    """
+
+    per_rank: List[RankBubbles]
+    total_ms: float
+    gaps: List[Tuple[int, float, float, str, int]] = field(
+        default_factory=list
+    )  # (rank, start, end, cause, blocking uid or -1)
+
+    @property
+    def busy_ms(self) -> float:
+        return sum(r.busy_ms for r in self.per_rank)
+
+    @property
+    def idle_ms(self) -> float:
+        return sum(r.idle_ms for r in self.per_rank)
+
+    @property
+    def bubble_ratio(self) -> float:
+        """Idle fraction across ranks within the makespan."""
+        if self.total_ms <= 0 or not self.per_rank:
+            return 0.0
+        return self.idle_ms / (self.total_ms * len(self.per_rank))
+
+    def totals(self) -> Dict[str, float]:
+        return {
+            "busy": self.busy_ms,
+            "warmup": sum(r.warmup_ms for r in self.per_rank),
+            "dependency": sum(r.dependency_ms for r in self.per_rank),
+            "straggler": sum(r.straggler_ms for r in self.per_rank),
+            "cooldown": sum(r.cooldown_ms for r in self.per_rank),
+        }
+
+    def describe(self) -> str:
+        totals = self.totals()
+        idle = self.idle_ms
+        if idle <= 0:
+            return f"bubble 0.0% of {self.total_ms:.1f}ms"
+        shares = "  ".join(
+            f"{cause} {totals[cause] / idle * 100:.0f}%"
+            for cause in ("warmup", "dependency", "straggler", "cooldown")
+            if totals[cause] > 0
+        )
+        return (
+            f"bubble {self.bubble_ratio * 100:.1f}% of {self.total_ms:.1f}ms"
+            f" ({shares})"
+        )
+
+
+def decompose_bubbles(trace: Trace) -> BubbleReport:
+    """Partition every rank's idle time into the four bubble causes."""
+    total = trace.total_ms
+    by_uid = trace.span_by_uid()
+    arrivals: Dict[Tuple[int, int], float] = {
+        (s.src_uid, s.uid): s.end_ms
+        for s in trace.spans_of_kind(KIND_COMM)
+    }
+    report = BubbleReport(
+        per_rank=[RankBubbles(rank=r) for r in range(trace.num_ranks)],
+        total_ms=total,
+    )
+
+    def ready_ms(span: Span) -> Tuple[float, int]:
+        """Latest recorded dependency arrival bounding ``span``'s start."""
+        best, blocker = 0.0, -1
+        for dep in span.deps:
+            dep_span = by_uid.get(dep)
+            if dep_span is None:
+                continue
+            arrival = arrivals.get((dep, span.uid), dep_span.end_ms)
+            if arrival > best:
+                best, blocker = arrival, dep
+        return best, blocker
+
+    for rank in range(trace.num_ranks):
+        bubbles = report.per_rank[rank]
+        spans = sorted(trace.compute_spans(rank), key=lambda s: s.start_ms)
+        bubbles.busy_ms = sum(s.duration_ms for s in spans)
+        if not spans:
+            if total > 0:
+                bubbles.warmup_ms = total
+                report.gaps.append((rank, 0.0, total, "warmup", -1))
+            continue
+        if spans[0].start_ms > EPS_MS:
+            bubbles.warmup_ms = spans[0].start_ms
+            report.gaps.append((rank, 0.0, spans[0].start_ms, "warmup", -1))
+        for prev, cur in zip(spans, spans[1:]):
+            gap = cur.start_ms - prev.end_ms
+            if gap <= EPS_MS:
+                continue
+            ready, blocker = ready_ms(cur)
+            if ready >= cur.start_ms - EPS_MS:
+                bubbles.dependency_ms += gap
+                cause = "dependency"
+            else:
+                bubbles.straggler_ms += gap
+                cause = "straggler"
+            report.gaps.append((rank, prev.end_ms, cur.start_ms, cause,
+                                blocker))
+        tail = total - spans[-1].end_ms
+        if tail > EPS_MS:
+            bubbles.cooldown_ms = tail
+            report.gaps.append((rank, spans[-1].end_ms, total, "cooldown", -1))
+    return report
+
+
+def annotate_stalls(trace: Trace,
+                    report: Optional[BubbleReport] = None) -> Trace:
+    """Add one ``stall`` span per idle gap, labelled with its cause.
+
+    Makes bubbles first-class events: they export to Chrome tracing as
+    their own slices and survive the native round trip.  Existing stall
+    spans are replaced (re-annotation is idempotent).
+    """
+    report = report or decompose_bubbles(trace)
+    kept = [s for s in trace.spans if s.kind != KIND_STALL]
+    for rank, start, end, cause, blocker in report.gaps:
+        attrs: Dict[str, object] = {"cause": cause}
+        if blocker >= 0:
+            attrs["blocking_uid"] = blocker
+        kept.append(Span(
+            rank=rank, kind=KIND_STALL, name=cause,
+            start_ms=start, end_ms=end, attrs=attrs,
+        ))
+    trace.spans = sorted(kept, key=lambda s: (s.start_ms, s.rank, s.end_ms))
+    return trace
+
+
+# -- cross-trace diff --------------------------------------------------------
+
+
+@dataclass
+class SpanDelta:
+    """One matched stage's movement between two traces."""
+
+    key: Tuple[int, str, int, int, str]
+    occurrence: int
+    rank_a: int
+    rank_b: int
+    start_delta_ms: float
+    duration_delta_ms: float
+
+
+@dataclass
+class TraceDiff:
+    """Structural comparison of two traces (schedules, replays, runs).
+
+    Compute spans are matched by their schedule-independent identity
+    ``(microbatch, module, sub_index, chunk, direction)`` (plus an
+    occurrence counter for decoupled-backward twins), so two different
+    schedules of the same batch — or a cold search versus its plan-cache
+    replay — line up stage by stage even when uids differ.
+    """
+
+    makespan_a_ms: float
+    makespan_b_ms: float
+    matched: int
+    only_a: int
+    only_b: int
+    busy_delta_per_rank: List[float]
+    deltas: List[SpanDelta]
+
+    @property
+    def makespan_delta_ms(self) -> float:
+        return self.makespan_b_ms - self.makespan_a_ms
+
+    @property
+    def max_start_delta_ms(self) -> float:
+        return max((abs(d.start_delta_ms) for d in self.deltas), default=0.0)
+
+    @property
+    def max_duration_delta_ms(self) -> float:
+        return max((abs(d.duration_delta_ms) for d in self.deltas),
+                   default=0.0)
+
+    @property
+    def identical(self) -> bool:
+        return (self.only_a == 0 and self.only_b == 0
+                and self.max_start_delta_ms <= 1e-6
+                and self.max_duration_delta_ms <= 1e-6)
+
+    def top_movers(self, n: int = 5) -> List[SpanDelta]:
+        return sorted(self.deltas, key=lambda d: -abs(d.start_delta_ms))[:n]
+
+    def describe(self) -> str:
+        lines = [
+            f"makespan {self.makespan_a_ms:.2f}ms -> "
+            f"{self.makespan_b_ms:.2f}ms "
+            f"({self.makespan_delta_ms:+.2f}ms)",
+            f"{self.matched} stages matched, {self.only_a} only in A, "
+            f"{self.only_b} only in B",
+        ]
+        if self.identical:
+            lines.append("traces are identical (byte-equal timelines)")
+            return "\n".join(lines)
+        for delta in self.top_movers():
+            mb, module, sub, chunk, direction = delta.key
+            moved = (f", rank {delta.rank_a}->{delta.rank_b}"
+                     if delta.rank_a != delta.rank_b else "")
+            # Decoupled-backward twins share a key; the occurrence counter
+            # tells the duplicate rows apart.
+            twin = f"#{delta.occurrence}" if delta.occurrence else ""
+            lines.append(
+                f"  {direction} {module} mb{mb}.{sub} chunk{chunk}{twin}: "
+                f"start {delta.start_delta_ms:+.2f}ms, "
+                f"dur {delta.duration_delta_ms:+.2f}ms{moved}"
+            )
+        return "\n".join(lines)
+
+
+def _keyed(trace: Trace) -> Dict[Tuple, Span]:
+    out: Dict[Tuple, Span] = {}
+    counts: Dict[Tuple, int] = {}
+    for span in sorted(trace.compute_spans(),
+                       key=lambda s: (s.start_ms, s.rank)):
+        base = span.key()
+        occurrence = counts.get(base, 0)
+        counts[base] = occurrence + 1
+        out[base + (occurrence,)] = span
+    return out
+
+
+def diff_traces(a: Trace, b: Trace) -> TraceDiff:
+    """Match the two traces' compute spans and report their movement."""
+    spans_a = _keyed(a)
+    spans_b = _keyed(b)
+    ranks = max(a.num_ranks, b.num_ranks)
+    busy_delta = [0.0] * ranks
+    for span in spans_a.values():
+        busy_delta[span.rank] -= span.duration_ms
+    for span in spans_b.values():
+        busy_delta[span.rank] += span.duration_ms
+    deltas: List[SpanDelta] = []
+    for key in spans_a.keys() & spans_b.keys():
+        sa, sb = spans_a[key], spans_b[key]
+        deltas.append(SpanDelta(
+            key=key[:-1],
+            occurrence=key[-1],
+            rank_a=sa.rank,
+            rank_b=sb.rank,
+            start_delta_ms=sb.start_ms - sa.start_ms,
+            duration_delta_ms=sb.duration_ms - sa.duration_ms,
+        ))
+    return TraceDiff(
+        makespan_a_ms=a.total_ms,
+        makespan_b_ms=b.total_ms,
+        matched=len(deltas),
+        only_a=len(spans_a.keys() - spans_b.keys()),
+        only_b=len(spans_b.keys() - spans_a.keys()),
+        busy_delta_per_rank=busy_delta,
+        deltas=deltas,
+    )

@@ -1,0 +1,101 @@
+"""Construct traces from simulator results and compiled execution plans.
+
+Two entry points mirror the two execution paths:
+
+* :func:`trace_from_sim` — post-hoc trace of a
+  :class:`~repro.sim.pipeline.PipelineSimResult` (the planner/CLI path);
+  shares its span-emission code with the simulator's live ``collector``
+  parameter, so the two can never diverge.
+* :func:`trace_from_engine` — trace of a compiled
+  :class:`~repro.runtime.actions.ExecutionPlan` replayed on the
+  deterministic engine, enriched with stage attribution from the graph
+  it was compiled from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.trace.analysis import annotate_stalls
+from repro.trace.events import Trace, TraceCollector, emit_sim_spans
+
+
+def trace_from_sim(
+    graph,
+    result,
+    cluster=None,
+    parallel=None,
+    cost_model=None,
+    label: str = "pipeline",
+    schedule_uid: str = "",
+    stalls: bool = True,
+) -> Trace:
+    """Build a trace from a simulated iteration.
+
+    Args:
+        graph: The :class:`~repro.core.stages.IterationGraph` simulated.
+        result: The :class:`~repro.sim.pipeline.PipelineSimResult`.
+        cluster / parallel / cost_model: When given, P2P transfers are
+            reconstructed as ``comm`` spans (the same latencies the
+            simulator charged); otherwise comm spans are omitted.
+        label: Trace label (model / schedule name).
+        schedule_uid: Graph-signature digest, when known.
+        stalls: Annotate idle gaps as classified ``stall`` spans.
+    """
+    collector = TraceCollector(
+        label=label,
+        source="sim",
+        num_ranks=graph.num_ranks,
+        schedule_uid=schedule_uid,
+        tp=parallel.tp if parallel is not None else 1,
+        device=cluster.gpu.name if cluster is not None else "",
+    )
+    p2p_ms = None
+    if cluster is not None and parallel is not None:
+        from repro.sim.costmodel import CostModel
+
+        model = cost_model or CostModel()
+
+        def p2p_ms(src_rank: int, dst_rank: int, nbytes: float) -> float:
+            if src_rank == dst_rank or nbytes <= 0:
+                return 0.0
+            bandwidth = cluster.p2p_bandwidth(parallel, src_rank, dst_rank)
+            return model.p2p_latency_ms(nbytes, bandwidth)
+
+    emit_sim_spans(collector, graph, result.start_ms, result.end_ms, p2p_ms)
+    trace = collector.build(total_ms=result.total_ms)
+    if stalls:
+        annotate_stalls(trace)
+    return trace
+
+
+def trace_from_engine(
+    plan,
+    graph=None,
+    label: str = "engine",
+    schedule_uid: str = "",
+    stalls: bool = True,
+) -> Trace:
+    """Execute ``plan`` on the deterministic engine and trace it.
+
+    Args:
+        plan: The compiled :class:`~repro.runtime.actions.ExecutionPlan`.
+        graph: When given, engine spans (which only know schedule uids)
+            are enriched with microbatch / module / dependency
+            attribution from the graph the plan was compiled from —
+            required for critical-path and recalibration analytics.
+        label / schedule_uid / stalls: As in :func:`trace_from_sim`.
+    """
+    from repro.runtime.engine import execute_plan
+
+    collector = TraceCollector(
+        label=label, source="engine", num_ranks=plan.num_ranks,
+        schedule_uid=schedule_uid,
+    )
+    result = execute_plan(plan, collector=collector)
+    trace = collector.build(total_ms=result.total_ms)
+    if graph is not None:
+        trace.enrich(graph)
+    if stalls:
+        annotate_stalls(trace)
+    return trace

@@ -1,0 +1,458 @@
+"""Structured trace-event schema and collector.
+
+The trace subsystem's single source of truth: every span is one timed
+interval on one pipeline rank, attributed to a compute stage (with
+microbatch / module / schedule-uid metadata), a point-to-point transfer,
+or a classified stall.  Both the discrete-event pipeline simulator
+(:func:`repro.sim.pipeline.simulate_pipeline`) and the runtime engine
+(:func:`repro.runtime.engine.execute_plan`) emit into a
+:class:`TraceCollector`; everything downstream — Chrome-trace export,
+critical-path extraction, bubble decomposition, cross-trace diffs and
+cost-model recalibration — consumes the resulting :class:`Trace`.
+
+A compact *native* JSON format (columnar span arrays) round-trips traces
+losslessly, including the dependency edges and workload attribution the
+Chrome export flattens into ``args``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Bumped whenever the native serialisation changes shape.
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+#: Span kinds: GPU compute, P2P wire time, classified idle time.
+KIND_COMPUTE = "compute"
+KIND_COMM = "comm"
+KIND_STALL = "stall"
+VALID_KINDS = (KIND_COMPUTE, KIND_COMM, KIND_STALL)
+
+#: Stall causes assigned by bubble decomposition
+#: (:func:`repro.trace.analysis.decompose_bubbles`).
+STALL_CAUSES = ("warmup", "dependency", "straggler", "cooldown")
+
+#: Timestamp comparison tolerance (milliseconds).
+EPS_MS = 1e-9
+
+
+class TraceValidationError(ValueError):
+    """A trace violates the event-schema invariants."""
+
+
+@dataclass
+class Span:
+    """One timed interval on one pipeline rank.
+
+    Attributes:
+        rank: Pipeline rank the span occupies (for ``comm`` spans, the
+            *receiving* rank).
+        kind: ``"compute"``, ``"comm"`` or ``"stall"``.
+        name: Human-readable label (``"fw vit mb0"``, a stall cause, ...).
+        start_ms / end_ms: Interval bounds in milliseconds.
+        uid: Schedule uid of the stage computed (compute spans) or the
+            *consumer* stage of a transfer (comm spans); -1 otherwise.
+        src_uid: Producer stage of a transfer (comm spans only).
+        microbatch / module / sub_index / chunk / direction / strategy:
+            Stage attribution, mirroring :class:`repro.core.stages.SegmentKey`
+            plus the selected memory-optimization strategy label.
+        deps: Schedule uids this span's stage depended on (compute only).
+        attrs: Free-form numeric/string attributes.  Compute spans emitted
+            from an :class:`~repro.core.stages.IterationGraph` carry the
+            workload metadata recalibration needs (``layers``,
+            ``instances``, ``seq``, ``context``, ``share``, ``extra_ms``).
+    """
+
+    rank: int
+    kind: str
+    name: str
+    start_ms: float
+    end_ms: float
+    uid: int = -1
+    src_uid: int = -1
+    microbatch: int = -1
+    module: str = ""
+    sub_index: int = -1
+    chunk: int = -1
+    direction: str = ""
+    strategy: str = ""
+    deps: Tuple[int, ...] = ()
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    def key(self) -> Tuple[int, str, int, int, str]:
+        """Schedule-independent identity used for cross-trace matching."""
+        return (self.microbatch, self.module, self.sub_index, self.chunk,
+                self.direction)
+
+
+@dataclass
+class TraceMeta:
+    """Trace-level context recorded alongside the spans."""
+
+    label: str = ""
+    source: str = "sim"  # "sim" | "engine" | external
+    num_ranks: int = 0
+    total_ms: float = 0.0
+    schedule_uid: str = ""  # graph-signature digest, when known
+    tp: int = 1
+    device: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class Trace:
+    """An immutable-ish bag of spans plus metadata, with accessors."""
+
+    def __init__(self, meta: TraceMeta, spans: Sequence[Span]) -> None:
+        self.meta = meta
+        self.spans: List[Span] = sorted(
+            spans, key=lambda s: (s.start_ms, s.rank, s.end_ms)
+        )
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    @property
+    def num_ranks(self) -> int:
+        if self.meta.num_ranks > 0:
+            return self.meta.num_ranks
+        return max((s.rank for s in self.spans), default=-1) + 1
+
+    @property
+    def total_ms(self) -> float:
+        if self.meta.total_ms > 0:
+            return self.meta.total_ms
+        return max((s.end_ms for s in self.spans), default=0.0)
+
+    # -- accessors -----------------------------------------------------------
+
+    def compute_spans(self, rank: Optional[int] = None) -> List[Span]:
+        return self.spans_of_kind(KIND_COMPUTE, rank)
+
+    def spans_of_kind(self, kind: str, rank: Optional[int] = None) -> List[Span]:
+        return [
+            s for s in self.spans
+            if s.kind == kind and (rank is None or s.rank == rank)
+        ]
+
+    def span_by_uid(self) -> Dict[int, Span]:
+        """Compute spans indexed by schedule uid."""
+        return {s.uid: s for s in self.compute_spans() if s.uid >= 0}
+
+    def busy_ms_per_rank(self) -> List[float]:
+        busy = [0.0] * self.num_ranks
+        for span in self.compute_spans():
+            busy[span.rank] += span.duration_ms
+        return busy
+
+    def enrich(self, graph) -> "Trace":
+        """Fill stage attribution from an iteration graph, by uid.
+
+        Engine-emitted spans only know schedule uids; this pulls
+        microbatch / module / deps / workload attrs from the graph the
+        plan was compiled from.  Returns ``self`` for chaining.
+        """
+        for span in self.spans:
+            if span.kind != KIND_COMPUTE or span.uid < 0:
+                continue
+            if not (0 <= span.uid < len(graph.stages)):
+                continue
+            stage = graph.stages[span.uid]
+            pair = graph.pairs[stage.pair_id]
+            key = stage.key
+            span.microbatch = key.microbatch
+            span.module = key.module
+            span.sub_index = key.sub_index
+            span.chunk = key.chunk
+            span.direction = key.direction.value
+            span.strategy = pair.strategy.label
+            span.deps = tuple(stage.deps)
+            span.name = f"{span.direction} {key.module} mb{key.microbatch}"
+            span.attrs.update(_stage_attrs(graph, stage))
+        return self
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> List[str]:
+        """Check the event-schema invariants; returns a list of problems.
+
+        * every span has a valid kind, a non-negative duration and a rank
+          inside the pipeline width;
+        * per rank, compute and stall spans are mutually non-overlapping
+          (they partition the rank's timeline; comm spans are
+          asynchronous and may overlap compute);
+        * no span extends past the recorded makespan.
+        """
+        problems: List[str] = []
+        ranks = self.num_ranks
+        total = self.total_ms
+        for i, span in enumerate(self.spans):
+            if span.kind not in VALID_KINDS:
+                problems.append(f"span {i}: unknown kind {span.kind!r}")
+            if span.end_ms < span.start_ms - EPS_MS:
+                problems.append(f"span {i}: negative duration")
+            if not (0 <= span.rank < ranks):
+                problems.append(f"span {i}: rank {span.rank} out of range")
+            if span.end_ms > total + EPS_MS:
+                problems.append(
+                    f"span {i}: ends at {span.end_ms} past makespan {total}"
+                )
+        for rank in range(ranks):
+            occupied = sorted(
+                (s for s in self.spans
+                 if s.rank == rank and s.kind in (KIND_COMPUTE, KIND_STALL)),
+                key=lambda s: s.start_ms,
+            )
+            for prev, cur in zip(occupied, occupied[1:]):
+                if cur.start_ms < prev.end_ms - EPS_MS:
+                    problems.append(
+                        f"rank {rank}: {prev.name!r} [{prev.start_ms:.6f}, "
+                        f"{prev.end_ms:.6f}) overlaps {cur.name!r} starting "
+                        f"at {cur.start_ms:.6f}"
+                    )
+        return problems
+
+    def check(self) -> "Trace":
+        """Raise :class:`TraceValidationError` on any schema violation."""
+        problems = self.validate()
+        if problems:
+            raise TraceValidationError("; ".join(problems[:5]))
+        return self
+
+    # -- native (compact columnar) serialisation -----------------------------
+
+    _COLUMNS = (
+        "rank", "kind", "name", "start_ms", "end_ms", "uid", "src_uid",
+        "microbatch", "module", "sub_index", "chunk", "direction",
+        "strategy", "deps", "attrs",
+    )
+
+    def to_dict(self) -> Dict:
+        columns: Dict[str, List] = {c: [] for c in self._COLUMNS}
+        for span in self.spans:
+            for column in self._COLUMNS:
+                value = getattr(span, column)
+                if column == "deps":
+                    value = list(value)
+                columns[column].append(value)
+        meta = self.meta
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "meta": {
+                "label": meta.label,
+                "source": meta.source,
+                "num_ranks": meta.num_ranks,
+                "total_ms": meta.total_ms,
+                "schedule_uid": meta.schedule_uid,
+                "tp": meta.tp,
+                "device": meta.device,
+                "extra": meta.extra,
+            },
+            "spans": columns,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Trace":
+        """Rebuild a trace from :meth:`to_dict` output.
+
+        Raises:
+            TraceValidationError: on any malformed payload — wrong
+                format/version, non-object top level, unknown meta keys,
+                ragged span columns — so callers handle exactly one
+                error type for untrusted files.
+        """
+        if not isinstance(payload, dict):
+            raise TraceValidationError("trace payload is not a JSON object")
+        if payload.get("format") != TRACE_FORMAT:
+            raise TraceValidationError(
+                f"not a native trace (format={payload.get('format')!r})"
+            )
+        if payload.get("version") != TRACE_VERSION:
+            raise TraceValidationError(
+                f"unsupported trace version {payload.get('version')!r}"
+            )
+        try:
+            meta = TraceMeta(**payload.get("meta", {}))
+            columns = payload.get("spans", {})
+            count = len(columns.get("rank", []))
+            spans = []
+            for i in range(count):
+                kwargs = {c: columns[c][i]
+                          for c in cls._COLUMNS if c in columns}
+                kwargs["deps"] = tuple(kwargs.get("deps", ()))
+                spans.append(Span(**kwargs))
+        except (AttributeError, TypeError, IndexError, KeyError,
+                ValueError) as exc:
+            raise TraceValidationError(
+                f"malformed native trace payload: {exc}"
+            ) from exc
+        return cls(meta, spans)
+
+    def save(self, path: str) -> str:
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
+
+
+def _stage_attrs(graph, stage) -> Dict[str, object]:
+    """Workload attribution recalibration fits against.
+
+    ``extra_ms`` is the latency added by the selected memory-optimization
+    strategy (recomputation, prefetch) — subtracted before fitting the
+    base cost model so strategy choices don't bias the roofline factors.
+    """
+    pair = graph.pairs[stage.pair_id]
+    strategy = pair.strategy
+    extra = strategy.fw_extra_ms if stage.is_forward else strategy.bw_extra_ms
+    return {
+        "layers": pair.num_layers,
+        "instances": pair.instances,
+        "seq": pair.seq,
+        "context": pair.context,
+        "share": stage.latency_share,
+        "extra_ms": extra * stage.latency_share,
+    }
+
+
+class TraceCollector:
+    """Mutable span accumulator the simulator and engine emit into."""
+
+    def __init__(
+        self,
+        label: str = "",
+        source: str = "sim",
+        num_ranks: int = 0,
+        schedule_uid: str = "",
+        tp: int = 1,
+        device: str = "",
+    ) -> None:
+        self.meta = TraceMeta(
+            label=label, source=source, num_ranks=num_ranks,
+            schedule_uid=schedule_uid, tp=tp, device=device,
+        )
+        self.spans: List[Span] = []
+
+    def add(self, span: Span) -> Span:
+        self.spans.append(span)
+        return span
+
+    def record_stage(
+        self, graph, uid: int, start_ms: float, end_ms: float
+    ) -> Span:
+        """Emit one compute span with full attribution from the graph."""
+        stage = graph.stages[uid]
+        pair = graph.pairs[stage.pair_id]
+        key = stage.key
+        direction = key.direction.value
+        return self.add(Span(
+            rank=stage.rank,
+            kind=KIND_COMPUTE,
+            name=f"{direction} {key.module} mb{key.microbatch}",
+            start_ms=start_ms,
+            end_ms=end_ms,
+            uid=uid,
+            microbatch=key.microbatch,
+            module=key.module,
+            sub_index=key.sub_index,
+            chunk=key.chunk,
+            direction=direction,
+            strategy=pair.strategy.label,
+            deps=tuple(stage.deps),
+            attrs=_stage_attrs(graph, stage),
+        ))
+
+    def record_compute(
+        self,
+        rank: int,
+        uid: int,
+        start_ms: float,
+        end_ms: float,
+        direction: str = "",
+        strategy: str = "",
+    ) -> Span:
+        """Emit one compute span with uid-only attribution (engine path)."""
+        name = f"{direction or 'stage'} uid{uid}"
+        return self.add(Span(
+            rank=rank, kind=KIND_COMPUTE, name=name,
+            start_ms=start_ms, end_ms=end_ms, uid=uid,
+            direction=direction, strategy=strategy,
+        ))
+
+    def record_comm(
+        self,
+        src_uid: int,
+        dst_uid: int,
+        src_rank: int,
+        dst_rank: int,
+        start_ms: float,
+        end_ms: float,
+        nbytes: float = 0.0,
+    ) -> Span:
+        """Emit one P2P transfer span (on the receiving rank's track)."""
+        return self.add(Span(
+            rank=dst_rank,
+            kind=KIND_COMM,
+            name=f"p2p {src_uid}->{dst_uid}",
+            start_ms=start_ms,
+            end_ms=end_ms,
+            uid=dst_uid,
+            src_uid=src_uid,
+            attrs={"nbytes": nbytes, "src_rank": src_rank},
+        ))
+
+    def build(self, total_ms: Optional[float] = None) -> Trace:
+        if total_ms is not None:
+            self.meta.total_ms = total_ms
+        return Trace(self.meta, self.spans)
+
+
+def emit_sim_spans(
+    collector: TraceCollector,
+    graph,
+    start_ms: Sequence[float],
+    end_ms: Sequence[float],
+    p2p_ms: Optional[Callable[[int, int, float], float]] = None,
+) -> None:
+    """Emit one simulated timeline into ``collector``.
+
+    The shared emission path behind both
+    :func:`repro.sim.pipeline.simulate_pipeline` (live collection) and
+    :func:`repro.trace.builders.trace_from_sim` (post-hoc construction),
+    so the two can never diverge.  ``p2p_ms`` reproduces the simulator's
+    transfer latency; when omitted, comm spans are skipped.
+    """
+    if collector.meta.num_ranks == 0:
+        collector.meta.num_ranks = graph.num_ranks
+    for stage in graph.stages:
+        collector.record_stage(graph, stage.uid,
+                               start_ms[stage.uid], end_ms[stage.uid])
+        if p2p_ms is None:
+            continue
+        for dep in stage.deps:
+            dep_stage = graph.stages[dep]
+            if dep_stage.rank == stage.rank or stage.p2p_bytes <= 0:
+                continue
+            wire = p2p_ms(dep_stage.rank, stage.rank, stage.p2p_bytes)
+            if wire <= 0:
+                continue
+            collector.record_comm(
+                src_uid=dep,
+                dst_uid=stage.uid,
+                src_rank=dep_stage.rank,
+                dst_rank=stage.rank,
+                start_ms=end_ms[dep],
+                end_ms=end_ms[dep] + wire,
+                nbytes=stage.p2p_bytes,
+            )

@@ -1,0 +1,171 @@
+"""Chrome-trace / Perfetto export and schema validation.
+
+The exported JSON loads in ``chrome://tracing`` and
+https://ui.perfetto.dev: one thread per pipeline rank carrying compute
+and stall slices, plus one ``(comm)`` thread per rank for asynchronous
+P2P transfers (which legitimately overlap compute).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.trace.events import (
+    KIND_COMM,
+    KIND_COMPUTE,
+    KIND_STALL,
+    Span,
+    Trace,
+)
+
+
+def _slice_args(span: Span) -> Dict:
+    args: Dict[str, object] = {
+        "microbatch": span.microbatch,
+        "module": span.module,
+        "sub": span.sub_index,
+        "chunk": span.chunk,
+        "strategy": span.strategy,
+        "uid": span.uid,
+    }
+    if span.deps:
+        args["deps"] = list(span.deps)
+    args.update(span.attrs)
+    return args
+
+
+def to_chrome(trace: Trace, process_name: str = "") -> Dict:
+    """Build a Chrome-tracing JSON object from a trace.
+
+    Thread ids: rank ``r`` holds compute + stall slices at ``tid=r``;
+    its comm slices live at ``tid=num_ranks + r`` so asynchronous
+    transfers don't nest under compute.
+    """
+    num_ranks = trace.num_ranks
+    events: List[Dict] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "args": {"name": process_name or trace.meta.label or "pipeline"},
+    }]
+    comm_tids = sorted(
+        {s.rank for s in trace.spans if s.kind == KIND_COMM}
+    )
+    for rank in range(num_ranks):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": rank,
+            "args": {"name": f"PP rank {rank}"},
+        })
+    for rank in comm_tids:
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": num_ranks + rank,
+            "args": {"name": f"PP rank {rank} (comm)"},
+        })
+    for span in trace.spans:
+        if span.kind == KIND_COMPUTE:
+            tid = span.rank
+            cat = span.direction or KIND_COMPUTE
+            args = _slice_args(span)
+        elif span.kind == KIND_STALL:
+            tid = span.rank
+            cat = KIND_STALL
+            args = dict(span.attrs)
+        else:
+            tid = num_ranks + span.rank
+            cat = KIND_COMM
+            args = {"src_uid": span.src_uid, "dst_uid": span.uid,
+                    **span.attrs}
+        events.append({
+            "name": span.name,
+            "cat": cat,
+            "ph": "X",
+            "pid": 0,
+            "tid": tid,
+            "ts": span.start_ms * 1e3,  # Chrome timestamps are in us
+            "dur": span.duration_ms * 1e3,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome(trace: Trace, path: str, process_name: str = "") -> str:
+    """Serialise :func:`to_chrome` to ``path``; returns the path."""
+    with open(path, "w") as f:
+        json.dump(to_chrome(trace, process_name), f)
+    return path
+
+
+def validate_chrome_trace(payload: Dict) -> List[str]:
+    """Check a Chrome-trace JSON object against the trace-event schema.
+
+    Returns a list of problems (empty means valid).  Covers the subset of
+    the trace-event format this subsystem emits: an object with a
+    ``traceEvents`` array of ``M`` (metadata) and ``X`` (complete) events
+    with numeric non-negative timestamps, plus the stage-attribution keys
+    DIP's analytics rely on.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    if not events:
+        problems.append("traceEvents is empty")
+    unit = payload.get("displayTimeUnit", "ms")
+    if unit not in ("ms", "ns"):
+        problems.append(f"invalid displayTimeUnit {unit!r}")
+    saw_slice = False
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("M", "X"):
+            problems.append(f"event {i}: unsupported phase {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"event {i}: missing name")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"event {i}: missing integer pid")
+        if phase == "M":
+            continue
+        saw_slice = True
+        if not isinstance(event.get("tid"), int):
+            problems.append(f"event {i}: slice missing integer tid")
+        for field in ("ts", "dur"):
+            value = event.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(
+                    f"event {i}: {field} must be a non-negative number, "
+                    f"got {value!r}"
+                )
+        args = event.get("args")
+        if event.get("cat") in ("fw", "bw", KIND_COMPUTE):
+            if not isinstance(args, dict) or "uid" not in args:
+                problems.append(
+                    f"event {i}: compute slice missing args.uid"
+                )
+        if event.get("cat") == KIND_STALL:
+            if not isinstance(args, dict) or "cause" not in args:
+                problems.append(f"event {i}: stall slice missing args.cause")
+    if events and not saw_slice:
+        problems.append("no X (complete) slices in traceEvents")
+    return problems
+
+
+def validate_chrome_trace_file(path: str) -> List[str]:
+    """Load ``path`` and validate it; JSON errors become problems."""
+    try:
+        with open(path) as f:
+            payload = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    return validate_chrome_trace(payload)

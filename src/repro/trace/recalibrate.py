@@ -1,0 +1,220 @@
+"""Trace-driven cost-model recalibration: calibration as a closed loop.
+
+Offline calibration (:mod:`repro.sim.calibration`) fits the analytic
+model against dedicated microbenchmarks.  This module closes the loop
+the paper leaves open: observed *training* execution — the compute spans
+a trace records, with their workload attribution — is fitted back into
+the same efficiency factors, so the planner's cost model keeps learning
+from every traced iteration without running a separate benchmark grid.
+
+The fit subtracts each span's recorded memory-strategy overhead
+(``extra_ms``: recomputation, prefetch) before comparing against the
+base stage cost, and uses forward spans only — backward latency is a
+fixed ratio of forward in the roofline model, so forward observations
+determine every fitted factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.devices import GpuSpec
+from repro.models.config import ModalityModuleSpec
+from repro.sim.calibration import fit_efficiency_factors
+from repro.sim.costmodel import CostModel
+from repro.trace.events import Trace
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One observed stage execution usable for fitting."""
+
+    module: str
+    layers: int
+    instances: int
+    seq: int
+    context: int
+    observed_ms: float
+
+
+@dataclass
+class TraceCalibrationReport:
+    """Outcome of one trace-driven recalibration."""
+
+    calibrated: CostModel
+    samples: int
+    distinct_shapes: int
+    mean_abs_error_before: float
+    mean_abs_error_after: float
+
+    @property
+    def accuracy_after(self) -> float:
+        return 1.0 - self.mean_abs_error_after
+
+    @property
+    def improved(self) -> bool:
+        return self.mean_abs_error_after < self.mean_abs_error_before
+
+    def describe(self) -> str:
+        return (
+            f"recalibrated from {self.samples} spans "
+            f"({self.distinct_shapes} shapes): mean abs error "
+            f"{self.mean_abs_error_before * 100:.1f}% -> "
+            f"{self.mean_abs_error_after * 100:.1f}% "
+            f"(accuracy {self.accuracy_after * 100:.1f}%)"
+        )
+
+
+def samples_from_traces(
+    traces: Iterable[Trace],
+    min_duration_ms: float = 0.0,
+) -> List[TraceSample]:
+    """Extract fit-able forward compute observations from traces.
+
+    A span qualifies when it carries the workload attribution the graph
+    emitter attaches (``layers``/``instances``/``seq``) and a full
+    latency share; the strategy's ``extra_ms`` is subtracted so the
+    observation reflects the base stage cost.
+    """
+    samples: List[TraceSample] = []
+    for trace in traces:
+        for span in trace.compute_spans():
+            if span.direction != "fw" or not span.module:
+                continue
+            attrs = span.attrs
+            layers = int(attrs.get("layers", 0))
+            instances = int(attrs.get("instances", 0))
+            seq = int(attrs.get("seq", 0))
+            if layers <= 0 or instances <= 0 or seq <= 0:
+                continue
+            if float(attrs.get("share", 1.0)) != 1.0:
+                continue
+            observed = span.duration_ms - float(attrs.get("extra_ms", 0.0))
+            if observed <= min_duration_ms:
+                continue
+            samples.append(TraceSample(
+                module=span.module,
+                layers=layers,
+                instances=instances,
+                seq=seq,
+                context=int(attrs.get("context", 0)),
+                observed_ms=observed,
+            ))
+    return samples
+
+
+def recalibrate_from_traces(
+    traces: Sequence[Trace],
+    base: CostModel,
+    device: GpuSpec,
+    specs: Dict[str, ModalityModuleSpec],
+    tp: int = 1,
+    sweeps: int = 3,
+) -> TraceCalibrationReport:
+    """Fit ``base``'s efficiency factors to observed span durations.
+
+    Args:
+        traces: Traces of executed iterations (simulator or engine,
+            enriched with graph attribution).
+        base: The analytic model to recalibrate.
+        device: GPU the traced execution ran on.
+        specs: Modality module specs by name (``span.module`` values).
+        tp: Tensor-parallel degree of the traced execution.
+        sweeps: Coordinate-descent sweeps over the factor grids.
+
+    Raises:
+        ValueError: if the traces contain no fit-able forward spans or
+            reference an unknown module.
+    """
+    samples = samples_from_traces(traces)
+    if not samples:
+        raise ValueError("traces contain no fit-able forward compute spans")
+    unknown = sorted({s.module for s in samples} - set(specs))
+    if unknown:
+        raise ValueError(f"traces reference unknown modules: {unknown}")
+
+    # Collapse repeats of one shape into its mean observation — a
+    # dynamic-workload trace repeats few distinct shapes many times, and
+    # averaging both denoises jitter and makes the descent O(shapes).
+    by_shape: Dict[Tuple, List[float]] = {}
+    for sample in samples:
+        shape = (sample.module, sample.layers, sample.instances,
+                 sample.seq, sample.context)
+        by_shape.setdefault(shape, []).append(sample.observed_ms)
+    shapes = sorted(by_shape)
+    observed = np.array([np.mean(by_shape[s]) for s in shapes])
+
+    def predict(model: CostModel) -> np.ndarray:
+        return np.array([
+            model.stage_cost(device, specs[module], layers, instances, seq,
+                             tp=tp, context=context).forward_ms
+            for module, layers, instances, seq, context in shapes
+        ])
+
+    def error(model: CostModel) -> float:
+        return float(np.mean(np.abs(predict(model) - observed) / observed))
+
+    before_err = error(base)
+    best, best_err = fit_efficiency_factors(base, error, sweeps=sweeps)
+    return TraceCalibrationReport(
+        calibrated=best,
+        samples=len(samples),
+        distinct_shapes=len(shapes),
+        mean_abs_error_before=before_err,
+        mean_abs_error_after=best_err,
+    )
+
+
+def recalibrate_from_trace(
+    trace: Trace,
+    base: CostModel,
+    device: GpuSpec,
+    specs: Dict[str, ModalityModuleSpec],
+    tp: Optional[int] = None,
+    sweeps: int = 3,
+) -> TraceCalibrationReport:
+    """Single-trace convenience wrapper; ``tp`` defaults to the trace's."""
+    return recalibrate_from_traces(
+        [trace], base, device, specs,
+        tp=trace.meta.tp if tp is None else tp,
+        sweeps=sweeps,
+    )
+
+
+def measure_reference_traces(
+    arch,
+    plan,
+    batches,
+    cluster,
+    parallel,
+    reference,
+    partitioner=None,
+    label: str = "reference",
+) -> List[Trace]:
+    """Trace iterations "measured" on the reference system.
+
+    The measurement protocol shared by the CLI's ``trace recalibrate``
+    and the trace benchmark: every batch's graph is built with the
+    *reference* (hidden-truth) cost model, executed in natural uid order
+    per rank, and simulated with the reference's per-stage measurement
+    jitter — so observed span durations carry both the hidden factors
+    and realistic run-to-run noise.
+    """
+    from repro.core.graphbuilder import build_iteration_graph
+    from repro.sim.pipeline import simulate_pipeline
+    from repro.trace.builders import trace_from_sim
+
+    traces: List[Trace] = []
+    for batch in batches:
+        graph = build_iteration_graph(arch, plan, batch, cluster, parallel,
+                                      reference, partitioner=partitioner)
+        order = [sorted(s.uid for s in graph.stages_on_rank(r))
+                 for r in range(graph.num_ranks)]
+        sim = simulate_pipeline(graph, order, cluster, parallel, reference,
+                                jitter=reference.jitter)
+        traces.append(trace_from_sim(graph, sim, cluster, parallel,
+                                     reference, label=label))
+    return traces

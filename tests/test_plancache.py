@@ -340,3 +340,182 @@ class TestPlannerIntegration:
         stats = cached_planner.cache_stats
         assert stats.lookups == 4
         assert stats.warm_rate > 0.0
+
+
+class TestPersistence:
+    """PlanCache.save / PlanCache.load (JSON) across planner restarts."""
+
+    def _populate(self, tiny_vlm, small_cluster, parallel2, cost_model,
+                  shared=None):
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=8, seed=0)
+        return OnlinePlanner(tiny_vlm, small_cluster, parallel2, cost_model,
+                             searcher=searcher, plan_cache=shared,
+                             cache_size=8)
+
+    def test_round_trip_replays_exactly(self, tiny_vlm, small_cluster,
+                                        parallel2, cost_model, tmp_path):
+        path = str(tmp_path / "cache.json")
+        planner = self._populate(tiny_vlm, small_cluster, parallel2,
+                                 cost_model)
+        batch = controlled_batch([4, 8])
+        cold = planner.plan_iteration(batch)
+        planner.cache.save(path)
+
+        restarted = self._populate(tiny_vlm, small_cluster, parallel2,
+                                   cost_model, shared=PlanCache.load(path))
+        hit = restarted.plan_iteration(batch)
+        assert hit.cache_hit
+        assert hit.evaluations == 0
+        assert hit.schedule.order == cold.schedule.order
+        assert hit.total_ms == pytest.approx(cold.total_ms, rel=1e-12)
+        assert restarted.cache_stats.hits == 1
+
+    def test_loaded_cache_serves_near_misses(self, tiny_vlm, small_cluster,
+                                             parallel2, cost_model,
+                                             tmp_path):
+        path = str(tmp_path / "cache.json")
+        planner = self._populate(tiny_vlm, small_cluster, parallel2,
+                                 cost_model)
+        planner.plan_iteration(controlled_batch([8, 8]))
+        planner.cache.save(path)
+        restarted = self._populate(tiny_vlm, small_cluster, parallel2,
+                                   cost_model, shared=PlanCache.load(path))
+        result = restarted.plan_iteration(controlled_batch([8, 9]))
+        assert result.warm_started
+
+    def test_payload_round_trip_preserves_entries(self, tiny_vlm,
+                                                  small_cluster, parallel2,
+                                                  cost_model):
+        planner = self._populate(tiny_vlm, small_cluster, parallel2,
+                                 cost_model)
+        planner.plan_iteration(controlled_batch([4, 8]))
+        planner.plan_iteration(controlled_batch([2, 2]))
+        payload = planner.cache.to_payload()
+        clone = PlanCache.from_payload(payload)
+        assert len(clone) == len(planner.cache)
+        for digest, entry in planner.cache._entries.items():
+            other = clone._entries[digest]
+            assert other.order == entry.order
+            assert other.selected == entry.selected
+            assert other.ordering == entry.ordering
+            assert other.signature.features == entry.signature.features
+
+    def test_load_missing_or_corrupt_file_is_empty(self, tmp_path):
+        missing = PlanCache.load(str(tmp_path / "nope.json"))
+        assert len(missing) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert len(PlanCache.load(str(bad))) == 0
+
+    def test_stale_versions_are_dropped(self, tiny_vlm, small_cluster,
+                                        parallel2, cost_model):
+        planner = self._populate(tiny_vlm, small_cluster, parallel2,
+                                 cost_model)
+        planner.plan_iteration(controlled_batch([4, 8]))
+        payload = planner.cache.to_payload()
+        payload["signature_version"] = -1
+        assert len(PlanCache.from_payload(payload)) == 0
+
+    def test_capacity_override_truncates_to_mru(self, tiny_vlm,
+                                                small_cluster, parallel2,
+                                                cost_model):
+        planner = self._populate(tiny_vlm, small_cluster, parallel2,
+                                 cost_model)
+        planner.plan_iteration(controlled_batch([4, 8]))
+        planner.plan_iteration(controlled_batch([2, 2]))
+        payload = planner.cache.to_payload()
+        small = PlanCache.from_payload(payload, capacity=1)
+        assert len(small) == 1
+        # The most recently used entry survives.
+        kept = next(iter(small._entries))
+        assert kept == list(planner.cache._entries)[-1]
+
+
+
+    def test_structurally_corrupt_payload_never_fatal(self, tiny_vlm,
+                                                      small_cluster,
+                                                      parallel2, cost_model,
+                                                      tmp_path):
+        """Valid JSON with malformed entries must degrade, not crash."""
+        import json as _json
+
+        planner = self._populate(tiny_vlm, small_cluster, parallel2,
+                                 cost_model)
+        planner.plan_iteration(controlled_batch([4, 8]))
+        payload = planner.cache.to_payload()
+        payload["entries"].insert(0, {"signature": {"digest": "x"}})
+        loaded = PlanCache.from_payload(payload)
+        assert len(loaded) == 1  # bad entry dropped, good one kept
+
+        path = tmp_path / "weird.json"
+        path.write_text(_json.dumps(["not", "an", "object"]))
+        assert len(PlanCache.load(str(path))) == 0
+        path.write_text(_json.dumps({"format": "repro-plan-cache",
+                                     "version": 1,
+                                     "signature_version": 1,
+                                     "capacity": "huh",
+                                     "entries": "nope"}))
+        assert len(PlanCache.load(str(path))) == 0
+
+
+class TestWarmBudget:
+    """Cache-aware budget control: close near misses search with a
+    shrunken evaluation budget (ROADMAP: half suffices at ~0.03)."""
+
+    def _planner(self, tiny_vlm, small_cluster, parallel2, cost_model,
+                 **kwargs):
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=8, seed=0)
+        return OnlinePlanner(tiny_vlm, small_cluster, parallel2, cost_model,
+                             searcher=searcher, cache_size=8, **kwargs)
+
+    def test_close_near_miss_shrinks_budget(self, tiny_vlm, small_cluster,
+                                            parallel2, cost_model):
+        planner = self._planner(tiny_vlm, small_cluster, parallel2,
+                                cost_model, warm_budget_fraction=0.5,
+                                warm_budget_distance=0.5)
+        cold = planner.plan_iteration(controlled_batch([8, 8]))
+        warm = planner.plan_iteration(controlled_batch([8, 9]))
+        assert cold.evaluations == 8
+        assert warm.warm_started
+        assert warm.evaluations <= 4
+
+    def test_distant_near_miss_keeps_full_budget(self, tiny_vlm,
+                                                 small_cluster, parallel2,
+                                                 cost_model):
+        planner = self._planner(tiny_vlm, small_cluster, parallel2,
+                                cost_model, warm_budget_fraction=0.5,
+                                warm_budget_distance=1e-9)
+        planner.plan_iteration(controlled_batch([8, 8]))
+        warm = planner.plan_iteration(controlled_batch([8, 9]))
+        assert warm.warm_started
+        assert warm.evaluations == 8
+
+    def test_fraction_one_disables_shrink(self, tiny_vlm, small_cluster,
+                                          parallel2, cost_model):
+        planner = self._planner(tiny_vlm, small_cluster, parallel2,
+                                cost_model, warm_budget_fraction=1.0,
+                                warm_budget_distance=0.5)
+        planner.plan_iteration(controlled_batch([8, 8]))
+        warm = planner.plan_iteration(controlled_batch([8, 9]))
+        assert warm.warm_started
+        assert warm.evaluations == 8
+
+    def test_invalid_fraction_rejected(self, tiny_vlm, small_cluster,
+                                       parallel2, cost_model):
+        with pytest.raises(ValueError):
+            self._planner(tiny_vlm, small_cluster, parallel2, cost_model,
+                          warm_budget_fraction=0.0)
+
+    def test_searcher_budget_override(self, tiny_vlm, small_cluster,
+                                      parallel2, cost_model, vlm_setup):
+        arch, plan, partitioner = vlm_setup
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=8, seed=0)
+        batch = vlm_workload(2, seed=1).next_batch()
+        graph = build_iteration_graph(arch, plan, batch, small_cluster,
+                                      parallel2, cost_model,
+                                      partitioner=partitioner)
+        result = searcher.search(graph, budget_evaluations=3)
+        assert result.evaluations <= 3

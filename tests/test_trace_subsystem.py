@@ -1,0 +1,395 @@
+"""Tests for the trace & telemetry subsystem.
+
+Correctness invariants (ISSUE 2 acceptance):
+
+* exported spans are non-overlapping per rank,
+* per-rank busy + bubble time sums to the makespan exactly,
+* critical-path length equals the simulator makespan on known schedules.
+"""
+
+import json
+
+import pytest
+
+from repro.core.interleaver import interleave_stages
+from repro.metrics import bubble_ratio, bubble_time_ms
+from repro.runtime.compiler import compile_schedule
+from repro.runtime.engine import execute_plan
+from repro.sim.pipeline import simulate_pipeline
+from repro.trace import (
+    Span,
+    Trace,
+    TraceCollector,
+    TraceMeta,
+    annotate_stalls,
+    critical_path,
+    decompose_bubbles,
+    diff_traces,
+    to_chrome,
+    trace_from_engine,
+    trace_from_sim,
+    validate_chrome_trace,
+)
+
+
+@pytest.fixture
+def sim_setup(vlm_graph, small_cluster, parallel2, cost_model):
+    inter = interleave_stages(vlm_graph, small_cluster, parallel2, cost_model)
+    sim = simulate_pipeline(vlm_graph, inter.order, small_cluster, parallel2,
+                            cost_model)
+    return vlm_graph, inter, sim, small_cluster, parallel2, cost_model
+
+
+@pytest.fixture
+def vlm_trace(sim_setup):
+    graph, _inter, sim, cluster, parallel, cm = sim_setup
+    return trace_from_sim(graph, sim, cluster, parallel, cm, label="vlm")
+
+
+class TestSchema:
+    def test_span_duration(self):
+        span = Span(rank=0, kind="compute", name="x", start_ms=1.0,
+                    end_ms=3.5)
+        assert span.duration_ms == 2.5
+
+    def test_every_stage_has_a_compute_span(self, sim_setup, vlm_trace):
+        graph = sim_setup[0]
+        computes = vlm_trace.compute_spans()
+        assert len(computes) == len(graph.stages)
+        assert {s.uid for s in computes} == {s.uid for s in graph.stages}
+
+    def test_compute_spans_carry_attribution(self, vlm_trace):
+        for span in vlm_trace.compute_spans():
+            assert span.module
+            assert span.microbatch >= 0
+            assert span.direction in ("fw", "bw")
+            assert span.attrs["layers"] > 0
+            assert span.attrs["instances"] > 0
+            assert span.attrs["seq"] > 0
+
+    def test_validate_clean_trace(self, vlm_trace):
+        assert vlm_trace.validate() == []
+
+    def test_validate_catches_overlap(self):
+        meta = TraceMeta(num_ranks=1, total_ms=10.0)
+        spans = [
+            Span(rank=0, kind="compute", name="a", start_ms=0.0, end_ms=5.0),
+            Span(rank=0, kind="compute", name="b", start_ms=4.0, end_ms=8.0),
+        ]
+        problems = Trace(meta, spans).validate()
+        assert any("overlaps" in p for p in problems)
+
+    def test_validate_catches_bad_kind_and_negative_duration(self):
+        meta = TraceMeta(num_ranks=1, total_ms=10.0)
+        spans = [
+            Span(rank=0, kind="gpu", name="a", start_ms=0.0, end_ms=1.0),
+            Span(rank=0, kind="compute", name="b", start_ms=5.0, end_ms=4.0),
+            Span(rank=3, kind="compute", name="c", start_ms=0.0, end_ms=1.0),
+        ]
+        problems = Trace(meta, spans).validate()
+        assert len(problems) >= 3
+
+    def test_comm_spans_may_overlap_compute(self, vlm_trace):
+        # Comm spans exist (cross-rank P2P) and don't trip validation.
+        assert vlm_trace.spans_of_kind("comm")
+        assert vlm_trace.validate() == []
+
+    def test_native_round_trip(self, vlm_trace, tmp_path):
+        path = vlm_trace.save(str(tmp_path / "t.json"))
+        loaded = Trace.load(path)
+        assert loaded.meta.label == vlm_trace.meta.label
+        assert loaded.total_ms == vlm_trace.total_ms
+        assert len(loaded) == len(vlm_trace)
+        for a, b in zip(vlm_trace.spans, loaded.spans):
+            assert a == b
+
+    def test_from_dict_rejects_other_formats(self):
+        with pytest.raises(Exception):
+            Trace.from_dict({"format": "something-else"})
+
+
+class TestCollectorWiring:
+    def test_simulator_emits_into_collector(self, sim_setup):
+        graph, inter, sim, cluster, parallel, cm = sim_setup
+        collector = TraceCollector(label="live", num_ranks=graph.num_ranks)
+        live = simulate_pipeline(graph, inter.order, cluster, parallel, cm,
+                                 collector=collector)
+        trace = collector.build()
+        assert live.total_ms == sim.total_ms
+        assert trace.total_ms == sim.total_ms
+        # The live collection and the post-hoc builder agree span for span.
+        posthoc = trace_from_sim(graph, sim, cluster, parallel, cm,
+                                 stalls=False)
+        assert len(trace) == len(posthoc)
+        live_uids = {(s.uid, s.start_ms, s.end_ms)
+                     for s in trace.compute_spans()}
+        post_uids = {(s.uid, s.start_ms, s.end_ms)
+                     for s in posthoc.compute_spans()}
+        assert live_uids == post_uids
+
+    def test_engine_emits_into_collector(self, sim_setup):
+        graph, inter, sim, cluster, parallel, cm = sim_setup
+        plan = compile_schedule(graph, inter.order, cluster, parallel, cm)
+        collector = TraceCollector(source="engine")
+        result = execute_plan(plan, collector=collector)
+        trace = collector.build()
+        assert trace.meta.num_ranks == graph.num_ranks
+        assert len(trace.compute_spans()) == len(graph.stages)
+        assert trace.total_ms == pytest.approx(result.total_ms)
+
+    def test_engine_trace_agrees_with_sim(self, sim_setup):
+        graph, inter, sim, cluster, parallel, cm = sim_setup
+        plan = compile_schedule(graph, inter.order, cluster, parallel, cm)
+        engine_trace = trace_from_engine(plan, graph=graph)
+        sim_trace = trace_from_sim(graph, sim, cluster, parallel, cm)
+        assert engine_trace.total_ms == pytest.approx(sim_trace.total_ms,
+                                                      rel=1e-9)
+        sim_by_uid = sim_trace.span_by_uid()
+        for span in engine_trace.compute_spans():
+            ref = sim_by_uid[span.uid]
+            assert span.end_ms == pytest.approx(ref.end_ms, rel=1e-9)
+            # Enrichment filled graph attribution onto engine spans.
+            assert span.module == ref.module
+            assert span.microbatch == ref.microbatch
+            assert span.deps == ref.deps
+
+    def test_engine_trace_validates(self, sim_setup):
+        graph, inter, _sim, cluster, parallel, cm = sim_setup
+        plan = compile_schedule(graph, inter.order, cluster, parallel, cm)
+        trace = trace_from_engine(plan, graph=graph)
+        assert trace.validate() == []
+
+
+class TestBubbleDecomposition:
+    def test_busy_plus_bubble_equals_makespan_exactly(self, vlm_trace):
+        report = decompose_bubbles(vlm_trace)
+        for bubbles in report.per_rank:
+            assert bubbles.busy_ms + bubbles.idle_ms == pytest.approx(
+                vlm_trace.total_ms, abs=1e-6)
+
+    def test_matches_simulator_bubble_ratio(self, sim_setup, vlm_trace):
+        sim = sim_setup[2]
+        report = decompose_bubbles(vlm_trace)
+        assert report.bubble_ratio == pytest.approx(sim.bubble_ratio,
+                                                    abs=1e-12)
+
+    def test_metrics_bubble_ratio_from_event_stream(self, sim_setup,
+                                                    vlm_trace):
+        sim = sim_setup[2]
+        assert bubble_ratio(vlm_trace) == pytest.approx(sim.bubble_ratio,
+                                                        abs=1e-12)
+        ranks = vlm_trace.num_ranks
+        expected_idle = sim.bubble_ratio * sim.total_ms * ranks
+        assert bubble_time_ms(vlm_trace) == pytest.approx(expected_idle,
+                                                          rel=1e-9)
+
+    def test_deterministic_sim_has_no_straggler_time(self, vlm_trace):
+        report = decompose_bubbles(vlm_trace)
+        assert report.totals()["straggler"] == 0.0
+
+    def test_warmup_matches_first_span_start(self, vlm_trace):
+        report = decompose_bubbles(vlm_trace)
+        for rank in range(vlm_trace.num_ranks):
+            spans = vlm_trace.compute_spans(rank)
+            first = min(s.start_ms for s in spans)
+            assert report.per_rank[rank].warmup_ms == pytest.approx(first)
+
+    def test_stall_spans_partition_idle(self, vlm_trace):
+        report = decompose_bubbles(vlm_trace)
+        stalls = vlm_trace.spans_of_kind("stall")
+        assert stalls, "trace_from_sim annotates stalls by default"
+        total_stall = sum(s.duration_ms for s in stalls)
+        assert total_stall == pytest.approx(report.idle_ms, abs=1e-6)
+        for span in stalls:
+            assert span.name in ("warmup", "dependency", "straggler",
+                                 "cooldown")
+        assert vlm_trace.validate() == []
+
+    def test_annotation_is_idempotent(self, vlm_trace):
+        before = len(vlm_trace.spans_of_kind("stall"))
+        annotate_stalls(vlm_trace)
+        assert len(vlm_trace.spans_of_kind("stall")) == before
+
+
+class TestCriticalPath:
+    def test_length_equals_makespan(self, vlm_trace):
+        path = critical_path(vlm_trace)
+        assert path.length_ms == pytest.approx(vlm_trace.total_ms, rel=1e-12)
+
+    def test_path_is_tight_on_deterministic_sim(self, vlm_trace):
+        path = critical_path(vlm_trace)
+        assert path.slack_ms == pytest.approx(0.0, abs=1e-9)
+        assert path.compute_ms + path.comm_ms == pytest.approx(
+            vlm_trace.total_ms, abs=1e-6)
+
+    def test_t2v_graph_too(self, t2v_graph, small_cluster, parallel2,
+                           cost_model):
+        inter = interleave_stages(t2v_graph, small_cluster, parallel2,
+                                  cost_model)
+        sim = simulate_pipeline(t2v_graph, inter.order, small_cluster,
+                                parallel2, cost_model)
+        trace = trace_from_sim(t2v_graph, sim, small_cluster, parallel2,
+                               cost_model)
+        path = critical_path(trace)
+        assert path.length_ms == pytest.approx(sim.total_ms, rel=1e-12)
+        assert path.slack_ms == pytest.approx(0.0, abs=1e-9)
+
+    def test_path_stages_are_consecutive_dependencies(self, vlm_trace):
+        by_uid = vlm_trace.span_by_uid()
+        path = critical_path(vlm_trace)
+        assert len(path.uids) >= 2
+        for prev_uid, cur_uid in zip(path.uids, path.uids[1:]):
+            cur = by_uid[cur_uid]
+            prev = by_uid[prev_uid]
+            same_rank = prev.rank == cur.rank
+            assert same_rank or prev_uid in cur.deps
+
+    def test_module_breakdown_covers_path(self, vlm_trace):
+        path = critical_path(vlm_trace)
+        assert sum(path.by_module.values()) == pytest.approx(path.compute_ms)
+
+
+class TestDiff:
+    def test_identical_traces(self, vlm_trace):
+        diff = diff_traces(vlm_trace, vlm_trace)
+        assert diff.identical
+        assert diff.matched == len(vlm_trace.compute_spans())
+        assert diff.makespan_delta_ms == 0.0
+
+    def test_detects_schedule_change(self, sim_setup):
+        graph, inter, sim, cluster, parallel, cm = sim_setup
+        base = trace_from_sim(graph, sim, cluster, parallel, cm)
+        # Natural per-rank order (uid ascending) is a different schedule.
+        order = [sorted(s.uid for s in graph.stages_on_rank(r))
+                 for r in range(graph.num_ranks)]
+        other_sim = simulate_pipeline(graph, order, cluster, parallel, cm)
+        other = trace_from_sim(graph, other_sim, cluster, parallel, cm)
+        diff = diff_traces(base, other)
+        assert diff.matched == len(graph.stages)
+        assert diff.only_a == diff.only_b == 0
+        if other_sim.total_ms != sim.total_ms:
+            assert not diff.identical
+            assert "start" in diff.describe()
+
+    def test_describe_mentions_makespans(self, vlm_trace):
+        text = diff_traces(vlm_trace, vlm_trace).describe()
+        assert "makespan" in text and "identical" in text
+
+
+class TestChromeExport:
+    def test_export_is_schema_valid(self, vlm_trace):
+        payload = to_chrome(vlm_trace)
+        assert validate_chrome_trace(payload) == []
+
+    def test_comm_slices_on_separate_threads(self, vlm_trace):
+        payload = to_chrome(vlm_trace)
+        ranks = vlm_trace.num_ranks
+        comm = [e for e in payload["traceEvents"] if e.get("cat") == "comm"]
+        assert comm
+        assert all(e["tid"] >= ranks for e in comm)
+
+    def test_stall_slices_carry_cause(self, vlm_trace):
+        payload = to_chrome(vlm_trace)
+        stalls = [e for e in payload["traceEvents"]
+                  if e.get("cat") == "stall"]
+        assert stalls
+        assert all("cause" in e["args"] for e in stalls)
+
+    def test_json_serialisable(self, vlm_trace):
+        json.dumps(to_chrome(vlm_trace))
+
+    def test_validator_rejects_missing_events(self):
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "Z", "name": "x", "pid": 0}]}) != []
+
+
+class TestRecalibration:
+    def test_samples_have_workload_attribution(self, vlm_trace):
+        from repro.trace.recalibrate import samples_from_traces
+
+        samples = samples_from_traces([vlm_trace])
+        assert samples
+        fw_spans = [s for s in vlm_trace.compute_spans()
+                    if s.direction == "fw"]
+        assert len(samples) == len(fw_spans)
+
+    def test_fit_improves_on_reference_trace(self, vlm_setup, small_cluster,
+                                             parallel2):
+        from repro.core.graphbuilder import build_iteration_graph
+        from repro.data.workload import vlm_workload
+        from repro.sim.costmodel import CostModel
+        from repro.sim.reference import ReferenceCostModel
+        from repro.trace.recalibrate import recalibrate_from_trace
+
+        arch, plan, partitioner = vlm_setup
+        reference = ReferenceCostModel(seed=11, noise_sigma=0.01)
+        batch = vlm_workload(2, seed=3).next_batch()
+        graph = build_iteration_graph(arch, plan, batch, small_cluster,
+                                      parallel2, reference,
+                                      partitioner=partitioner)
+        order = [sorted(s.uid for s in graph.stages_on_rank(r))
+                 for r in range(graph.num_ranks)]
+        sim = simulate_pipeline(graph, order, small_cluster, parallel2,
+                                reference, jitter=reference.jitter)
+        trace = trace_from_sim(graph, sim, small_cluster, parallel2,
+                               reference)
+        report = recalibrate_from_trace(
+            trace, CostModel(), small_cluster.gpu,
+            {b.name: b.spec for b in arch.bindings}, tp=parallel2.tp)
+        assert report.improved
+        assert report.mean_abs_error_after < 0.05
+
+    def test_rejects_traces_without_samples(self, small_cluster):
+        from repro.sim.costmodel import CostModel
+        from repro.trace.recalibrate import recalibrate_from_traces
+
+        empty = Trace(TraceMeta(num_ranks=1, total_ms=1.0), [])
+        with pytest.raises(ValueError):
+            recalibrate_from_traces([empty], CostModel(), small_cluster.gpu,
+                                    {})
+
+
+class TestMalformedPayloads:
+    """Untrusted native trace files surface exactly TraceValidationError."""
+
+    def test_non_object_payload(self):
+        from repro.trace import TraceValidationError
+
+        with pytest.raises(TraceValidationError):
+            Trace.from_dict(["a", "list"])
+
+    def test_unknown_meta_key(self):
+        from repro.trace import TraceValidationError
+
+        with pytest.raises(TraceValidationError):
+            Trace.from_dict({"format": "repro-trace", "version": 1,
+                             "meta": {"nope": 1}, "spans": {}})
+
+    def test_ragged_span_columns(self):
+        from repro.trace import TraceValidationError
+
+        with pytest.raises(TraceValidationError):
+            Trace.from_dict({"format": "repro-trace", "version": 1,
+                             "meta": {},
+                             "spans": {"rank": [0, 1], "kind": ["compute"],
+                                       "name": ["a", "b"],
+                                       "start_ms": [0.0, 1.0],
+                                       "end_ms": [1.0]}})
+
+    def test_measure_reference_traces_helper(self, vlm_setup, small_cluster,
+                                             parallel2):
+        from repro.data.workload import vlm_workload
+        from repro.sim.reference import ReferenceCostModel
+        from repro.trace import measure_reference_traces
+
+        arch, plan, partitioner = vlm_setup
+        reference = ReferenceCostModel(seed=5)
+        traces = measure_reference_traces(
+            arch, plan, vlm_workload(2, seed=2).batches(2), small_cluster,
+            parallel2, reference, partitioner=partitioner)
+        assert len(traces) == 2
+        for trace in traces:
+            assert trace.validate() == []
+            assert trace.compute_spans()

@@ -124,12 +124,58 @@ class TestCli:
         out = capsys.readouterr().out
         assert "plan cache:" not in out
 
-    def test_trace_command(self, tmp_path, capsys):
+    def test_trace_export_command(self, tmp_path, capsys):
         out_file = str(tmp_path / "trace.json")
-        code = main(["trace", "VLM-S", "--microbatches", "2",
+        code = main(["trace", "export", "VLM-S", "--microbatches", "2",
                      "--budget", "4", "--output", out_file])
         assert code == 0
         assert json.load(open(out_file))["traceEvents"]
+        assert main(["trace", "validate", out_file]) == 0
+
+    def test_trace_export_native_roundtrip(self, tmp_path, capsys):
+        out_file = str(tmp_path / "trace.native.json")
+        code = main(["trace", "export", "VLM-S", "--microbatches", "2",
+                     "--budget", "4", "--output", out_file,
+                     "--format", "native"])
+        assert code == 0
+        assert main(["trace", "validate", out_file]) == 0
+        code = main(["trace", "analyze", "--input", out_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out and "bubble" in out
+
+    def test_trace_analyze_command(self, capsys):
+        code = main(["trace", "analyze", "VLM-S", "--microbatches", "2",
+                     "--budget", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bubble ratio (event stream)" in out
+
+    def test_trace_analyze_needs_model_or_input(self, capsys):
+        assert main(["trace", "analyze"]) == 2
+
+    def test_trace_compare_replay_is_identical(self, capsys):
+        code = main(["trace", "compare", "VLM-S", "--microbatches", "2",
+                     "--budget", "4", "--against", "replay"])
+        assert code == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_trace_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "Q"}]}')
+        assert main(["trace", "validate", str(bad)]) == 1
+
+    def test_plan_cache_file_round_trip(self, tmp_path, capsys):
+        cache_file = str(tmp_path / "plans.json")
+        args = ["plan", "VLM-S", "--microbatches", "2", "--iterations", "1",
+                "--budget", "4", "--cache-file", cache_file]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "cold search" in first
+        # A fresh process (planner) reloads the cache and replays.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "cache hit" in second
 
     def test_unknown_model_errors(self):
         with pytest.raises(KeyError):
