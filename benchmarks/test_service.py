@@ -1,0 +1,279 @@
+"""Planning service: coalescing, aggregate throughput, recalibration.
+
+The multi-replica / multi-job regime DynaPipe's per-iteration planning
+and DistTrain's disaggregated multimodal training target: many DP
+replicas of several jobs request schedules for the same iteration
+graphs at once.  Three claims are exercised:
+
+* **Coalescing** — N identical concurrent requests are served by ONE
+  schedule search whose plan fans out to every waiter, each replayed
+  onto its own graph with a makespan identical to planning alone.
+* **Aggregate throughput** — on a mixed VLM + T2V workload with 6
+  replicas each, the shared service delivers >= 3x the plans/second of
+  serial per-replica planning, with identical makespans.
+* **Online recalibration** — feeding engine-observed traces back into
+  the cost model shrinks the sim-vs-engine makespan error across a
+  jittered run, and invalidates the plan-cache entries searched under
+  the stale model.
+"""
+
+import time
+
+import pytest
+
+from repro.core.planner import OnlinePlanner
+from repro.core.searcher import ScheduleSearcher
+from repro.service import (
+    OUTCOME_COALESCED,
+    OUTCOME_SEARCH,
+    PlanService,
+    RecalibrationPolicy,
+    drive_replicas,
+    run_recalibrating_replica,
+)
+from repro.sim.reference import ReferenceCostModel
+
+from common import make_setup, print_table, save_results
+
+JOBS = ("VLM-S", "T2V-S")
+REPLICAS = 8
+ITERATIONS = 3
+SEARCH_BUDGET = 64
+THROUGHPUT_FLOOR = 3.0
+
+RECAL_JOB = "VLM-S"
+RECAL_ITERATIONS = 6
+RECAL_BUDGET = 12
+REFERENCE_SEED = 7
+
+
+def make_searcher(setup, budget=SEARCH_BUDGET):
+    return ScheduleSearcher(setup.cluster, setup.parallel, setup.cost_model,
+                            budget_evaluations=budget, seed=0)
+
+
+def register(service, setup, budget=SEARCH_BUDGET):
+    service.register_job(
+        setup.name, arch=setup.arch, cluster=setup.cluster,
+        parallel=setup.parallel, cost_model=setup.cost_model,
+        searcher=make_searcher(setup, budget),
+    )
+
+
+def job_streams(setups):
+    return {
+        setup.name: setup.workload(4, seed=0).batches(ITERATIONS)
+        for setup in setups
+    }
+
+
+def run_serial(setups, streams):
+    """Serial per-replica planning: every replica searches on its own.
+
+    Each replica owns a private planner (its own plan cache, as a
+    standalone process would), and replicas run one after another — the
+    no-service baseline.
+    """
+    makespans = {}
+    t0 = time.monotonic()
+    for setup in setups:
+        for replica in range(REPLICAS):
+            planner = OnlinePlanner(
+                setup.arch, setup.cluster, setup.parallel, setup.cost_model,
+                searcher=make_searcher(setup),
+            )
+            for i, batch in enumerate(streams[setup.name]):
+                result = planner.plan_iteration(batch)
+                makespans.setdefault((setup.name, i), []).append(
+                    result.total_ms)
+    return time.monotonic() - t0, makespans
+
+
+def run_coalescing(setups):
+    """Deterministic step-mode: R identical in-flight requests, 1 search."""
+    setup = setups[0]
+    service = PlanService(num_workers=0, max_queue=8)
+    register(service, setup)
+    batch = setup.workload(4, seed=123).next_batch()
+    tickets = [service.submit(setup.name, batch, replica=r)
+               for r in range(REPLICAS)]
+    queue_depth = service.queue_depth
+    service.step()
+    results = [t.result(timeout=60) for t in tickets]
+    solo = OnlinePlanner(setup.arch, setup.cluster, setup.parallel,
+                         setup.cost_model, searcher=make_searcher(setup))
+    solo_result = solo.plan_iteration(batch)
+    stats = service.stats.snapshot()
+    service.close()
+    return tickets, results, solo_result, queue_depth, stats
+
+
+def run_service(setups, streams):
+    service = PlanService(num_workers=4, max_queue=64)
+    for setup in setups:
+        register(service, setup)
+    t0 = time.monotonic()
+    report = drive_replicas(service, streams, replicas=REPLICAS,
+                            timeout_s=300)
+    elapsed = time.monotonic() - t0
+    stats = service.stats.snapshot()
+    cache_stats = service.cache.stats
+    service.close()
+    return elapsed, report, stats, cache_stats
+
+
+def run_benchmark():
+    setups = [make_setup(name) for name in JOBS]
+    streams = job_streams(setups)
+    coalesce = run_coalescing(setups)
+    serial_s, serial_makespans = run_serial(setups, streams)
+    service_s, report, stats, cache_stats = run_service(setups, streams)
+    return {
+        "coalesce": coalesce,
+        "serial": (serial_s, serial_makespans),
+        "service": (service_s, report, stats, cache_stats),
+    }
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_coalesces_and_outpaces_serial_planning(benchmark):
+    results = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+
+    # -- duplicate in-flight requests coalesce onto one search --------------
+    tickets, plans, solo_result, queue_depth, cstats = results["coalesce"]
+    assert queue_depth == 1, "identical requests must share one queue slot"
+    assert cstats["searches"] == 1
+    assert cstats["coalesced"] == REPLICAS - 1
+    assert tickets[0].outcome == OUTCOME_SEARCH
+    assert all(t.outcome == OUTCOME_COALESCED for t in tickets[1:])
+    for plan in plans:
+        # Identical to planning the batch alone, to the bit.
+        assert plan.total_ms == pytest.approx(solo_result.total_ms, rel=1e-12)
+
+    # -- aggregate throughput on the mixed multi-job workload ---------------
+    serial_s, serial_makespans = results["serial"]
+    service_s, report, stats, cache_stats = results["service"]
+    total_plans = len(JOBS) * REPLICAS * ITERATIONS
+    assert not report.errors, report.errors
+    assert len(report.records) == total_plans
+    # One search per distinct iteration graph; everything else replays.
+    assert stats["searches"] == len(JOBS) * ITERATIONS
+    assert stats["coalesced"] + stats["searches"] \
+        + (stats["completed"] - stats["coalesced"] - stats["searches"]) \
+        == total_plans
+    speedup = serial_s / max(service_s, 1e-9)
+    assert speedup >= THROUGHPUT_FLOOR, (
+        f"service only {speedup:.2f}x over serial per-replica planning"
+    )
+    # Makespans identical to the single-client planner, per request.
+    for (job, iteration), serial_values in serial_makespans.items():
+        service_values = report.makespans(job, iteration)
+        assert len(service_values) == REPLICAS
+        expected = serial_values[0]
+        for value in serial_values + service_values:
+            assert value == pytest.approx(expected, rel=1e-12)
+
+    rows = [
+        {"metric": "plans delivered", "value": total_plans},
+        {"metric": "searches run", "value": stats["searches"]},
+        {"metric": "coalesced", "value": stats["coalesced"]},
+        {"metric": "coalesce rate", "value": stats["coalesce_rate"]},
+        {"metric": "serial (s)", "value": serial_s},
+        {"metric": "service (s)", "value": service_s},
+        {"metric": "throughput gain (x)", "value": speedup},
+        {"metric": "plan p50 (ms)",
+         "value": stats["plan_latency_p50_s"] * 1e3},
+        {"metric": "plan p99 (ms)",
+         "value": stats["plan_latency_p99_s"] * 1e3},
+    ]
+    print_table("Planning service vs serial per-replica planning", rows,
+                ["metric", "value"])
+
+    save_results("service", {
+        "jobs": list(JOBS),
+        "replicas": REPLICAS,
+        "iterations": ITERATIONS,
+        "search_budget": SEARCH_BUDGET,
+        "plans_delivered": total_plans,
+        "searches": stats["searches"],
+        "coalesced": stats["coalesced"],
+        "coalesce_rate": stats["coalesce_rate"],
+        "step_mode_searches": cstats["searches"],
+        "step_mode_coalesced": cstats["coalesced"],
+        "serial_seconds": serial_s,
+        "service_seconds": service_s,
+        "throughput_gain": speedup,
+        "plan_latency_p50_ms": stats["plan_latency_p50_s"] * 1e3,
+        "plan_latency_p99_ms": stats["plan_latency_p99_s"] * 1e3,
+        "queue_peak": stats["max_queue_depth"],
+        "cache": {
+            "hits": cache_stats.hits,
+            "near_hits": cache_stats.near_hits,
+            "misses": cache_stats.misses,
+        },
+    })
+
+
+def run_recalibration():
+    setup = make_setup(RECAL_JOB)
+    service = PlanService(
+        num_workers=1, max_queue=8,
+        recalibration=RecalibrationPolicy(interval=2, window=4, sweeps=2),
+    )
+    register(service, setup, budget=RECAL_BUDGET)
+    reference = ReferenceCostModel(seed=REFERENCE_SEED)
+    batches = setup.workload(4, seed=11).batches(RECAL_ITERATIONS)
+    report = run_recalibrating_replica(service, RECAL_JOB, batches,
+                                       reference, timeout_s=300)
+    cache_stats = service.cache.stats
+    stats = service.stats.snapshot()
+    service.close()
+    return report, cache_stats, stats
+
+
+@pytest.mark.benchmark(group="service")
+def test_online_recalibration_reduces_sim_drift(benchmark):
+    report, cache_stats, stats = benchmark.pedantic(run_recalibration,
+                                                    rounds=1, iterations=1)
+    errors = [r.sim_error for r in report.records]
+    assert all(e is not None for e in errors)
+    applied = [e for e in report.recal_events if e.applied]
+    assert applied, "recalibration never applied"
+    boundary = applied[0].observation
+    before = errors[:boundary]
+    after = errors[boundary:]
+    assert before and after
+    mean_before = sum(before) / len(before)
+    mean_after = sum(after) / len(after)
+    assert mean_after < mean_before, (
+        f"sim error did not drop: {mean_before:.3f} -> {mean_after:.3f}"
+    )
+    # Refits invalidate the plans searched under the stale model, and
+    # telemetry records it.
+    assert applied[0].invalidated >= 1
+    assert cache_stats.invalidations >= applied[0].invalidated
+    assert stats["recalibrations"] >= 1
+
+    rows = [
+        {"metric": f"iter {r.iteration} error", "value": r.sim_error}
+        for r in report.records
+    ]
+    rows.append({"metric": "mean before recal", "value": mean_before})
+    rows.append({"metric": "mean after recal", "value": mean_after})
+    print_table("Online recalibration: sim-vs-engine makespan error", rows,
+                ["metric", "value"])
+
+    save_results("service_recalibration", {
+        "job": RECAL_JOB,
+        "iterations": RECAL_ITERATIONS,
+        "interval": 2,
+        "errors": errors,
+        "mean_error_before": mean_before,
+        "mean_error_after": mean_after,
+        "recalibrations_applied": len(applied),
+        "cache_entries_invalidated": cache_stats.invalidations,
+        "fit_error_before": (applied[0].report.mean_abs_error_before
+                             if applied[0].report else None),
+        "fit_error_after": (applied[0].report.mean_abs_error_after
+                            if applied[0].report else None),
+    })

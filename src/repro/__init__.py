@@ -23,6 +23,8 @@ Package map:
 * :mod:`repro.runtime` - execution-plan compilation and replay.
 * :mod:`repro.trace` - per-rank event timelines, Chrome-trace export,
   critical-path / bubble analytics and trace-driven recalibration.
+* :mod:`repro.service` - the concurrent multi-tenant planning service
+  (request coalescing, shared plan cache, online recalibration).
 """
 
 from repro.cluster import ClusterSpec, ParallelConfig
@@ -34,10 +36,11 @@ from repro.data.analysis import analyze_workload
 from repro.metrics import mfu, speedup
 from repro.models import build_t2v, build_vlm, combination_by_name
 from repro.models.lmm import build_combination
+from repro.service import PlanService, RecalibrationPolicy, drive_replicas
 from repro.sim import CostModel
 from repro.trace import critical_path, decompose_bubbles, trace_from_sim
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ClusterSpec",
@@ -61,6 +64,9 @@ __all__ = [
     "trace_from_sim",
     "critical_path",
     "decompose_bubbles",
+    "PlanService",
+    "RecalibrationPolicy",
+    "drive_replicas",
 ]
 
 

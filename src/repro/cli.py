@@ -9,6 +9,12 @@ Commands:
 * ``trace``     — the trace & telemetry subsystem: ``export`` /
                   ``analyze`` / ``compare`` / ``recalibrate`` /
                   ``validate`` over per-rank event timelines.
+* ``serve``     — run the concurrent planning service: DP replicas of
+                  one or more jobs hammer a shared service (request
+                  coalescing, shared plan cache, optional online
+                  recalibration).
+* ``service-bench`` — coalescing + aggregate-throughput comparison of
+                  the service against serial per-replica planning.
 
 Examples::
 
@@ -16,10 +22,13 @@ Examples::
     python -m repro plan VLM-S --microbatches 6 --iterations 2 --diagram
     python -m repro compare T2V-S --microbatches 8
     python -m repro trace export VLM-S --output /tmp/vlm_s.trace.json
+    python -m repro trace export VLM-S --merge --iterations 4
     python -m repro trace analyze VLM-S --microbatches 4
     python -m repro trace compare VLM-S --against natural
     python -m repro trace recalibrate VLM-S
     python -m repro trace validate /tmp/vlm_s.trace.json
+    python -m repro serve VLM-S T2V-S --replicas 4 --iterations 3
+    python -m repro service-bench VLM-S --replicas 4 --iterations 2
 """
 
 from __future__ import annotations
@@ -189,10 +198,37 @@ def _planned_trace(args, strategy: str = "mcts"):
     return trace, planner
 
 
+def _merged_trace(args):
+    """Plan several iterations and merge the last K into one timeline."""
+    from repro.trace import TraceRing, merge_traces, trace_from_sim
+
+    arch, cluster, parallel, planner = _setup(
+        args.model, args.budget, args.seed, args.plan_cache,
+        args.cache_size, getattr(args, "cache_file", None),
+    )
+    stream = _workload(arch, args.microbatches, args.seed)
+    ring = TraceRing(capacity=args.ring)
+    for i, batch in enumerate(stream.batches(args.iterations)):
+        result = planner.plan_iteration(batch)
+        ring.append(trace_from_sim(
+            result.schedule.graph, result.schedule.predicted,
+            cluster, parallel, planner.cost_model,
+            label=f"{args.model} iter {i}",
+            schedule_uid=result.signature or "",
+        ))
+    merged = merge_traces(ring.snapshot(), label=f"{args.model} steady state")
+    print(f"merged last {len(ring)} of {ring.appended} iterations "
+          f"({merged.total_ms:.1f} ms steady-state timeline)")
+    return merged, planner
+
+
 def cmd_trace_export(args) -> int:
     from repro.trace import save_chrome
 
-    trace, planner = _planned_trace(args)
+    if args.merge:
+        trace, planner = _merged_trace(args)
+    else:
+        trace, planner = _planned_trace(args)
     if args.format == "chrome":
         path = save_chrome(trace, args.output, process_name=args.model)
         print(f"wrote {path} — open in chrome://tracing or ui.perfetto.dev")
@@ -342,6 +378,129 @@ def cmd_trace_validate(args) -> int:
     return 0
 
 
+def _service_with_jobs(args, models, budget=None):
+    """Build a PlanService with one registered job per model name."""
+    from repro.service import PlanService, RecalibrationPolicy
+
+    recalibration = None
+    if getattr(args, "recalibrate", 0):
+        recalibration = RecalibrationPolicy(interval=args.recalibrate,
+                                            window=2 * args.recalibrate,
+                                            sweeps=2)
+    service = PlanService(num_workers=args.workers, max_queue=args.queue,
+                          cache_size=args.cache_size,
+                          recalibration=recalibration)
+    for model in models:
+        _arch, _cluster, _parallel, planner = _setup(
+            model, budget if budget is not None else args.budget, args.seed,
+            plan_cache=True, cache_size=args.cache_size,
+        )
+        service.register_job(model, planner=planner)
+    return service
+
+
+def cmd_serve(args) -> int:
+    from repro.service import drive_replicas, run_recalibrating_replica
+    from repro.sim.reference import ReferenceCostModel
+
+    models = args.models
+    service = _service_with_jobs(args, models)
+    streams = {}
+    for model in models:
+        arch = service.job(model).planner.arch
+        streams[model] = _workload(arch, args.microbatches,
+                                   args.seed).batches(args.iterations)
+    print(f"serving {len(models)} job(s) x {args.replicas} replicas x "
+          f"{args.iterations} iterations on {args.workers} workers "
+          f"(queue {args.queue})")
+    report = drive_replicas(service, streams, replicas=args.replicas)
+    for model in models:
+        for i in range(args.iterations):
+            makespans = report.makespans(model, i)
+            if not makespans:
+                print(f"  {model} iter {i}: no replica received a plan")
+                continue
+            spread = max(makespans) - min(makespans)
+            print(f"  {model} iter {i}: {len(makespans)} replicas, "
+                  f"makespan {makespans[0] / 1e3:6.2f}s "
+                  f"(spread {spread:.2e} ms)")
+    outcomes = report.by_outcome()
+    print("outcomes: " + ", ".join(f"{k}={v}"
+                                   for k, v in sorted(outcomes.items())))
+    if report.errors:
+        for job, replica, iteration, error in report.errors[:5]:
+            print(f"  ERROR {job} replica {replica} iter {iteration}: "
+                  f"{error}", file=sys.stderr)
+    if args.recalibrate:
+        reference = ReferenceCostModel(seed=args.ref_seed)
+        for model in models:
+            recal_report = run_recalibrating_replica(
+                service, model,
+                streams[model][:args.iterations], reference)
+            errors = [r.sim_error for r in recal_report.records]
+            print(f"  {model} recal loop: sim error "
+                  + " -> ".join(f"{e * 100:.1f}%" for e in errors))
+            for event in recal_report.recal_events:
+                print(f"    {event.describe()}")
+    print(service.describe())
+    service.close()
+    return 1 if report.errors else 0
+
+
+def cmd_service_bench(args) -> int:
+    import time as _time
+
+    from repro.service import drive_replicas
+
+    models = args.models
+    streams = {}
+    serial_s = 0.0
+    serial_makespans = {}
+    # Serial per-replica baseline: every replica plans alone.
+    for model in models:
+        _arch, _cluster, _parallel, probe = _setup(
+            model, args.budget, args.seed, plan_cache=True,
+            cache_size=args.cache_size)
+        streams[model] = _workload(probe.arch, args.microbatches,
+                                   args.seed).batches(args.iterations)
+        for _replica in range(args.replicas):
+            _a, _c, _p, planner = _setup(model, args.budget, args.seed,
+                                         plan_cache=True,
+                                         cache_size=args.cache_size)
+            t0 = _time.monotonic()
+            for i, batch in enumerate(streams[model]):
+                result = planner.plan_iteration(batch)
+                serial_makespans[(model, i)] = result.total_ms
+            serial_s += _time.monotonic() - t0
+    service = _service_with_jobs(args, models)
+    t0 = _time.monotonic()
+    report = drive_replicas(service, streams, replicas=args.replicas)
+    service_s = _time.monotonic() - t0
+    stats = service.stats.snapshot()
+    total = len(models) * args.replicas * args.iterations
+    mismatched = sum(
+        1 for r in report.records
+        if abs(r.predicted_ms - serial_makespans[(r.job, r.iteration)])
+        > 1e-6 * serial_makespans[(r.job, r.iteration)]
+    )
+    gain = serial_s / max(service_s, 1e-9)
+    print(f"plans: {len(report.records)}/{total}  "
+          f"searches: {stats['searches']}  "
+          f"coalesced: {stats['coalesced']} "
+          f"({stats['coalesce_rate'] * 100:.0f}%)")
+    print(f"serial {serial_s:.2f}s  service {service_s:.2f}s  "
+          f"gain {gain:.2f}x")
+    print(f"latency p50 {stats['plan_latency_p50_s'] * 1e3:.0f}ms  "
+          f"p99 {stats['plan_latency_p99_s'] * 1e3:.0f}ms  "
+          f"queue peak {stats['max_queue_depth']}")
+    print(f"makespan mismatches vs serial: {mismatched}")
+    print(service.describe())
+    service.close()
+    failed = (bool(report.errors) or mismatched
+              or len(report.records) != total)
+    return 1 if failed else 0
+
+
 def cmd_trace(args) -> int:
     handlers = {
         "export": cmd_trace_export,
@@ -429,6 +588,15 @@ def build_parser() -> argparse.ArgumentParser:
                          default="chrome",
                          help="chrome://tracing JSON or the compact "
                               "native format (lossless, re-analyzable)")
+    texport.add_argument("--merge", action="store_true",
+                         help="plan --iterations batches, keep the last "
+                              "--ring traces, and export one merged "
+                              "steady-state timeline")
+    texport.add_argument("--iterations", type=_positive_int, default=4,
+                         help="iterations to plan when --merge is given")
+    texport.add_argument("--ring", type=_positive_int, default=4,
+                         help="ring-buffer capacity: how many trailing "
+                              "iterations the merged export keeps")
 
     tanalyze = tsub.add_parser(
         "analyze", help="critical path + per-rank bubble decomposition")
@@ -466,6 +634,41 @@ def build_parser() -> argparse.ArgumentParser:
     common_args(tune)
     tune.add_argument("--search", action="store_true",
                       help="run schedule search per layout (slower)")
+
+    def service_args(p):
+        p.add_argument("models", nargs="+",
+                       help="combination name(s), e.g. VLM-S T2V-S — one "
+                            "registered job per model")
+        p.add_argument("--replicas", type=_positive_int, default=4,
+                       help="concurrent DP replicas per job")
+        p.add_argument("--iterations", type=_positive_int, default=3)
+        p.add_argument("--microbatches", type=int, default=4)
+        p.add_argument("--budget", type=int, default=16,
+                       help="schedule-search evaluations per search")
+        p.add_argument("--workers", type=_positive_int, default=2,
+                       help="search worker threads")
+        p.add_argument("--queue", type=_positive_int, default=32,
+                       help="bounded plan-queue capacity")
+        p.add_argument("--cache-size", type=_positive_int, default=64,
+                       help="shared plan-cache capacity")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--recalibrate", type=int, default=0, metavar="N",
+                       help="online recalibration every N observed "
+                            "iterations (0 disables)")
+        p.add_argument("--ref-seed", type=int, default=7,
+                       help="hidden-factor seed of the reference hardware "
+                            "observed by the recalibration loop")
+
+    serve = sub.add_parser(
+        "serve", help="concurrent planning service: DP replicas of one or "
+                      "more jobs share one plan cache + worker pool")
+    service_args(serve)
+
+    sbench = sub.add_parser(
+        "service-bench",
+        help="coalescing + throughput: planning service vs serial "
+             "per-replica planning")
+    service_args(sbench)
     return parser
 
 
@@ -477,6 +680,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "trace": cmd_trace,
         "tune": cmd_tune,
+        "serve": cmd_serve,
+        "service-bench": cmd_service_bench,
     }
     return handlers[args.command](args)
 

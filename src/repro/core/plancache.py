@@ -73,6 +73,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     stores: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -93,11 +94,14 @@ class CacheStats:
         return (self.hits + self.near_hits) / self.lookups
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.hits} hits, {self.near_hits} near, {self.misses} misses "
             f"({self.hit_rate * 100:.0f}% exact, {self.warm_rate * 100:.0f}% "
             f"warm), {self.evictions} evictions"
         )
+        if self.invalidations:
+            text += f", {self.invalidations} invalidated"
+        return text
 
 
 @dataclass
@@ -190,6 +194,31 @@ class PlanCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+
+    def invalidate_context(self, context_digest: str) -> int:
+        """Drop every entry stored under ``context_digest``.
+
+        The online-recalibration path: when a job's cost model is refit,
+        plans searched under the old model keep their old context digest
+        — they could never match a new lookup, but they still occupy LRU
+        capacity and would keep serving any planner left on the stale
+        model.  Returns the number of entries removed (also counted in
+        ``stats.invalidations``).
+        """
+        return self.invalidate_contexts((context_digest,))
+
+    def invalidate_contexts(self, context_digests) -> int:
+        """Drop entries under any of ``context_digests`` in one pass."""
+        context_digests = set(context_digests)
+        with self._lock:
+            stale = [
+                digest for digest, plan in self._entries.items()
+                if plan.signature.context_digest in context_digests
+            ]
+            for digest in stale:
+                del self._entries[digest]
+            self.stats.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
         with self._lock:

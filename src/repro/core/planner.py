@@ -38,7 +38,12 @@ from repro.core.plancache import (
     encode_plan,
 )
 from repro.core.searcher import ScheduleSearcher, SearchResult
-from repro.core.signature import compute_signature
+from repro.core.signature import (
+    GraphSignature,
+    compute_signature,
+    context_fingerprint,
+)
+from repro.core.stages import IterationGraph
 from repro.data import constants
 from repro.data.batching import GlobalBatch, Microbatch
 from repro.data.packing import controlled_vlm_microbatch
@@ -64,6 +69,30 @@ def reference_microbatch(kind: str) -> Microbatch:
             caption_tokens=int(constants.MAX_VIDEO_SECONDS * 25),
         )
     return Microbatch(index=0, kind="lm", text_tokens=constants.CONTEXT_LENGTH)
+
+
+@dataclass
+class PreparedIteration:
+    """Stages 1-2 of planning one batch, split out for the service layer.
+
+    Building the iteration graph and fingerprinting it are cheap relative
+    to the schedule search, and the signature is what the planning
+    service's request coalescing keys on — so
+    :meth:`OnlinePlanner.prepare` runs in the *submitting* thread
+    (mirroring each DP replica prefetching its own batch metadata) while
+    the search itself queues behind the service's worker pool.
+
+    Attributes:
+        graph: The batch's freshly built iteration graph.
+        signature: Canonical graph signature; ``None`` when the plan
+            cache is disabled.
+        allow_near: Whether a near-miss lookup could warm this search
+            (the searcher consumes seeds and the graph has >1 group).
+    """
+
+    graph: IterationGraph
+    signature: Optional[GraphSignature] = None
+    allow_near: bool = False
 
 
 @dataclass
@@ -171,14 +200,43 @@ class OnlinePlanner:
         """Aggregate plan-cache telemetry (None when caching is off)."""
         return self.cache.stats if self.cache is not None else None
 
-    def plan_iteration(self, batch: GlobalBatch) -> SearchResult:
-        """Stages 1-3: prefetch metadata, partition, search.
+    def context_digest(self) -> str:
+        """Digest of the current planning context (cluster / parallel /
+        cost model / searcher semantics) — the key under which this
+        planner's cache entries are stored, and what recalibration
+        invalidates when the cost model changes."""
+        return context_fingerprint(
+            self.cluster, self.parallel, self.cost_model,
+            extra=self.searcher.fingerprint(),
+        )
 
-        With the plan cache enabled, the batch's canonical signature is
-        consulted first: an exact hit replays the cached schedule (one
-        simulation, no search), a near miss warm-starts the search from
-        the closest cached ordering, and a miss falls back to the cold
-        search — whose result is cached for future iterations.
+    def module_specs(self):
+        """Modality module specs by name, as trace recalibration wants."""
+        return {b.name: b.spec for b in self.arch.bindings}
+
+    def set_cost_model(self, cost_model: CostModel) -> None:
+        """Swap in a recalibrated cost model.
+
+        Subsequent iteration graphs are built (and searches scored) under
+        the new model; the offline partition plan is kept — re-splitting
+        the layout mid-run would invalidate the deployed parameter
+        placement.  Cache entries stored under the old context digest
+        become unreachable; callers owning a shared cache should
+        invalidate them explicitly
+        (:meth:`repro.core.plancache.PlanCache.invalidate_context`).
+        """
+        self.cost_model = cost_model
+        self.partitioner = ModalityPartitioner(
+            self.arch, self.cluster, self.parallel, cost_model
+        )
+        self.searcher.cost_model = cost_model
+
+    def prepare(self, batch: GlobalBatch) -> PreparedIteration:
+        """Stages 1-2: prefetch metadata, partition, fingerprint.
+
+        Cheap relative to the search; safe to run in the submitting
+        thread.  The result feeds :meth:`plan_prepared` (directly, or
+        through a :class:`~repro.service.PlanService` queue).
         """
         graph = build_iteration_graph(
             self.arch,
@@ -190,8 +248,7 @@ class OnlinePlanner:
             partitioner=self.partitioner,
         )
         if self.cache is None:
-            return self.searcher.search(graph)
-
+            return PreparedIteration(graph=graph)
         signature = compute_signature(
             graph,
             self.cluster,
@@ -204,7 +261,49 @@ class OnlinePlanner:
         allow_near = (
             self.searcher.supports_warm_start and len(graph.groups()) > 1
         )
-        lookup = self.cache.lookup(signature, allow_near=allow_near)
+        return PreparedIteration(graph=graph, signature=signature,
+                                 allow_near=allow_near)
+
+    def plan_iteration(self, batch: GlobalBatch) -> SearchResult:
+        """Stages 1-3: prefetch metadata, partition, search.
+
+        With the plan cache enabled, the batch's canonical signature is
+        consulted first: an exact hit replays the cached schedule (one
+        simulation, no search), a near miss warm-starts the search from
+        the closest cached ordering, and a miss falls back to the cold
+        search — whose result is cached for future iterations.
+        """
+        return self.plan_prepared(self.prepare(batch))
+
+    def replay_prepared(
+        self, prepared: PreparedIteration
+    ) -> Optional[SearchResult]:
+        """Replay a prepared batch from an exact cache hit, or ``None``.
+
+        The planning service's fan-out path: after a coalesced leader
+        search stores its plan, every waiter replays it onto its own
+        (signature-identical) graph in one simulation.  Returns ``None``
+        when no exact entry exists (caching disabled, or the entry was
+        evicted/invalidated between fan-out and replay) — callers fall
+        back to :meth:`plan_prepared`.
+        """
+        if self.cache is None or prepared.signature is None:
+            return None
+        lookup = self.cache.lookup(prepared.signature, allow_near=False)
+        if lookup.kind != "hit":
+            return None
+        return self.searcher.replay(prepared.graph, lookup.entry,
+                                    prepared.signature)
+
+    def plan_prepared(self, prepared: PreparedIteration) -> SearchResult:
+        """Stage 3: cache-assisted schedule search on a prepared batch."""
+        graph = prepared.graph
+        if self.cache is None or prepared.signature is None:
+            return self.searcher.search(graph)
+
+        signature = prepared.signature
+        lookup = self.cache.lookup(signature,
+                                   allow_near=prepared.allow_near)
         if lookup.kind == "hit":
             return self.searcher.replay(graph, lookup.entry, signature)
         seed = (

@@ -10,7 +10,8 @@ individually, which is conservative.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.topology import ClusterSpec, ParallelConfig
 from repro.core.stages import IterationGraph
@@ -93,3 +94,57 @@ def compile_schedule(
         for tag in sorted(sent_tags):
             actions.append(Action(kind=ActionKind.WAIT_ISEND, tag=tag))
     return plan
+
+
+def reprice_plan(
+    plan: ExecutionPlan,
+    graph: IterationGraph,
+    device,
+    specs: Dict,
+    cost_model: CostModel,
+    tp: int = 1,
+    jitter: Optional[Callable[[int, float], float]] = None,
+) -> ExecutionPlan:
+    """Recompute the plan's compute durations under another cost model.
+
+    The online-recalibration loop "executes" planned schedules on the
+    hidden-truth hardware: the *structure* of the compiled plan (action
+    order, P2P matching) is the planner's, but each stage's duration is
+    re-derived from ``cost_model`` — typically a
+    :class:`~repro.sim.reference.ReferenceCostModel` — so the engine's
+    timeline diverges from the planner's prediction exactly as a real
+    cluster's would.  ``jitter`` adds per-stage measurement noise
+    (``(uid, base_ms) -> ms``).  The selected memory-strategy overhead is
+    kept at the planner's value (it is what the recorded ``extra_ms``
+    attribution subtracts back out), and transfer latencies are left
+    untouched.  Stages whose pairs carry no workload attribution
+    (``instances``/``seq`` unset, e.g. hand-built graphs) keep their
+    compiled duration.
+    """
+    repriced = ExecutionPlan(actions_per_rank=[])
+    for actions in plan.actions_per_rank:
+        out: List[Action] = []
+        for action in actions:
+            if not action.is_compute():
+                out.append(action)
+                continue
+            stage = graph.stages[action.stage_uid]
+            pair = graph.pairs[stage.pair_id]
+            spec = specs.get(pair.module)
+            if spec is None or pair.instances <= 0 or pair.seq <= 0:
+                out.append(action)
+                continue
+            cost = cost_model.stage_cost(
+                device, spec, pair.num_layers, pair.instances, pair.seq,
+                tp=tp, context=pair.context,
+            )
+            if stage.is_forward:
+                base = cost.forward_ms + pair.strategy.fw_extra_ms
+            else:
+                base = cost.backward_ms + pair.strategy.bw_extra_ms
+            duration = base * stage.latency_share
+            if jitter is not None:
+                duration = jitter(stage.uid, duration)
+            out.append(replace(action, duration_ms=duration))
+        repriced.actions_per_rank.append(out)
+    return repriced

@@ -1,0 +1,59 @@
+"""Planning service: the per-process planner as shared infrastructure.
+
+* :mod:`repro.service.service` — :class:`PlanService`: worker pool,
+  bounded priority queue, in-flight request coalescing on graph
+  signatures, background warm search, online recalibration.
+* :mod:`repro.service.requests` — tickets, pending entries, admission
+  errors.
+* :mod:`repro.service.stats` — :class:`ServiceStats` telemetry (queue
+  depth, coalesce rate, latency percentiles).
+* :mod:`repro.service.recal` — per-job recalibration windows + policy.
+* :mod:`repro.service.replica` — DP-replica clients and multi-job
+  drivers (including the closed plan→execute→observe loop).
+"""
+
+from repro.service.recal import (
+    JobRecalibrator,
+    RecalibrationEvent,
+    RecalibrationPolicy,
+)
+from repro.service.replica import (
+    DriveReport,
+    ReplicaClient,
+    ReplicaRecord,
+    drive_replicas,
+    observed_execution,
+    run_recalibrating_replica,
+)
+from repro.service.requests import (
+    OUTCOME_COALESCED,
+    OUTCOME_HIT,
+    OUTCOME_SEARCH,
+    PlanTicket,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+from repro.service.service import PREWARM_PRIORITY, PlanService, RegisteredJob
+from repro.service.stats import ServiceStats
+
+__all__ = [
+    "PlanService",
+    "RegisteredJob",
+    "PlanTicket",
+    "ServiceStats",
+    "ServiceOverloadError",
+    "ServiceClosedError",
+    "RecalibrationPolicy",
+    "RecalibrationEvent",
+    "JobRecalibrator",
+    "ReplicaClient",
+    "ReplicaRecord",
+    "DriveReport",
+    "drive_replicas",
+    "observed_execution",
+    "run_recalibrating_replica",
+    "OUTCOME_SEARCH",
+    "OUTCOME_HIT",
+    "OUTCOME_COALESCED",
+    "PREWARM_PRIORITY",
+]

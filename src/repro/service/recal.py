@@ -1,0 +1,105 @@
+"""Online recalibration loop: engine traces close the cost-model loop.
+
+Every executed iteration yields an observed trace; per job, the service
+retains the last ``window`` traces in a :class:`~repro.trace.TraceRing`
+and every ``interval`` observations refits the job's cost-model
+efficiency factors from them (:mod:`repro.trace.recalibrate`).  An
+applied refit swaps the planner onto the calibrated model and
+invalidates the plan-cache entries stored under the old planning context
+— they were searched against latencies the hardware disagreed with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.costmodel import CostModel
+from repro.trace.events import Trace, TraceRing
+from repro.trace.recalibrate import (
+    TraceCalibrationReport,
+    TraceSample,
+    samples_from_traces,
+)
+
+
+@dataclass(frozen=True)
+class RecalibrationPolicy:
+    """When and how aggressively the service refits a job's cost model.
+
+    Attributes:
+        interval: Refit after every N observed iterations.
+        window: Observed traces retained per job (the fit window).
+        sweeps: Coordinate-descent sweeps per refit.
+        min_samples: Minimum fit-able forward spans required to attempt
+            a refit (too few observations overfit the factors).
+        min_improvement: Required relative reduction of the fit error
+            before a refit is *applied* (0.0 applies any improvement).
+    """
+
+    interval: int = 4
+    window: int = 8
+    sweeps: int = 2
+    min_samples: int = 4
+    min_improvement: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError("recalibration interval must be >= 1")
+        if self.window < 1:
+            raise ValueError("recalibration window must be >= 1")
+        if self.min_samples < 1:
+            raise ValueError("recalibration min_samples must be >= 1")
+
+
+@dataclass
+class RecalibrationEvent:
+    """Outcome of one recalibration attempt on one job."""
+
+    job: str
+    observation: int  # how many iterations the job had observed
+    applied: bool
+    invalidated: int = 0
+    report: Optional[TraceCalibrationReport] = None
+    old_model: Optional[CostModel] = None
+
+    def describe(self) -> str:
+        if self.report is None:
+            return f"{self.job}: recalibration skipped (too few samples)"
+        verdict = "applied" if self.applied else "not applied"
+        return (
+            f"{self.job} @ iter {self.observation}: {self.report.describe()}"
+            f" — {verdict}, {self.invalidated} cache entries invalidated"
+        )
+
+
+class JobRecalibrator:
+    """Per-job observation window + refit cadence bookkeeping."""
+
+    def __init__(self, policy: RecalibrationPolicy) -> None:
+        self.policy = policy
+        self.ring = TraceRing(capacity=policy.window)
+        self.events: list = []
+
+    @property
+    def observed(self) -> int:
+        return self.ring.appended
+
+    def observe(self, trace: Trace) -> bool:
+        """Record one observed iteration; True when a refit is due."""
+        self.ring.append(trace)
+        return self.ring.appended % self.policy.interval == 0
+
+    def window_samples(self, traces) -> "list[TraceSample]":
+        """Fit-able observations in one window snapshot (extracted once;
+        the caller passes the same list into the refit)."""
+        return samples_from_traces(traces)
+
+    def worth_applying(self, report: TraceCalibrationReport) -> bool:
+        """Does the refit clear the policy's improvement bar?"""
+        if not report.improved:
+            return False
+        if report.mean_abs_error_before <= 0:
+            return False
+        gain = 1.0 - report.mean_abs_error_after / report.mean_abs_error_before
+        return gain >= self.policy.min_improvement

@@ -1,0 +1,126 @@
+"""Request/ticket vocabulary of the planning service.
+
+A client (one DP replica of one job) submits a batch and receives a
+:class:`PlanTicket` — a future it blocks on while the service searches,
+replays or coalesces the request.  Tickets record the full lifecycle
+(submit / start / done timestamps plus the outcome) so the service's
+latency percentiles and the benchmark's per-request accounting read
+straight off them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.planner import PreparedIteration
+from repro.core.searcher import SearchResult
+
+#: How a ticket was ultimately served.
+OUTCOME_SEARCH = "search"  # cold or warm-started schedule search
+OUTCOME_HIT = "hit"  # exact plan-cache replay
+OUTCOME_COALESCED = "coalesced"  # fanned out from a concurrent identical request
+OUTCOME_ERROR = "error"
+VALID_OUTCOMES = (OUTCOME_SEARCH, OUTCOME_HIT, OUTCOME_COALESCED,
+                  OUTCOME_ERROR)
+
+
+class ServiceOverloadError(RuntimeError):
+    """Admission control rejected the request: the plan queue is full."""
+
+
+class ServiceClosedError(RuntimeError):
+    """The service is shut down and accepts no further requests."""
+
+
+class PlanTicket:
+    """A client's handle on one in-flight planning request."""
+
+    def __init__(self, job: str, replica: int = 0, priority: int = 0) -> None:
+        self.job = job
+        self.replica = replica
+        self.priority = priority
+        self.submitted_s = time.monotonic()
+        self.started_s: Optional[float] = None
+        self.done_s: Optional[float] = None
+        self.outcome: Optional[str] = None
+        self._event = threading.Event()
+        self._result: Optional[SearchResult] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Submit-to-completion latency, once done."""
+        if self.done_s is None:
+            return None
+        return self.done_s - self.submitted_s
+
+    @property
+    def queue_wait_s(self) -> Optional[float]:
+        """Submit-to-start latency (time spent queued), once started."""
+        if self.started_s is None:
+            return None
+        return self.started_s - self.submitted_s
+
+    def result(self, timeout: Optional[float] = None) -> SearchResult:
+        """Block until the plan is ready; re-raises worker-side errors."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"plan for job {self.job!r} not ready within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    # -- service side --------------------------------------------------------
+
+    def mark_started(self) -> None:
+        if self.started_s is None:
+            self.started_s = time.monotonic()
+
+    def complete(self, result: SearchResult, outcome: str) -> None:
+        self.mark_started()
+        self._result = result
+        self.outcome = outcome
+        self.done_s = time.monotonic()
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.mark_started()
+        self._error = error
+        self.outcome = OUTCOME_ERROR
+        self.done_s = time.monotonic()
+        self._event.set()
+
+
+@dataclass
+class PendingPlan:
+    """One queued-or-searching signature with every request riding it.
+
+    The coalescing unit: the first request for a signature becomes the
+    *leader* (it owns the queue slot and the eventual search); identical
+    requests submitted while the leader is pending attach as *waiters*
+    and are served by replaying the leader's freshly cached plan — one
+    search, N results.
+    """
+
+    digest: str
+    job: str
+    priority: int
+    seq: int
+    ticket: PlanTicket
+    prepared: PreparedIteration
+    waiters: list = field(default_factory=list)  # (ticket, job, prepared)
+    # Set once a worker claims the entry; duplicate heap references left
+    # behind by a priority promotion are skipped when they surface.
+    taken: bool = False
+
+    def sort_key(self):
+        """Heap key: lower priority value first, then submission order."""
+        return (self.priority, self.seq)

@@ -1,0 +1,577 @@
+"""The concurrent multi-tenant planning service.
+
+At production scale DIP's per-iteration planner is not a library call
+but shared infrastructure: hundreds of DP replicas and several
+concurrent jobs request schedules for similar iteration graphs at once.
+:class:`PlanService` fronts one :class:`~repro.core.planner.OnlinePlanner`
+per registered job behind a shared, thread-safe
+:class:`~repro.core.plancache.PlanCache` and a pool of search workers:
+
+* **Request coalescing** — submission computes the batch's canonical
+  graph signature (:mod:`repro.core.signature`) in the client thread; an
+  identical signature already queued or searching attaches the request
+  as a *waiter* instead of consuming a queue slot.  When the leader's
+  search completes, its plan is encoded into canonical space once and
+  replayed onto every waiter's own graph — one search, N results, with
+  makespans identical to planning each request alone.
+* **Admission control** — a bounded priority queue (lower value = more
+  urgent, FIFO within a priority).  A full queue rejects with
+  :class:`~repro.service.requests.ServiceOverloadError` (backpressure)
+  or blocks when the caller asks to wait.
+* **Background warm search** — :meth:`PlanService.prewarm` submits a
+  lowest-priority request for an *anticipated* batch; idle workers fill
+  the cache so the real request replays instead of searching.
+* **Online recalibration** — :meth:`PlanService.observe` feeds executed
+  iteration traces (runtime engine timelines) into a per-job window;
+  every N observations the job's cost-model efficiency factors are
+  refit from observed span durations, the planner switches to the
+  calibrated model, and cache entries stored under the stale planning
+  context are invalidated.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.core.plancache import DEFAULT_CACHE_SIZE, PlanCache, encode_plan
+from repro.core.planner import OnlinePlanner
+from repro.core.searcher import ScheduleSearcher, SearchResult
+from repro.data.batching import GlobalBatch
+from repro.service.recal import (
+    JobRecalibrator,
+    RecalibrationEvent,
+    RecalibrationPolicy,
+)
+from repro.service.requests import (
+    OUTCOME_COALESCED,
+    OUTCOME_HIT,
+    OUTCOME_SEARCH,
+    PendingPlan,
+    PlanTicket,
+    ServiceClosedError,
+    ServiceOverloadError,
+)
+from repro.service.stats import ServiceStats
+from repro.sim.costmodel import CostModel
+from repro.trace.events import Trace
+
+#: Priority offset that keeps prewarm requests behind every client
+#: request (client priorities are expected to stay well below this).
+PREWARM_PRIORITY = 1_000_000
+
+
+@dataclass
+class RegisteredJob:
+    """One tenant: a planner plus the context recalibration needs."""
+
+    name: str
+    planner: OnlinePlanner
+    cluster: ClusterSpec
+    parallel: ParallelConfig
+    priority: int = 0
+    recalibrator: Optional[JobRecalibrator] = None
+    # Serialises graph building against cost-model swaps so one request
+    # never sees a half-applied recalibration; `searching` counts
+    # worker-side plan/fan-out sections in flight, and a swap waits on
+    # `idle` until they drain (workers pause while `swapping`).
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    searching: int = 0
+    swapping: bool = False
+
+    def __post_init__(self) -> None:
+        self.idle = threading.Condition(self.lock)
+
+    @property
+    def device(self):
+        return self.cluster.gpu
+
+    @property
+    def specs(self):
+        return self.planner.module_specs()
+
+    # -- search/swap exclusion ----------------------------------------------
+
+    def begin_search(self) -> None:
+        with self.lock:
+            while self.swapping:
+                self.idle.wait()
+            self.searching += 1
+
+    def end_search(self) -> None:
+        with self.lock:
+            self.searching -= 1
+            self.idle.notify_all()
+
+    def swap_cost_model(self, cost_model: CostModel) -> None:
+        """Apply a recalibrated model once no search is in flight.
+
+        Caller holds ``self.lock`` (the condition's lock, acquired once
+        — ``wait`` releases it while draining).  Workers that arrive
+        during the drain block in :meth:`begin_search`, so a leader's
+        search and its fan-out replays always run under one model and
+        every coalesced waiter's makespan stays identical.
+        """
+        self.swapping = True
+        try:
+            while self.searching > 0:
+                self.idle.wait()
+            self.planner.set_cost_model(cost_model)
+        finally:
+            self.swapping = False
+            self.idle.notify_all()
+
+
+class PlanService:
+    """Serves schedule plans to many concurrent clients.
+
+    Args:
+        num_workers: Search worker threads.  ``0`` starts no threads —
+            requests queue until :meth:`step` processes them, which
+            makes tests and single-threaded drivers deterministic.
+        max_queue: Bounded queue capacity (pending *leaders*; coalesced
+            waiters ride along for free).
+        plan_cache: Shared cache; built internally when omitted.
+        cache_size: Capacity of the internally built cache.
+        coalesce: Enable in-flight request coalescing.
+        recalibration: Online-recalibration policy applied to every
+            registered job; ``None`` disables the loop.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        max_queue: int = 64,
+        plan_cache: Optional[PlanCache] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        coalesce: bool = True,
+        recalibration: Optional[RecalibrationPolicy] = None,
+    ) -> None:
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.cache = plan_cache if plan_cache is not None else PlanCache(
+            capacity=cache_size
+        )
+        self.max_queue = max_queue
+        self.coalesce = coalesce
+        self.recalibration = recalibration
+        self.stats = ServiceStats()
+        self._jobs: Dict[str, RegisteredJob] = {}
+        self._mutex = threading.Lock()
+        self._not_empty = threading.Condition(self._mutex)
+        self._not_full = threading.Condition(self._mutex)
+        # The heap may hold stale duplicate references after a waiter
+        # promotes its leader's priority; _queued counts live leaders.
+        self._heap: List[Tuple[Tuple[int, int], PendingPlan]] = []
+        self._pending: Dict[str, PendingPlan] = {}
+        self._queued = 0
+        self._seq = 0
+        self._closed = False
+        self._stale_contexts: set = set()
+        self._workers: List[threading.Thread] = []
+        for i in range(num_workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"plan-worker-{i}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "PlanService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; fail whatever is still queued."""
+        with self._mutex:
+            if self._closed:
+                return
+            self._closed = True
+            abandoned = []
+            for _key, entry in self._heap:
+                if not entry.taken:
+                    entry.taken = True  # also dedups promoted duplicates
+                    abandoned.append(entry)
+            self._heap.clear()
+            self._pending.clear()
+            self._queued = 0
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        for entry in abandoned:
+            entry.ticket.fail(
+                ServiceClosedError("service closed before planning"))
+            self.stats.count("failed")
+            for ticket, _job, _prep in entry.waiters:
+                ticket.fail(
+                    ServiceClosedError("service closed before planning"))
+                self.stats.count("failed")
+        if wait:
+            for worker in self._workers:
+                worker.join(timeout=30.0)
+
+    # -- registration --------------------------------------------------------
+
+    def register_job(
+        self,
+        name: str,
+        arch=None,
+        cluster: Optional[ClusterSpec] = None,
+        parallel: Optional[ParallelConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        searcher: Optional[ScheduleSearcher] = None,
+        planner: Optional[OnlinePlanner] = None,
+        priority: int = 0,
+    ) -> RegisteredJob:
+        """Register one tenant job.
+
+        Either pass a prebuilt ``planner`` (its plan cache is rebound to
+        the service's shared cache unless the planner has caching
+        disabled) or the ``arch``/``cluster``/``parallel`` parts an
+        :class:`OnlinePlanner` is built from.
+        """
+        if name in self._jobs:
+            raise ValueError(f"job {name!r} already registered")
+        if planner is None:
+            if arch is None or cluster is None or parallel is None:
+                raise ValueError(
+                    "register_job needs a planner or arch+cluster+parallel"
+                )
+            planner = OnlinePlanner(
+                arch, cluster, parallel, cost_model,
+                searcher=searcher, plan_cache=self.cache,
+            )
+        else:
+            if planner.cache is not None:
+                planner.cache = self.cache
+        job = RegisteredJob(
+            name=name,
+            planner=planner,
+            cluster=cluster if cluster is not None else planner.cluster,
+            parallel=parallel if parallel is not None else planner.parallel,
+            priority=priority,
+            recalibrator=(
+                JobRecalibrator(self.recalibration)
+                if self.recalibration is not None else None
+            ),
+        )
+        self._jobs[name] = job
+        return job
+
+    def job(self, name: str) -> RegisteredJob:
+        return self._jobs[name]
+
+    @property
+    def jobs(self) -> List[str]:
+        return list(self._jobs)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        job_name: str,
+        batch: GlobalBatch,
+        priority: Optional[int] = None,
+        replica: int = 0,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> PlanTicket:
+        """Request a plan for ``batch``; returns a waitable ticket.
+
+        The batch's graph is built and fingerprinted in the calling
+        thread (each replica prefetching its own metadata); the search
+        queues behind the worker pool.  A request identical to one
+        already pending coalesces onto it without consuming a queue
+        slot.  When the queue is full the request is rejected with
+        :class:`ServiceOverloadError` unless ``block`` asks to wait for
+        space (``timeout`` bounds the wait).
+        """
+        job = self._jobs[job_name]
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        ticket = PlanTicket(
+            job=job_name, replica=replica,
+            priority=job.priority if priority is None else priority,
+        )
+        with job.lock:
+            prepared = job.planner.prepare(batch)
+        self.stats.count("submitted")
+        digest = (prepared.signature.digest
+                  if prepared.signature is not None else None)
+        deadline = (time.monotonic() + timeout) if timeout is not None else None
+        with self._mutex:
+            while True:
+                if self._closed:
+                    raise ServiceClosedError("service is closed")
+                # Coalesce first — re-checked after every wait, since a
+                # leader for this digest may have been enqueued by a
+                # sibling replica while this submit was blocked on
+                # queue space (the exact backpressure regime coalescing
+                # exists for).
+                if digest is not None and self.coalesce:
+                    pending = self._pending.get(digest)
+                    if pending is not None:
+                        pending.waiters.append((ticket, job, prepared))
+                        # A more urgent waiter promotes its still-queued
+                        # leader (a client attaching to a background
+                        # prewarm must not inherit last place); the old
+                        # heap reference goes stale and is skipped on
+                        # pop.
+                        if (not pending.taken
+                                and ticket.priority < pending.priority):
+                            pending.priority = ticket.priority
+                            heapq.heappush(self._heap,
+                                           (pending.sort_key(), pending))
+                        return ticket
+                if self._queued < self.max_queue:
+                    break
+                if not block:
+                    self.stats.count("rejected")
+                    raise ServiceOverloadError(
+                        f"plan queue full ({self.max_queue} pending)"
+                    )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.stats.count("rejected")
+                        raise ServiceOverloadError(
+                            f"no queue space within {timeout}s"
+                        )
+                self._not_full.wait(remaining)
+            entry = PendingPlan(
+                digest=digest if digest is not None else f"?nosig:{self._seq}",
+                job=job_name,
+                priority=ticket.priority,
+                seq=self._seq,
+                ticket=ticket,
+                prepared=prepared,
+            )
+            self._seq += 1
+            heapq.heappush(self._heap, (entry.sort_key(), entry))
+            self._queued += 1
+            if digest is not None and self.coalesce:
+                self._pending[digest] = entry
+            self.stats.queue_changed(self._queued)
+            self._not_empty.notify()
+        return ticket
+
+    def prewarm(
+        self,
+        job_name: str,
+        batch: GlobalBatch,
+        replica: int = -1,
+    ) -> Optional[PlanTicket]:
+        """Background warm search for an anticipated batch (best effort).
+
+        Queued behind every client request; a full queue silently drops
+        the prewarm — warming the cache is an optimization, never worth
+        displacing real work.
+        """
+        job = self._jobs[job_name]
+        try:
+            ticket = self.submit(
+                job_name, batch,
+                priority=PREWARM_PRIORITY + job.priority,
+                replica=replica,
+            )
+        except ServiceOverloadError:
+            return None
+        self.stats.count("prewarms")
+        return ticket
+
+    # -- worker side ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            entry = self._pop(block=True)
+            if entry is None:
+                return
+            self._process(entry)
+
+    def _pop(self, block: bool) -> Optional[PendingPlan]:
+        with self._mutex:
+            while True:
+                while self._heap and self._heap[0][1].taken:
+                    heapq.heappop(self._heap)  # stale promoted duplicate
+                if self._heap:
+                    break
+                if self._closed or not block:
+                    return None
+                self._not_empty.wait()
+            _key, entry = heapq.heappop(self._heap)
+            entry.taken = True
+            self._queued -= 1
+            self.stats.queue_changed(self._queued)
+            self._not_full.notify()
+            return entry
+
+    def step(self) -> bool:
+        """Process one queued request in the calling thread.
+
+        The deterministic, single-threaded drive mode (``num_workers=0``)
+        used by tests; returns False when the queue is empty.
+        """
+        entry = self._pop(block=False)
+        if entry is None:
+            return False
+        self._process(entry)
+        return True
+
+    def _process(self, entry: PendingPlan) -> None:
+        job = self._jobs[entry.job]
+        entry.ticket.mark_started()
+        # The whole plan + fan-out section excludes cost-model swaps
+        # (RegisteredJob.swap_cost_model waits for it to drain), so the
+        # leader's final simulation and every waiter's replay run under
+        # one model — coalesced makespans stay identical.
+        job.begin_search()
+        try:
+            try:
+                result = job.planner.plan_prepared(entry.prepared)
+            except BaseException as exc:  # noqa: BLE001 — fail the tickets
+                self._retire(entry)
+                entry.ticket.fail(exc)
+                self.stats.count("failed")
+                for ticket, _wjob, _wprep in entry.waiters:
+                    # Fresh instance per ticket: each client thread
+                    # re-raises its own, so concurrent raises don't
+                    # fight over one shared __traceback__.
+                    ticket.fail(RuntimeError(
+                        f"coalesced leader search failed: {exc!r}"))
+                    self.stats.count("failed")
+                return
+            # Retire the pending entry *before* fan-out: requests
+            # submitted from here on start a fresh leader, which replays
+            # from the now-populated cache in one simulation anyway.
+            self._retire(entry)
+            outcome = OUTCOME_HIT if result.cache_hit else OUTCOME_SEARCH
+            self.stats.count("replays" if result.cache_hit else "searches")
+            self._deliver(entry.ticket, result, outcome)
+            if entry.waiters:
+                self._fan_out(entry, result)
+        finally:
+            job.end_search()
+
+    def _retire(self, entry: PendingPlan) -> None:
+        with self._mutex:
+            if self._pending.get(entry.digest) is entry:
+                del self._pending[entry.digest]
+
+    def _deliver(self, ticket: PlanTicket, result: SearchResult,
+                 outcome: str) -> None:
+        ticket.complete(result, outcome)
+        self.stats.count("completed")
+        if outcome == OUTCOME_COALESCED:
+            self.stats.count("coalesced")
+        self.stats.record_latency(ticket.latency_s, ticket.queue_wait_s)
+
+    def _fan_out(self, entry: PendingPlan, result: SearchResult) -> None:
+        """Replay the leader's plan onto every coalesced waiter's graph.
+
+        Encoding into canonical (signature) space once makes the fan-out
+        independent of the shared cache's LRU churn: even if the entry
+        was already evicted, every waiter still replays — one pipeline
+        simulation each, no search.
+        """
+        assert entry.prepared.signature is not None
+        canonical = encode_plan(result, entry.prepared.signature,
+                                entry.prepared.graph)
+        for ticket, wjob, wprep in entry.waiters:
+            ticket.mark_started()
+            try:
+                replayed = wjob.planner.searcher.replay(
+                    wprep.graph, canonical, wprep.signature
+                )
+            except BaseException as exc:  # noqa: BLE001
+                ticket.fail(exc)
+                self.stats.count("failed")
+                continue
+            self.stats.count("replays")
+            self._deliver(ticket, replayed, OUTCOME_COALESCED)
+
+    # -- observation / recalibration -----------------------------------------
+
+    def observe(self, job_name: str,
+                trace: Trace) -> Optional[RecalibrationEvent]:
+        """Feed one executed iteration's trace into the recal loop.
+
+        Returns the :class:`RecalibrationEvent` when this observation
+        triggered a refit attempt (applied or not), else ``None``.
+        """
+        job = self._jobs[job_name]
+        if job.recalibrator is None:
+            return None
+        if not job.recalibrator.observe(trace):  # TraceRing is thread-safe
+            return None
+        return self._recalibrate(job)
+
+    def _recalibrate(self, job: RegisteredJob) -> RecalibrationEvent:
+        """Refit one job's cost model from its observation window.
+
+        The coordinate-descent fit runs on a window snapshot *without*
+        holding ``job.lock`` — a refit must not stall the job's submits
+        and searches; only the final model swap takes the lock (and
+        drains in-flight searches, see
+        :meth:`RegisteredJob.swap_cost_model`).
+        """
+        from repro.trace.recalibrate import recalibrate_from_traces
+
+        recal = job.recalibrator
+        event = RecalibrationEvent(job=job.name, observation=recal.observed,
+                                   applied=False)
+        window = recal.ring.snapshot()
+        samples = recal.window_samples(window)
+        if len(samples) < recal.policy.min_samples:
+            recal.events.append(event)
+            return event
+        report = recalibrate_from_traces(
+            window,
+            job.planner.cost_model,
+            job.device,
+            job.specs,
+            tp=job.parallel.tp,
+            sweeps=recal.policy.sweeps,
+            samples=samples,
+        )
+        event.report = report
+        if recal.worth_applying(report):
+            with job.lock:
+                old_model = job.planner.cost_model
+                with self._mutex:
+                    self._stale_contexts.add(job.planner.context_digest())
+                    stale = set(self._stale_contexts)
+                job.swap_cost_model(report.calibrated)
+            # Sweep every context retired so far (one cache pass), not
+            # just this one: a search in flight during a previous swap
+            # may have stored its (already unreachable) plan after that
+            # invalidation ran, and it would otherwise squat in the LRU
+            # forever.
+            event.invalidated = self.cache.invalidate_contexts(stale)
+            event.applied = True
+            event.old_model = old_model
+            self.stats.count("recalibrations")
+            self.stats.count("invalidated", event.invalidated)
+        recal.events.append(event)
+        return event
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._mutex:
+            return self._queued
+
+    def describe(self) -> str:
+        return (
+            f"plan service: {self.stats.describe()}; "
+            f"cache: {self.cache.stats.describe()}"
+        )

@@ -1,0 +1,142 @@
+"""Service telemetry: queue pressure, coalescing, latency percentiles.
+
+All counters are updated under one lock by the service; ``snapshot()``
+returns a JSON-serialisable dict for benchmarks and the CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, Optional, Sequence
+
+#: Trailing completed requests the latency percentiles are computed
+#: over — a long-lived service must not accumulate one float per
+#: request forever.
+LATENCY_WINDOW = 4096
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 on empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class ServiceStats:
+    """Aggregate planning-service telemetry.
+
+    Counters:
+        submitted / rejected / completed / failed: request lifecycle.
+        coalesced: requests served by fan-out from a concurrent
+            identical request (no queue slot, no search of their own).
+        searches: schedule searches actually run (cold or warm).
+        replays: plans served by cache replay (exact hits + fan-outs).
+        prewarms: background warm-search requests accepted.
+        recalibrations: cost-model refits applied.
+        invalidated: cache entries dropped by recalibration.
+
+    Gauges:
+        queue_depth / max_queue_depth: current and high-water pending
+            leaders (coalesced waiters never occupy a slot).
+
+    Latency percentiles cover the trailing ``LATENCY_WINDOW`` completed
+    requests (bounded memory for long-lived services).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.coalesced = 0
+        self.searches = 0
+        self.replays = 0
+        self.prewarms = 0
+        self.recalibrations = 0
+        self.invalidated = 0
+        self.queue_depth = 0
+        self.max_queue_depth = 0
+        self._latencies_s: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+        self._waits_s: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
+
+    # -- updates (service side) ----------------------------------------------
+
+    def count(self, counter: str, delta: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + delta)
+
+    def queue_changed(self, depth: int) -> None:
+        with self._lock:
+            self.queue_depth = depth
+            self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    def record_latency(self, latency_s: Optional[float],
+                       wait_s: Optional[float]) -> None:
+        with self._lock:
+            if latency_s is not None:
+                self._latencies_s.append(latency_s)
+            if wait_s is not None:
+                self._waits_s.append(wait_s)
+
+    # -- reads ---------------------------------------------------------------
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of completed requests served by coalescing."""
+        if self.completed == 0:
+            return 0.0
+        return self.coalesced / self.completed
+
+    @property
+    def search_rate(self) -> float:
+        """Fraction of completed requests that needed their own search."""
+        if self.completed == 0:
+            return 0.0
+        return self.searches / self.completed
+
+    def latency_percentile_s(self, q: float) -> float:
+        with self._lock:
+            return percentile(self._latencies_s, q)
+
+    def wait_percentile_s(self, q: float) -> float:
+        with self._lock:
+            return percentile(self._waits_s, q)
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            latencies = list(self._latencies_s)
+            waits = list(self._waits_s)
+            counters = {
+                name: getattr(self, name)
+                for name in ("submitted", "rejected", "completed", "failed",
+                             "coalesced", "searches", "replays", "prewarms",
+                             "recalibrations", "invalidated",
+                             "queue_depth", "max_queue_depth")
+            }
+        counters["coalesce_rate"] = (
+            counters["coalesced"] / counters["completed"]
+            if counters["completed"] else 0.0
+        )
+        counters["plan_latency_p50_s"] = percentile(latencies, 50)
+        counters["plan_latency_p99_s"] = percentile(latencies, 99)
+        counters["queue_wait_p50_s"] = percentile(waits, 50)
+        counters["queue_wait_p99_s"] = percentile(waits, 99)
+        return counters
+
+    def describe(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"{snap['completed']} plans "
+            f"({snap['searches']} searches, {snap['replays']} replays, "
+            f"{snap['coalesced']} coalesced = "
+            f"{snap['coalesce_rate'] * 100:.0f}%), "
+            f"{snap['rejected']} rejected, "
+            f"queue peak {snap['max_queue_depth']}, "
+            f"latency p50 {snap['plan_latency_p50_s'] * 1e3:.0f}ms "
+            f"p99 {snap['plan_latency_p99_s'] * 1e3:.0f}ms"
+        )

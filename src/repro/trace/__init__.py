@@ -22,12 +22,13 @@ from repro.trace.analysis import (
     decompose_bubbles,
     diff_traces,
 )
-from repro.trace.builders import trace_from_engine, trace_from_sim
+from repro.trace.builders import merge_traces, trace_from_engine, trace_from_sim
 from repro.trace.events import (
     Span,
     Trace,
     TraceCollector,
     TraceMeta,
+    TraceRing,
     TraceValidationError,
 )
 from repro.trace.export import (
@@ -48,9 +49,11 @@ __all__ = [
     "Trace",
     "TraceCollector",
     "TraceMeta",
+    "TraceRing",
     "TraceValidationError",
     "trace_from_sim",
     "trace_from_engine",
+    "merge_traces",
     "to_chrome",
     "save_chrome",
     "validate_chrome_trace",

@@ -14,10 +14,11 @@ Two entry points mirror the two execution paths:
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import replace
+from typing import Optional, Sequence
 
 from repro.trace.analysis import annotate_stalls
-from repro.trace.events import Trace, TraceCollector, emit_sim_spans
+from repro.trace.events import Trace, TraceCollector, TraceMeta, emit_sim_spans
 
 
 def trace_from_sim(
@@ -99,3 +100,58 @@ def trace_from_engine(
     if stalls:
         annotate_stalls(trace)
     return trace
+
+
+def merge_traces(
+    traces: Sequence[Trace],
+    label: str = "merged",
+    gap_ms: float = 0.0,
+) -> Trace:
+    """Concatenate per-iteration traces into one steady-state timeline.
+
+    Iteration ``i``'s spans are shifted by the cumulative makespan of
+    iterations ``0..i-1`` (plus ``gap_ms`` between iterations, e.g. an
+    optimizer step), and every span gains an ``iteration`` attribute.
+    The source traces are left untouched.  The merged trace is meant for
+    visualisation and aggregate bubble statistics across iterations —
+    schedule uids repeat per iteration, so uid-keyed analytics
+    (critical path, recalibration) should consume the individual traces
+    instead.
+
+    The merged meta records the iteration count and the start offset of
+    each iteration under ``extra['iteration_starts_ms']``.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("merge_traces needs at least one trace")
+    first = traces[0].meta
+    offsets = []
+    spans = []
+    offset = 0.0
+    for i, trace in enumerate(traces):
+        offsets.append(offset)
+        for span in trace.spans:
+            shifted = replace(
+                span,
+                start_ms=span.start_ms + offset,
+                end_ms=span.end_ms + offset,
+                attrs={**span.attrs, "iteration": i},
+            )
+            spans.append(shifted)
+        offset += trace.total_ms + gap_ms
+    total = offset - (gap_ms if traces else 0.0)
+    meta = TraceMeta(
+        label=label or first.label,
+        source=first.source,
+        num_ranks=max(t.num_ranks for t in traces),
+        total_ms=total,
+        schedule_uid="",
+        tp=first.tp,
+        device=first.device,
+        extra={
+            "iterations": len(traces),
+            "iteration_starts_ms": offsets,
+            "gap_ms": gap_ms,
+        },
+    )
+    return Trace(meta, spans)

@@ -18,8 +18,10 @@ Chrome export flattens into ``args``.
 from __future__ import annotations
 
 import json
+import threading
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: Bumped whenever the native serialisation changes shape.
 TRACE_FORMAT = "repro-trace"
@@ -416,6 +418,56 @@ class TraceCollector:
         if total_ms is not None:
             self.meta.total_ms = total_ms
         return Trace(self.meta, self.spans)
+
+
+class TraceRing:
+    """Bounded retention of the last K iteration traces.
+
+    The planner emits one trace per iteration; steady-state analytics
+    (merged multi-iteration export, online recalibration windows) want a
+    sliding window of recent iterations without unbounded growth.
+    Thread-safe: the planning service's workers append concurrently with
+    the recalibration loop snapshotting.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.capacity = capacity
+        self._traces: "deque[Trace]" = deque(maxlen=capacity)
+        self._appended = 0
+        self._lock = threading.Lock()
+
+    def append(self, trace: Trace) -> None:
+        with self._lock:
+            self._traces.append(trace)
+            self._appended += 1
+
+    @property
+    def appended(self) -> int:
+        """Total traces ever appended (including evicted ones)."""
+        with self._lock:
+            return self._appended
+
+    def snapshot(self) -> List[Trace]:
+        """The retained traces, oldest first (a consistent copy)."""
+        with self._lock:
+            return list(self._traces)
+
+    def latest(self) -> Optional[Trace]:
+        with self._lock:
+            return self._traces[-1] if self._traces else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def __iter__(self) -> Iterator[Trace]:
+        return iter(self.snapshot())
 
 
 def emit_sim_spans(

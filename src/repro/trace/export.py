@@ -35,12 +35,20 @@ def _slice_args(span: Span) -> Dict:
     return args
 
 
-def to_chrome(trace: Trace, process_name: str = "") -> Dict:
+def to_chrome(trace: Trace, process_name: str = "",
+              flows: bool = True) -> Dict:
     """Build a Chrome-tracing JSON object from a trace.
 
     Thread ids: rank ``r`` holds compute + stall slices at ``tid=r``;
     its comm slices live at ``tid=num_ranks + r`` so asynchronous
     transfers don't nest under compute.
+
+    With ``flows`` (the default), every P2P transfer additionally emits a
+    Perfetto flow pair — ``ph: "s"`` anchored on the producing rank's
+    compute track at the moment the transfer starts, ``ph: "f"``
+    (``bp: "e"``) on the consuming rank's track at arrival — so the UI
+    draws an arrow from the producer slice to the consumer slice across
+    rank tracks.
     """
     num_ranks = trace.num_ranks
     events: List[Dict] = [{
@@ -68,6 +76,7 @@ def to_chrome(trace: Trace, process_name: str = "") -> Dict:
             "tid": num_ranks + rank,
             "args": {"name": f"PP rank {rank} (comm)"},
         })
+    flow_id = 0
     for span in trace.spans:
         if span.kind == KIND_COMPUTE:
             tid = span.rank
@@ -92,13 +101,39 @@ def to_chrome(trace: Trace, process_name: str = "") -> Dict:
             "dur": span.duration_ms * 1e3,
             "args": args,
         })
+        if flows and span.kind == KIND_COMM:
+            # Flow start binds to the producer's compute slice (the
+            # transfer begins the instant the producing stage ends), the
+            # finish to the consumer slice enclosing the arrival time.
+            src_rank = int(span.attrs.get("src_rank", span.rank))
+            flow_id += 1
+            events.append({
+                "name": span.name,
+                "cat": "p2p-flow",
+                "ph": "s",
+                "id": flow_id,
+                "pid": 0,
+                "tid": src_rank,
+                "ts": span.start_ms * 1e3,
+            })
+            events.append({
+                "name": span.name,
+                "cat": "p2p-flow",
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "pid": 0,
+                "tid": span.rank,
+                "ts": span.end_ms * 1e3,
+            })
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def save_chrome(trace: Trace, path: str, process_name: str = "") -> str:
+def save_chrome(trace: Trace, path: str, process_name: str = "",
+                flows: bool = True) -> str:
     """Serialise :func:`to_chrome` to ``path``; returns the path."""
     with open(path, "w") as f:
-        json.dump(to_chrome(trace, process_name), f)
+        json.dump(to_chrome(trace, process_name, flows=flows), f)
     return path
 
 
@@ -107,9 +142,10 @@ def validate_chrome_trace(payload: Dict) -> List[str]:
 
     Returns a list of problems (empty means valid).  Covers the subset of
     the trace-event format this subsystem emits: an object with a
-    ``traceEvents`` array of ``M`` (metadata) and ``X`` (complete) events
-    with numeric non-negative timestamps, plus the stage-attribution keys
-    DIP's analytics rely on.
+    ``traceEvents`` array of ``M`` (metadata), ``X`` (complete) and
+    ``s``/``f`` (flow) events with numeric non-negative timestamps, plus
+    the stage-attribution keys DIP's analytics rely on.  Flow events must
+    carry an ``id`` and arrive in matched start/finish pairs.
     """
     problems: List[str] = []
     if not isinstance(payload, dict):
@@ -123,12 +159,14 @@ def validate_chrome_trace(payload: Dict) -> List[str]:
     if unit not in ("ms", "ns"):
         problems.append(f"invalid displayTimeUnit {unit!r}")
     saw_slice = False
+    flow_starts: Dict[object, int] = {}
+    flow_finishes: Dict[object, int] = {}
     for i, event in enumerate(events):
         if not isinstance(event, dict):
             problems.append(f"event {i}: not an object")
             continue
         phase = event.get("ph")
-        if phase not in ("M", "X"):
+        if phase not in ("M", "X", "s", "f"):
             problems.append(f"event {i}: unsupported phase {phase!r}")
             continue
         if not isinstance(event.get("name"), str) or not event["name"]:
@@ -136,6 +174,20 @@ def validate_chrome_trace(payload: Dict) -> List[str]:
         if not isinstance(event.get("pid"), int):
             problems.append(f"event {i}: missing integer pid")
         if phase == "M":
+            continue
+        if phase in ("s", "f"):
+            if "id" not in event:
+                problems.append(f"event {i}: flow event missing id")
+            else:
+                side = flow_starts if phase == "s" else flow_finishes
+                side[event["id"]] = side.get(event["id"], 0) + 1
+            if not isinstance(event.get("tid"), int):
+                problems.append(f"event {i}: flow event missing integer tid")
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(
+                    f"event {i}: ts must be a non-negative number, got {ts!r}"
+                )
             continue
         saw_slice = True
         if not isinstance(event.get("tid"), int):
@@ -158,6 +210,12 @@ def validate_chrome_trace(payload: Dict) -> List[str]:
                 problems.append(f"event {i}: stall slice missing args.cause")
     if events and not saw_slice:
         problems.append("no X (complete) slices in traceEvents")
+    for flow_id, count in flow_starts.items():
+        if flow_finishes.get(flow_id, 0) != count:
+            problems.append(f"flow {flow_id!r}: unmatched start/finish pair")
+    for flow_id in flow_finishes:
+        if flow_id not in flow_starts:
+            problems.append(f"flow {flow_id!r}: finish without start")
     return problems
 
 

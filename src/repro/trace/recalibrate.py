@@ -113,6 +113,7 @@ def recalibrate_from_traces(
     specs: Dict[str, ModalityModuleSpec],
     tp: int = 1,
     sweeps: int = 3,
+    samples: Optional[List[TraceSample]] = None,
 ) -> TraceCalibrationReport:
     """Fit ``base``'s efficiency factors to observed span durations.
 
@@ -124,12 +125,16 @@ def recalibrate_from_traces(
         specs: Modality module specs by name (``span.module`` values).
         tp: Tensor-parallel degree of the traced execution.
         sweeps: Coordinate-descent sweeps over the factor grids.
+        samples: Pre-extracted observations; when given, ``traces`` is
+            not re-scanned (the service's recal loop extracts once to
+            gate on sample count, then fits the same list).
 
     Raises:
         ValueError: if the traces contain no fit-able forward spans or
             reference an unknown module.
     """
-    samples = samples_from_traces(traces)
+    if samples is None:
+        samples = samples_from_traces(traces)
     if not samples:
         raise ValueError("traces contain no fit-able forward compute spans")
     unknown = sorted({s.module for s in samples} - set(specs))

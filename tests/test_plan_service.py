@@ -1,0 +1,391 @@
+"""Tests for the concurrent planning service (src/repro/service/)."""
+
+import pytest
+
+from repro.core.plancache import PlanCache
+from repro.core.planner import OnlinePlanner
+from repro.core.searcher import ScheduleSearcher
+from repro.data.batching import GlobalBatch
+from repro.data.packing import controlled_vlm_microbatch
+from repro.data.workload import vlm_workload
+from repro.service import (
+    OUTCOME_COALESCED,
+    OUTCOME_HIT,
+    OUTCOME_SEARCH,
+    PlanService,
+    RecalibrationPolicy,
+    ServiceClosedError,
+    ServiceOverloadError,
+    drive_replicas,
+    observed_execution,
+    run_recalibrating_replica,
+)
+from repro.service.stats import percentile
+from repro.sim.reference import ReferenceCostModel
+
+
+def controlled_batch(image_counts, start_index=0):
+    return GlobalBatch([
+        controlled_vlm_microbatch(index=start_index + i, num_images=count)
+        for i, count in enumerate(image_counts)
+    ])
+
+
+def make_service(tiny_vlm, small_cluster, parallel2, cost_model,
+                 jobs=("vlm",), budget=8, **service_kwargs):
+    service_kwargs.setdefault("num_workers", 0)
+    service = PlanService(**service_kwargs)
+    for job in jobs:
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=budget, seed=0)
+        service.register_job(job, arch=tiny_vlm, cluster=small_cluster,
+                             parallel=parallel2, cost_model=cost_model,
+                             searcher=searcher)
+    return service
+
+
+class TestSubmission:
+    def test_submit_and_step(self, tiny_vlm, small_cluster, parallel2,
+                             cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        ticket = service.submit("vlm", controlled_batch([4, 8]))
+        assert not ticket.done()
+        assert service.step()
+        assert not service.step()  # queue drained
+        result = ticket.result(timeout=1)
+        assert result.total_ms > 0
+        assert ticket.outcome == OUTCOME_SEARCH
+        assert ticket.latency_s >= 0
+        service.close()
+
+    def test_repeat_batch_replays_from_cache(self, tiny_vlm, small_cluster,
+                                             parallel2, cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        first = service.submit("vlm", controlled_batch([4, 8]))
+        service.step()
+        second = service.submit("vlm", controlled_batch([4, 8], start_index=3))
+        service.step()
+        assert first.outcome == OUTCOME_SEARCH
+        assert second.outcome == OUTCOME_HIT
+        assert second.result(1).total_ms == pytest.approx(
+            first.result(1).total_ms)
+        assert service.stats.searches == 1
+        assert service.stats.replays == 1
+        service.close()
+
+    def test_unknown_job_raises(self, tiny_vlm, small_cluster, parallel2,
+                                cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        with pytest.raises(KeyError):
+            service.submit("nope", controlled_batch([4]))
+        service.close()
+
+    def test_duplicate_job_rejected(self, tiny_vlm, small_cluster, parallel2,
+                                    cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        with pytest.raises(ValueError, match="already registered"):
+            service.register_job("vlm", arch=tiny_vlm, cluster=small_cluster,
+                                 parallel=parallel2)
+        service.close()
+
+    def test_closed_service_rejects(self, tiny_vlm, small_cluster, parallel2,
+                                    cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit("vlm", controlled_batch([4]))
+
+    def test_close_fails_outstanding_tickets(self, tiny_vlm, small_cluster,
+                                             parallel2, cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        ticket = service.submit("vlm", controlled_batch([4, 8]))
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            ticket.result(timeout=1)
+        assert service.stats.failed == 1
+
+
+class TestCoalescing:
+    def test_identical_requests_share_one_search(self, tiny_vlm,
+                                                 small_cluster, parallel2,
+                                                 cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        tickets = [
+            service.submit("vlm", controlled_batch([4, 8], start_index=i),
+                           replica=i)
+            for i in range(4)
+        ]
+        # One leader in the queue; three waiters riding it.
+        assert service.queue_depth == 1
+        service.step()
+        results = [t.result(timeout=1) for t in tickets]
+        assert tickets[0].outcome == OUTCOME_SEARCH
+        assert all(t.outcome == OUTCOME_COALESCED for t in tickets[1:])
+        assert service.stats.searches == 1
+        assert service.stats.coalesced == 3
+        assert service.stats.coalesce_rate == pytest.approx(0.75)
+        makespans = {round(r.total_ms, 9) for r in results}
+        assert len(makespans) == 1
+        # Waiters replayed onto their own graphs, not handed the
+        # leader's object.
+        graphs = {id(r.schedule.graph) for r in results}
+        assert len(graphs) == len(results)
+        service.close()
+
+    def test_different_batches_do_not_coalesce(self, tiny_vlm, small_cluster,
+                                               parallel2, cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        service.submit("vlm", controlled_batch([4, 8]))
+        service.submit("vlm", controlled_batch([4, 9]))
+        assert service.queue_depth == 2
+        service.close()
+
+    def test_coalesce_disabled(self, tiny_vlm, small_cluster, parallel2,
+                               cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model,
+                               coalesce=False)
+        service.submit("vlm", controlled_batch([4, 8]))
+        service.submit("vlm", controlled_batch([4, 8]))
+        assert service.queue_depth == 2
+        service.close()
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects(self, tiny_vlm, small_cluster, parallel2,
+                                cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model,
+                               max_queue=2)
+        service.submit("vlm", controlled_batch([2]))
+        service.submit("vlm", controlled_batch([4]))
+        with pytest.raises(ServiceOverloadError):
+            service.submit("vlm", controlled_batch([8]))
+        assert service.stats.rejected == 1
+        service.close()
+
+    def test_coalesced_requests_bypass_admission(self, tiny_vlm,
+                                                 small_cluster, parallel2,
+                                                 cost_model):
+        """Identical requests ride the pending leader even when the
+        queue is saturated — coalescing is what makes the multi-replica
+        regime admissible at all."""
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model,
+                               max_queue=1)
+        leader = service.submit("vlm", controlled_batch([4, 8]))
+        rider = service.submit("vlm", controlled_batch([4, 8], start_index=9))
+        service.step()
+        assert leader.outcome == OUTCOME_SEARCH
+        assert rider.outcome == OUTCOME_COALESCED
+        service.close()
+
+    def test_blocking_submit_times_out(self, tiny_vlm, small_cluster,
+                                       parallel2, cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model,
+                               max_queue=1)
+        service.submit("vlm", controlled_batch([2]))
+        with pytest.raises(ServiceOverloadError, match="queue space"):
+            service.submit("vlm", controlled_batch([4]), block=True,
+                           timeout=0.05)
+        service.close()
+
+    def test_priorities_order_the_queue(self, tiny_vlm, small_cluster,
+                                        parallel2, cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model,
+                               max_queue=8)
+        low = service.submit("vlm", controlled_batch([2]), priority=5)
+        high = service.submit("vlm", controlled_batch([4]), priority=0)
+        service.step()
+        assert high.done() and not low.done()
+        service.step()
+        assert low.done()
+        service.close()
+
+    def test_prewarm_runs_last_and_warms_cache(self, tiny_vlm, small_cluster,
+                                               parallel2, cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        warm = service.prewarm("vlm", controlled_batch([6, 6]))
+        urgent = service.submit("vlm", controlled_batch([2]))
+        service.step()
+        assert urgent.done() and not warm.done()
+        service.step()
+        assert warm.done()
+        assert service.stats.prewarms == 1
+        # The anticipated batch now replays instead of searching.
+        real = service.submit("vlm", controlled_batch([6, 6], start_index=4))
+        service.step()
+        assert real.outcome == OUTCOME_HIT
+        service.close()
+
+    def test_urgent_waiter_promotes_prewarm_leader(self, tiny_vlm,
+                                                   small_cluster, parallel2,
+                                                   cost_model):
+        """A client coalescing onto a queued background prewarm must not
+        inherit its last-place priority."""
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        warm = service.prewarm("vlm", controlled_batch([6, 6]))
+        other = service.submit("vlm", controlled_batch([2]), priority=3)
+        rider = service.submit("vlm", controlled_batch([6, 6], start_index=9),
+                               priority=0)
+        assert service.queue_depth == 2  # rider coalesced, not queued
+        service.step()
+        # The promoted leader (and its rider) beat the priority-3 request.
+        assert warm.done() and rider.done() and not other.done()
+        assert rider.outcome == OUTCOME_COALESCED
+        service.step()
+        assert other.done()
+        assert not service.step()  # the stale heap reference was skipped
+        service.close()
+
+    def test_prewarm_overload_is_silent(self, tiny_vlm, small_cluster,
+                                        parallel2, cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model,
+                               max_queue=1)
+        service.submit("vlm", controlled_batch([2]))
+        assert service.prewarm("vlm", controlled_batch([4])) is None
+        assert service.stats.prewarms == 0
+        service.close()
+
+
+class TestMultiJob:
+    def test_two_jobs_share_the_cache(self, tiny_vlm, tiny_t2v, small_cluster,
+                                      parallel2, cost_model):
+        from repro.data.workload import t2v_workload
+
+        service = PlanService(num_workers=0)
+        for name, arch in (("vlm", tiny_vlm), ("t2v", tiny_t2v)):
+            service.register_job(
+                name, arch=arch, cluster=small_cluster, parallel=parallel2,
+                cost_model=cost_model,
+                searcher=ScheduleSearcher(small_cluster, parallel2,
+                                          cost_model, budget_evaluations=6,
+                                          seed=0))
+        vlm_batch = vlm_workload(2, seed=0).next_batch()
+        t2v_batch = t2v_workload(2, seed=0).next_batch()
+        tickets = [service.submit("vlm", vlm_batch),
+                   service.submit("t2v", t2v_batch)]
+        while service.step():
+            pass
+        assert all(t.outcome == OUTCOME_SEARCH for t in tickets)
+        assert len(service.cache) == 2  # both jobs' plans in one store
+        assert service.job("vlm").planner.cache is service.cache
+        assert service.job("t2v").planner.cache is service.cache
+        service.close()
+
+    def test_prebuilt_planner_rebinds_to_shared_cache(self, tiny_vlm,
+                                                      small_cluster,
+                                                      parallel2, cost_model):
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model,
+                                    budget_evaluations=6, seed=0)
+        private = PlanCache(capacity=4)
+        planner = OnlinePlanner(tiny_vlm, small_cluster, parallel2,
+                                cost_model, searcher=searcher,
+                                plan_cache=private)
+        service = PlanService(num_workers=0)
+        service.register_job("vlm", planner=planner)
+        assert planner.cache is service.cache
+        assert planner.cache is not private
+        service.close()
+
+    def test_threaded_drive_identical_makespans(self, tiny_vlm, small_cluster,
+                                                parallel2, cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model,
+                               num_workers=2, max_queue=32)
+        batches = vlm_workload(2, seed=0).batches(2)
+        report = drive_replicas(service, {"vlm": batches}, replicas=3,
+                                timeout_s=60)
+        assert not report.errors
+        assert len(report.records) == 6
+        for i in range(2):
+            makespans = report.makespans("vlm", i)
+            assert len(makespans) == 3
+            assert max(makespans) - min(makespans) < 1e-9
+        # Exactly one search per distinct batch; the rest replayed or
+        # coalesced.
+        assert service.stats.searches == 2
+        service.close()
+
+
+class TestRecalibration:
+    def test_observe_without_policy_is_noop(self, tiny_vlm, small_cluster,
+                                            parallel2, cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        ticket = service.submit("vlm", controlled_batch([4, 8]))
+        service.step()
+        reference = ReferenceCostModel(seed=7)
+        trace = observed_execution(service, "vlm", ticket.result(1),
+                                   reference)
+        assert service.observe("vlm", trace) is None
+        service.close()
+
+    def test_loop_reduces_sim_error_and_invalidates(self, tiny_vlm,
+                                                    small_cluster, parallel2,
+                                                    cost_model):
+        service = make_service(
+            tiny_vlm, small_cluster, parallel2, cost_model,
+            num_workers=1, budget=6,
+            recalibration=RecalibrationPolicy(interval=2, window=4, sweeps=1),
+        )
+        reference = ReferenceCostModel(seed=7)
+        batches = vlm_workload(2, seed=3).batches(5)
+        report = run_recalibrating_replica(service, "vlm", batches, reference,
+                                           timeout_s=120)
+        errors = [r.sim_error for r in report.records]
+        assert all(e is not None for e in errors)
+        applied = [e for e in report.recal_events if e.applied]
+        assert applied, "no recalibration was applied"
+        # After the first applied refit, prediction error drops below
+        # the pre-calibration level.
+        first_applied = applied[0].observation
+        before = errors[:first_applied]
+        after = errors[first_applied:]
+        assert after, "no iterations planned after recalibration"
+        assert min(after) < min(before)
+        assert sum(after) / len(after) < sum(before) / len(before)
+        # Stale-context entries were evicted and telemetry reflects it.
+        assert applied[0].invalidated >= 1
+        assert service.cache.stats.invalidations >= 1
+        assert service.stats.recalibrations >= 1
+        # The planner actually switched models.
+        assert service.job("vlm").planner.cost_model is not cost_model
+        service.close()
+
+    def test_engine_observation_differs_from_prediction(self, tiny_vlm,
+                                                        small_cluster,
+                                                        parallel2,
+                                                        cost_model):
+        """The repriced engine run must reflect the hidden factors, not
+        the planner's own model."""
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        ticket = service.submit("vlm", controlled_batch([4, 8]))
+        service.step()
+        result = ticket.result(1)
+        reference = ReferenceCostModel(seed=7)
+        trace = observed_execution(service, "vlm", result, reference)
+        assert trace.meta.source == "engine"
+        assert trace.total_ms > 0
+        rel = abs(trace.total_ms - result.total_ms) / trace.total_ms
+        assert rel > 0.01  # hidden truth visibly diverges pre-calibration
+        assert not trace.validate()
+        service.close()
+
+
+class TestStatsHelpers:
+    def test_percentile(self):
+        assert percentile([], 50) == 0.0
+        assert percentile([3.0], 99) == 3.0
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == pytest.approx(50.0, abs=1.0)
+        assert percentile(values, 99) == pytest.approx(99.0, abs=1.0)
+
+    def test_snapshot_shape(self, tiny_vlm, small_cluster, parallel2,
+                            cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        service.submit("vlm", controlled_batch([4, 8]))
+        service.step()
+        snap = service.stats.snapshot()
+        for key in ("submitted", "completed", "coalesce_rate",
+                    "plan_latency_p50_s", "plan_latency_p99_s",
+                    "queue_wait_p50_s", "max_queue_depth"):
+            assert key in snap
+        assert snap["completed"] == 1
+        assert "plans" in service.describe()
+        service.close()

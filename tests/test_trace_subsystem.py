@@ -305,6 +305,163 @@ class TestChromeExport:
             {"traceEvents": [{"ph": "Z", "name": "x", "pid": 0}]}) != []
 
 
+class TestFlowEvents:
+    def test_every_comm_span_emits_a_flow_pair(self, vlm_trace):
+        payload = to_chrome(vlm_trace)
+        comm = [s for s in vlm_trace.spans if s.kind == "comm"]
+        starts = [e for e in payload["traceEvents"] if e.get("ph") == "s"]
+        finishes = [e for e in payload["traceEvents"] if e.get("ph") == "f"]
+        assert comm
+        assert len(starts) == len(comm)
+        assert len(finishes) == len(comm)
+        assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+
+    def test_flows_link_producer_and_consumer_tracks(self, vlm_trace):
+        payload = to_chrome(vlm_trace)
+        by_id = {}
+        for event in payload["traceEvents"]:
+            if event.get("ph") in ("s", "f"):
+                by_id.setdefault(event["id"], {})[event["ph"]] = event
+        comm_by_time = {
+            (round(s.start_ms * 1e3, 6), round(s.end_ms * 1e3, 6)):
+            s for s in vlm_trace.spans if s.kind == "comm"
+        }
+        assert by_id
+        for pair in by_id.values():
+            start, finish = pair["s"], pair["f"]
+            span = comm_by_time[(round(start["ts"], 6),
+                                 round(finish["ts"], 6))]
+            # Start on the producer's compute track, finish on the
+            # consumer's — both *compute* tids (< num_ranks).
+            assert start["tid"] == span.attrs["src_rank"]
+            assert finish["tid"] == span.rank
+            assert start["tid"] < vlm_trace.num_ranks
+            assert finish["tid"] < vlm_trace.num_ranks
+            assert finish.get("bp") == "e"
+
+    def test_flows_optional_and_schema_valid(self, vlm_trace):
+        with_flows = to_chrome(vlm_trace)
+        without = to_chrome(vlm_trace, flows=False)
+        assert validate_chrome_trace(with_flows) == []
+        assert validate_chrome_trace(without) == []
+        assert not any(e.get("ph") in ("s", "f")
+                       for e in without["traceEvents"])
+
+    def test_validator_flags_unmatched_flow(self):
+        payload = {"traceEvents": [
+            {"name": "t", "ph": "M", "pid": 0, "args": {}},
+            {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 0.0,
+             "dur": 1.0, "args": {}},
+            {"name": "flow", "ph": "s", "pid": 0, "tid": 0, "ts": 0.5,
+             "id": 1},
+        ]}
+        problems = validate_chrome_trace(payload)
+        assert any("unmatched" in p for p in problems)
+
+    def test_validator_flags_flow_without_id(self):
+        payload = {"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 0.0,
+             "dur": 1.0, "args": {}},
+            {"name": "flow", "ph": "f", "pid": 0, "tid": 0, "ts": 0.5},
+        ]}
+        problems = validate_chrome_trace(payload)
+        assert any("missing id" in p for p in problems)
+
+
+class TestTraceRing:
+    def _trace(self, label, total=10.0):
+        meta = TraceMeta(label=label, num_ranks=1, total_ms=total)
+        spans = [Span(rank=0, kind="compute", name=label, start_ms=0.0,
+                      end_ms=total, uid=0)]
+        return Trace(meta, spans)
+
+    def test_retains_last_k(self):
+        from repro.trace import TraceRing
+
+        ring = TraceRing(capacity=3)
+        for i in range(5):
+            ring.append(self._trace(f"iter{i}"))
+        assert len(ring) == 3
+        assert ring.appended == 5
+        assert [t.meta.label for t in ring.snapshot()] == \
+            ["iter2", "iter3", "iter4"]
+        assert ring.latest().meta.label == "iter4"
+        ring.clear()
+        assert len(ring) == 0 and ring.latest() is None
+
+    def test_capacity_validated(self):
+        from repro.trace import TraceRing
+
+        with pytest.raises(ValueError):
+            TraceRing(capacity=0)
+
+    def test_concurrent_appends_keep_count(self):
+        import threading
+
+        from repro.trace import TraceRing
+
+        ring = TraceRing(capacity=4)
+        trace = self._trace("x")
+
+        def append_many():
+            for _ in range(50):
+                ring.append(trace)
+
+        threads = [threading.Thread(target=append_many) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert ring.appended == 200
+        assert len(ring) == 4
+
+
+class TestMergedExport:
+    def test_merge_offsets_and_labels_iterations(self, sim_setup):
+        from repro.trace import merge_traces
+
+        graph, _inter, sim, cluster, parallel, cm = sim_setup
+        one = trace_from_sim(graph, sim, cluster, parallel, cm, label="a")
+        merged = merge_traces([one, one, one], label="steady")
+        assert merged.meta.extra["iterations"] == 3
+        assert merged.total_ms == pytest.approx(3 * one.total_ms)
+        assert len(merged) == 3 * len(one)
+        starts = merged.meta.extra["iteration_starts_ms"]
+        assert starts == pytest.approx([0.0, one.total_ms, 2 * one.total_ms])
+        for span in merged.spans:
+            i = span.attrs["iteration"]
+            assert starts[i] - 1e-9 <= span.start_ms
+            assert span.end_ms <= starts[i] + one.total_ms + 1e-9
+        # Still schema-valid: per-rank occupancy does not overlap across
+        # the iteration boundaries, and nothing leaks past the makespan.
+        assert merged.validate() == []
+        # Sources untouched.
+        assert one.total_ms == pytest.approx(merged.total_ms / 3)
+        assert all("iteration" not in s.attrs for s in one.spans)
+
+    def test_merge_with_gap(self, sim_setup):
+        from repro.trace import merge_traces
+
+        graph, _inter, sim, cluster, parallel, cm = sim_setup
+        one = trace_from_sim(graph, sim, cluster, parallel, cm, label="a")
+        merged = merge_traces([one, one], gap_ms=5.0)
+        assert merged.total_ms == pytest.approx(2 * one.total_ms + 5.0)
+
+    def test_merge_empty_rejected(self):
+        from repro.trace import merge_traces
+
+        with pytest.raises(ValueError):
+            merge_traces([])
+
+    def test_merged_chrome_export_valid(self, sim_setup):
+        from repro.trace import merge_traces
+
+        graph, _inter, sim, cluster, parallel, cm = sim_setup
+        one = trace_from_sim(graph, sim, cluster, parallel, cm, label="a")
+        merged = merge_traces([one, one])
+        assert validate_chrome_trace(to_chrome(merged)) == []
+
+
 class TestRecalibration:
     def test_samples_have_workload_attribution(self, vlm_trace):
         from repro.trace.recalibrate import samples_from_traces
