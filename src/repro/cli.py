@@ -15,6 +15,11 @@ Commands:
                   recalibration).
 * ``service-bench`` — coalescing + aggregate-throughput comparison of
                   the service against serial per-replica planning.
+* ``perf-bench``— evaluation-core throughput: the compiled kernel
+                  (graph arrays + heap interleaver + one-pass simulator)
+                  vs the legacy object-graph evaluators, with equal
+                  search quality asserted.  Planner commands accept
+                  ``--legacy-eval`` to force the original evaluators.
 
 Examples::
 
@@ -29,6 +34,7 @@ Examples::
     python -m repro trace validate /tmp/vlm_s.trace.json
     python -m repro serve VLM-S T2V-S --replicas 4 --iterations 3
     python -m repro service-bench VLM-S --replicas 4 --iterations 2
+    python -m repro perf-bench VLM-M --rollouts 60 --budget 120
 """
 
 from __future__ import annotations
@@ -51,7 +57,8 @@ from repro.sim.costmodel import CostModel
 
 def _setup(combo_name: str, budget: int, seed: int,
            plan_cache: bool = True, cache_size: int = 64,
-           cache_file: Optional[str] = None, strategy: str = "mcts"):
+           cache_file: Optional[str] = None, strategy: str = "mcts",
+           use_kernel: bool = True):
     combo = combination_by_name(combo_name)
     arch = build_combination(combo)
     parallel = ParallelConfig(dp=1, tp=combo.tp, pp=combo.pp)
@@ -63,7 +70,8 @@ def _setup(combo_name: str, budget: int, seed: int,
     cost_model = CostModel()
     searcher = ScheduleSearcher(cluster, parallel, cost_model,
                                 strategy=strategy,
-                                budget_evaluations=budget, seed=seed)
+                                budget_evaluations=budget, seed=seed,
+                                use_kernel=use_kernel)
     shared_cache = None
     if plan_cache and cache_file:
         shared_cache = PlanCache.load(cache_file, capacity=cache_size)
@@ -73,6 +81,11 @@ def _setup(combo_name: str, budget: int, seed: int,
                             enable_plan_cache=plan_cache,
                             cache_size=cache_size)
     return arch, cluster, parallel, planner
+
+
+def _use_kernel(args) -> bool:
+    """Whether the compiled evaluation core is enabled (--legacy-eval)."""
+    return not getattr(args, "legacy_eval", False)
 
 
 def _save_cache(planner: OnlinePlanner, args) -> None:
@@ -105,7 +118,8 @@ def cmd_plan(args) -> int:
     arch, cluster, parallel, planner = _setup(args.model, args.budget,
                                               args.seed, args.plan_cache,
                                               args.cache_size,
-                                              args.cache_file)
+                                              args.cache_file,
+                                              use_kernel=_use_kernel(args))
     print(f"{arch.name}: {arch.parameters_billion():.1f}B on "
           f"{parallel.describe()}  |  plan: {planner.plan.describe()}")
     stream = _workload(arch, args.microbatches, args.seed)
@@ -185,7 +199,7 @@ def _planned_trace(args, strategy: str = "mcts"):
     arch, cluster, parallel, planner = _setup(
         args.model, args.budget, args.seed, args.plan_cache,
         args.cache_size, getattr(args, "cache_file", None),
-        strategy=strategy,
+        strategy=strategy, use_kernel=_use_kernel(args),
     )
     batch = _workload(arch, args.microbatches, args.seed).next_batch()
     result = planner.plan_iteration(batch)
@@ -205,6 +219,7 @@ def _merged_trace(args):
     arch, cluster, parallel, planner = _setup(
         args.model, args.budget, args.seed, args.plan_cache,
         args.cache_size, getattr(args, "cache_file", None),
+        use_kernel=_use_kernel(args),
     )
     stream = _workload(arch, args.microbatches, args.seed)
     ring = TraceRing(capacity=args.ring)
@@ -297,7 +312,8 @@ def cmd_trace_compare(args) -> int:
         # --cache-file would silently turn the "cold" leg into a replay
         # too, so the flag is ignored (and never overwritten) here.
         arch, cluster, parallel, planner = _setup(
-            args.model, args.budget, args.seed, True, args.cache_size)
+            args.model, args.budget, args.seed, True, args.cache_size,
+            use_kernel=_use_kernel(args))
         batch = _workload(arch, args.microbatches, args.seed).next_batch()
 
         def build(tag):
@@ -326,7 +342,8 @@ def cmd_trace_recalibrate(args) -> int:
     from repro.trace import measure_reference_traces, recalibrate_from_traces
 
     arch, cluster, parallel, planner = _setup(args.model, args.budget,
-                                              args.seed, False)
+                                              args.seed, False,
+                                              use_kernel=_use_kernel(args))
     reference = ReferenceCostModel(seed=args.ref_seed)
     stream = _workload(arch, args.microbatches, args.seed)
     traces = measure_reference_traces(
@@ -389,11 +406,13 @@ def _service_with_jobs(args, models, budget=None):
                                             sweeps=2)
     service = PlanService(num_workers=args.workers, max_queue=args.queue,
                           cache_size=args.cache_size,
-                          recalibration=recalibration)
+                          recalibration=recalibration,
+                          aging_s=getattr(args, "aging", None))
     for model in models:
         _arch, _cluster, _parallel, planner = _setup(
             model, budget if budget is not None else args.budget, args.seed,
             plan_cache=True, cache_size=args.cache_size,
+            use_kernel=_use_kernel(args),
         )
         service.register_job(model, planner=planner)
     return service
@@ -460,13 +479,14 @@ def cmd_service_bench(args) -> int:
     for model in models:
         _arch, _cluster, _parallel, probe = _setup(
             model, args.budget, args.seed, plan_cache=True,
-            cache_size=args.cache_size)
+            cache_size=args.cache_size, use_kernel=_use_kernel(args))
         streams[model] = _workload(probe.arch, args.microbatches,
                                    args.seed).batches(args.iterations)
         for _replica in range(args.replicas):
             _a, _c, _p, planner = _setup(model, args.budget, args.seed,
                                          plan_cache=True,
-                                         cache_size=args.cache_size)
+                                         cache_size=args.cache_size,
+                                         use_kernel=_use_kernel(args))
             t0 = _time.monotonic()
             for i, batch in enumerate(streams[model]):
                 result = planner.plan_iteration(batch)
@@ -499,6 +519,39 @@ def cmd_service_bench(args) -> int:
     failed = (bool(report.errors) or mismatched
               or len(report.records) != total)
     return 1 if failed else 0
+
+
+def cmd_perf_bench(args) -> int:
+    import json
+
+    from repro.perfbench import (
+        EvalCoreMismatchError,
+        describe_eval_core_bench,
+        run_eval_core_bench,
+    )
+
+    try:
+        report = run_eval_core_bench(
+            model=args.model,
+            microbatches=args.microbatches,
+            budget=args.budget,
+            rollouts=args.rollouts,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+    except EvalCoreMismatchError as exc:
+        print(f"EVAL-CORE MISMATCH: {exc}", file=sys.stderr)
+        return 1
+    print(describe_eval_core_bench(report))
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"wrote {args.output}")
+    if args.min_speedup and report["rollouts"]["speedup"] < args.min_speedup:
+        print(f"rollout speedup {report['rollouts']['speedup']:.2f}x below "
+              f"required {args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_trace(args) -> int:
@@ -549,6 +602,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist the plan cache to this JSON file "
                             "(loaded on start, saved on exit) so restarts "
                             "keep their amortization")
+        legacy_eval_arg(p)
+
+    def legacy_eval_arg(p):
+        p.add_argument("--legacy-eval", action="store_true",
+                       help="evaluate schedules through the original "
+                            "object-graph interleaver/simulator instead "
+                            "of the compiled kernel (same plans, slower "
+                            "— the differential-test oracle)")
 
     plan = sub.add_parser("plan", help="plan + simulate training iterations")
     common_args(plan)
@@ -622,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fit cost-model efficiency factors from reference-system "
              "traces")
     common_args(trecal)
+    legacy_eval_arg(trecal)
     trecal.add_argument("--ref-seed", type=int, default=7,
                         help="hidden-factor seed of the reference "
                              "'hardware' being traced")
@@ -658,6 +720,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--ref-seed", type=int, default=7,
                        help="hidden-factor seed of the reference hardware "
                             "observed by the recalibration loop")
+        p.add_argument("--aging", type=float, default=None, metavar="S",
+                       help="priority-aging rate: queued requests gain one "
+                            "effective priority level per S seconds waited, "
+                            "so low-priority leaders cannot starve "
+                            "(default: strict priority order)")
+        legacy_eval_arg(p)
 
     serve = sub.add_parser(
         "serve", help="concurrent planning service: DP replicas of one or "
@@ -669,6 +737,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="coalescing + throughput: planning service vs serial "
              "per-replica planning")
     service_args(sbench)
+
+    pbench = sub.add_parser(
+        "perf-bench",
+        help="evaluation-core throughput: compiled kernel vs legacy "
+             "evaluators (rollouts/sec + end-to-end search, equal "
+             "quality asserted)")
+    pbench.add_argument("model", nargs="?", default="VLM-M",
+                        help="combination name (default: VLM-M, the "
+                             "Fig. 11 stand-in workload)")
+    pbench.add_argument("--microbatches", type=int, default=12)
+    pbench.add_argument("--budget", type=int, default=120,
+                        help="evaluations for the end-to-end search leg")
+    pbench.add_argument("--rollouts", type=_positive_int, default=60,
+                        help="random orderings per throughput repeat")
+    pbench.add_argument("--repeats", type=_positive_int, default=5,
+                        help="alternating timing repeats (best of N reported)")
+    pbench.add_argument("--seed", type=int, default=0)
+    pbench.add_argument("--output", default=None,
+                        help="write the JSON report to this path")
+    pbench.add_argument("--min-speedup", type=float, default=None,
+                        help="exit nonzero when the rollout speedup falls "
+                             "below this factor (CI gate)")
     return parser
 
 
@@ -682,6 +772,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tune": cmd_tune,
         "serve": cmd_serve,
         "service-bench": cmd_service_bench,
+        "perf-bench": cmd_perf_bench,
     }
     return handlers[args.command](args)
 

@@ -6,6 +6,9 @@
 * :mod:`repro.core.mcts` — segment reordering via MCTS (section 5.1).
 * :mod:`repro.core.interleaver` — dual-queue greedy stage interleaving
   (section 5.2).
+* :mod:`repro.core.evalcore` — the compiled rollout-evaluation core:
+  graph arrays, the heap-based interleaver kernel and the cross-worker
+  rollout memo.
 * :mod:`repro.core.memopt` — per-layer memory optimization (section 5.3).
 * :mod:`repro.core.searcher` — the three-phase decomposed search loop.
 * :mod:`repro.core.signature` — canonical iteration-graph signatures
@@ -33,6 +36,12 @@ from repro.core.partitioner import (
 from repro.core.graphbuilder import build_iteration_graph
 from repro.core.schedule import PipelineSchedule, validate_schedule
 from repro.core.interleaver import interleave_stages
+from repro.core.evalcore import (
+    EvalCore,
+    GraphArrays,
+    RolloutMemo,
+    interleave_kernel,
+)
 from repro.core.signature import GraphSignature, compute_signature
 from repro.core.plancache import CacheStats, PlanCache
 from repro.core.searcher import ScheduleSearcher, SearchResult
@@ -53,6 +62,10 @@ __all__ = [
     "PipelineSchedule",
     "validate_schedule",
     "interleave_stages",
+    "EvalCore",
+    "GraphArrays",
+    "RolloutMemo",
+    "interleave_kernel",
     "GraphSignature",
     "compute_signature",
     "PlanCache",

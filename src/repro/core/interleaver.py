@@ -16,11 +16,12 @@ Builds a per-rank execution order from stage priorities:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.cluster.topology import ClusterSpec, ParallelConfig
 from repro.core.stages import Direction, IterationGraph, StageTask
 from repro.sim.costmodel import CostModel
+from repro.sim.kernel import P2PTable
 
 _INF = float("inf")
 
@@ -58,6 +59,7 @@ def interleave_stages(
     respect_memory: bool = True,
     priorities: Optional[List[int]] = None,
     greedy_fill: bool = True,
+    p2p: Optional[P2PTable] = None,
 ) -> InterleaveResult:
     """Run the dual-queue greedy algorithm over a prioritised graph.
 
@@ -91,18 +93,9 @@ def interleave_stages(
         if not s.deps:
             _enqueue(ranks[s.rank], s)
 
-    p2p_cache: Dict[Tuple[int, int, float], float] = {}
-
-    def p2p_ms(src: int, dst: int, nbytes: float) -> float:
-        if src == dst or nbytes <= 0:
-            return 0.0
-        key = (src, dst, nbytes)
-        value = p2p_cache.get(key)
-        if value is None:
-            bw = cluster.p2p_bandwidth(parallel, src, dst)
-            value = cost_model.p2p_latency_ms(nbytes, bw)
-            p2p_cache[key] = value
-        return value
+    if p2p is None:
+        p2p = P2PTable(cluster, parallel, cost_model)
+    p2p_ms = p2p.latency_ms
 
     memory_forced = False
     scheduled = 0

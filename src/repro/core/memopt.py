@@ -14,10 +14,13 @@ a small optimality gap, as in the paper.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.stages import IterationGraph, StagePair, StrategyCandidate
+from repro.sim.costmodel import StageCost
 from repro.solver.bnb import (
     McIntervalProblem,
     greedy_warm_start,
@@ -31,6 +34,27 @@ DEFAULT_NUM_CANDIDATES = 10
 #: Fraction of activations still resident under offloading (pinned
 #: staging buffers).
 OFFLOAD_RESIDENT_FRACTION = 0.05
+
+#: Distinct (cost profile, layers, S) candidate sets remembered across
+#: graphs.  Candidate generation is a pure function of the stage-pair
+#: cost — signature-identical cache replays and repeated batch shapes
+#: re-solve the same MCKP instances otherwise.
+CANDIDATE_MEMO_CAPACITY = 4096
+
+_candidate_memo: "OrderedDict[Tuple[StageCost, int, int], Tuple[StrategyCandidate, ...]]" = OrderedDict()
+_candidate_memo_lock = threading.Lock()
+
+
+def candidate_memo_size() -> int:
+    """Entries currently held in the cross-graph candidate memo."""
+    with _candidate_memo_lock:
+        return len(_candidate_memo)
+
+
+def clear_candidate_memo() -> None:
+    """Drop the cross-graph candidate memo (tests / benchmarks)."""
+    with _candidate_memo_lock:
+        _candidate_memo.clear()
 
 
 def _layer_options(pair: StagePair) -> Tuple[List[float], List[float], List[float]]:
@@ -52,19 +76,40 @@ def generate_candidates(
 ) -> None:
     """Populate ``pair.candidates`` for every stage pair in the graph.
 
-    Candidates are cached across pairs sharing the same cost profile
-    (sub-microbatches of the same shape), mirroring the paper's offline
-    candidate generation.
+    Candidates are a pure function of the pair's cost profile, so they
+    are memoised at two levels:
+
+    * **per graph object** — a second call with the same ``S`` is a
+      no-op apart from resetting the selections, so cache replays and
+      repeated searches over one graph never re-derive anything;
+    * **across graphs** (:data:`CANDIDATE_MEMO_CAPACITY`-bounded LRU
+      keyed on the frozen :class:`~repro.sim.costmodel.StageCost`) —
+      signature-identical replays and repeated batch shapes reuse the
+      solved candidate sets instead of re-running the MCKP sweeps.
+
+    The memoised :class:`StrategyCandidate` values are frozen; each pair
+    receives a fresh list around the shared instances.
     """
-    cache: Dict[Tuple[int, int], List[StrategyCandidate]] = {}
+    if getattr(graph, "_candidates_key", None) == num_candidates:
+        for pair in graph.pairs:
+            pair.selected = 0
+        return
     for pair in graph.pairs:
-        key = (id(pair.cost), pair.num_layers)
-        candidates = cache.get(key)
+        key = (pair.cost, pair.num_layers, num_candidates)
+        with _candidate_memo_lock:
+            candidates = _candidate_memo.get(key)
+            if candidates is not None:
+                _candidate_memo.move_to_end(key)
         if candidates is None:
-            candidates = _candidates_for_pair(pair, num_candidates)
-            cache[key] = candidates
+            candidates = tuple(_candidates_for_pair(pair, num_candidates))
+            with _candidate_memo_lock:
+                _candidate_memo[key] = candidates
+                _candidate_memo.move_to_end(key)
+                while len(_candidate_memo) > CANDIDATE_MEMO_CAPACITY:
+                    _candidate_memo.popitem(last=False)
         pair.candidates = list(candidates)
         pair.selected = 0
+    graph._candidates_key = num_candidates
 
 
 def _candidates_for_pair(
@@ -143,6 +188,9 @@ def apply_uniform_memory_policy(graph: IterationGraph) -> bool:
     Returns:
         True when full recomputation was required.
     """
+    # The uniform policy overwrites the candidate sets; a later
+    # generate_candidates() on this graph must not be skipped.
+    graph._candidates_key = None
     worst = list(graph.static_bytes_per_rank)
     for pair in graph.pairs:
         worst[pair.rank] += pair.cost.act_bytes

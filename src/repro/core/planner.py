@@ -106,6 +106,9 @@ class PlannerReport:
             ordering.
         signature: Canonical graph-signature digest of the batch (None
             when the plan cache is disabled).
+        memo_hits: Rollout evaluations this iteration's search answered
+            from the kernel's ordering memo (0 on the legacy-eval path
+            and on cache replays).
     """
 
     iteration: int
@@ -118,6 +121,7 @@ class PlannerReport:
     cache_hit: bool = False
     warm_start: bool = False
     signature: Optional[str] = None
+    memo_hits: int = 0
 
 
 class OnlinePlanner:
@@ -397,4 +401,5 @@ class OnlinePlanner:
             cache_hit=result.cache_hit,
             warm_start=result.warm_started,
             signature=result.signature,
+            memo_hits=result.memo_hits,
         )

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.core.evalcore import EvalCore
 from repro.core.interleaver import InterleaveResult, interleave_stages
 from repro.core.mcts import (
     ReorderResult,
@@ -58,6 +59,9 @@ class SearchResult:
             ordering.
         signature: Canonical graph-signature digest, when the planner
             computed one.
+        memo_hits: Rollout evaluations answered by the per-search
+            ordering memo instead of re-running the interleaver (0 on
+            the legacy evaluator path and on cache replays).
     """
 
     schedule: PipelineSchedule
@@ -70,6 +74,7 @@ class SearchResult:
     cache_hit: bool = False
     warm_started: bool = False
     signature: Optional[str] = None
+    memo_hits: int = 0
 
     @property
     def trace(self) -> List:
@@ -99,6 +104,14 @@ class ScheduleSearcher:
         rel_gap: Memopt optimality gap (paper: 5%).
         invert: Search for the *worst* schedule (Fig. 9's upper curves).
         seed: Seed for all stochastic components.
+        use_kernel: Evaluate rollouts through the compiled kernel path
+            (:mod:`repro.core.evalcore`): graph arrays built once per
+            search, heap-based interleaving, one-pass simulation and a
+            cross-worker rollout memo.  ``False`` (``--legacy-eval``)
+            keeps the original object-graph evaluators, which the
+            differential tests use as the oracle.  Both paths produce
+            identical schedules; the flag is therefore excluded from
+            :meth:`fingerprint`.
     """
 
     def __init__(
@@ -116,6 +129,7 @@ class ScheduleSearcher:
         rel_gap: float = 0.05,
         invert: bool = False,
         seed: int = 0,
+        use_kernel: bool = True,
     ) -> None:
         if strategy not in ("mcts", "dfs", "random", "natural"):
             raise ValueError(f"unknown search strategy {strategy!r}")
@@ -136,6 +150,7 @@ class ScheduleSearcher:
         self.rel_gap = rel_gap
         self.invert = invert
         self.seed = seed
+        self.use_kernel = use_kernel
 
     # -- evaluation ----------------------------------------------------------
 
@@ -160,8 +175,22 @@ class ScheduleSearcher:
     def evaluate_ordering(
         self, graph: IterationGraph, ordering: Sequence[GroupKey]
     ) -> float:
-        """Rollout score: interleaved makespan in milliseconds."""
+        """Rollout score: interleaved makespan in milliseconds.
+
+        This is the legacy (object-graph) evaluator — the differential
+        oracle.  :meth:`search` compiles an :class:`EvalCore` once per
+        search and scores rollouts through its kernel instead when
+        ``use_kernel`` is set; both produce identical scores.
+        """
         return self._interleave(graph, ordering).total_ms
+
+    def _make_core(self, graph: IterationGraph) -> EvalCore:
+        """Compile the kernel evaluator for one search over ``graph``.
+
+        Must run *after* :meth:`_prepare_memory`: the arrays capture the
+        current memory-strategy selections.
+        """
+        return EvalCore(graph, self.cluster, self.parallel, self.cost_model)
 
     # -- search --------------------------------------------------------------
 
@@ -228,6 +257,7 @@ class ScheduleSearcher:
         budget = (self.budget_evaluations if budget_evaluations is None
                   else budget_evaluations)
         self._prepare_memory(graph)
+        core = self._make_core(graph) if self.use_kernel else None
 
         groups = list(graph.groups().keys())
         seed_aligned = align_seed_ordering(seed_ordering, groups)
@@ -236,7 +266,10 @@ class ScheduleSearcher:
         if self.strategy == "natural" or len(groups) <= 1:
             ordering = natural_ordering(groups)
         else:
-            evaluator = lambda seq: self.evaluate_ordering(graph, seq)  # noqa: E731
+            if core is not None:
+                evaluator = core.evaluate
+            else:
+                evaluator = lambda seq: self.evaluate_ordering(graph, seq)  # noqa: E731
             if self.strategy == "mcts":
                 reorder = mcts_reorder(
                     groups,
@@ -271,7 +304,10 @@ class ScheduleSearcher:
             ordering = reorder.ordering
             warm_started = seed_aligned is not None
 
-        interleaved = self._interleave(graph, ordering)
+        if core is not None:
+            interleaved = core.interleave(ordering)
+        else:
+            interleaved = self._interleave(graph, ordering)
         graph.apply_group_priorities(
             {g: len(ordering) - i for i, g in enumerate(ordering)}
         )
@@ -287,7 +323,10 @@ class ScheduleSearcher:
             )
 
         predicted = simulate_pipeline(
-            graph, interleaved.order, self.cluster, self.parallel, self.cost_model
+            graph, interleaved.order, self.cluster, self.parallel,
+            self.cost_model,
+            p2p=core.p2p if core is not None else None,
+            legacy=core is None,
         )
         schedule = PipelineSchedule(
             graph=graph,
@@ -306,6 +345,7 @@ class ScheduleSearcher:
             evaluations=reorder.evaluations if reorder else 0,
             ordering=list(ordering),
             warm_started=warm_started,
+            memo_hits=core.memo_hits if core is not None else 0,
         )
 
     # -- cache replay --------------------------------------------------------
@@ -319,8 +359,10 @@ class ScheduleSearcher:
         """Re-instantiate a cached plan on a signature-identical graph.
 
         Skips the ordering search and the memory-optimization ILP
-        entirely: memory candidates are regenerated (they are a pure
-        function of the hashed stage costs), the cached per-pair strategy
+        entirely: memory candidates come from the memoised generator
+        (they are a pure function of the hashed stage costs, so a
+        signature-equal replay reuses the solved sets instead of
+        re-running the MCKP sweeps), the cached per-pair strategy
         selections and per-rank order are translated through the
         signature's canonical mappings, and a single pipeline simulation
         recovers the timeline — which matches the cached one exactly
@@ -340,7 +382,8 @@ class ScheduleSearcher:
             )
         order = decode_order(cached, signature)
         predicted = simulate_pipeline(
-            graph, order, self.cluster, self.parallel, self.cost_model
+            graph, order, self.cluster, self.parallel, self.cost_model,
+            legacy=not self.use_kernel,
         )
         schedule = PipelineSchedule(
             graph=graph,

@@ -120,7 +120,21 @@ class PendingPlan:
     # Set once a worker claims the entry; duplicate heap references left
     # behind by a priority promotion are skipped when they surface.
     taken: bool = False
+    # Enqueue timestamp (service clock) — the anchor for priority aging.
+    enqueued_s: float = 0.0
 
-    def sort_key(self):
-        """Heap key: lower priority value first, then submission order."""
-        return (self.priority, self.seq)
+    def sort_key(self, aging_s: Optional[float] = None):
+        """Heap key: lower first.
+
+        Without aging, strict priority order with FIFO inside a
+        priority.  With ``aging_s``, the key is the request's *virtual
+        start time* ``enqueued_s + priority * aging_s``: every queued
+        second effectively buys one priority level per ``aging_s``
+        seconds, so a low-priority leader overtakes fresher high-priority
+        work once it has waited long enough — starvation is bounded by
+        ``priority_gap * aging_s``.  The key is static (all entries age
+        at the same rate), so the heap invariant never decays.
+        """
+        if aging_s is None:
+            return (self.priority, self.seq)
+        return (self.enqueued_s + self.priority * aging_s, self.seq)

@@ -17,7 +17,9 @@ per registered job behind a shared, thread-safe
 * **Admission control** — a bounded priority queue (lower value = more
   urgent, FIFO within a priority).  A full queue rejects with
   :class:`~repro.service.requests.ServiceOverloadError` (backpressure)
-  or blocks when the caller asks to wait.
+  or blocks when the caller asks to wait.  Optional priority *aging*
+  (``aging_s``) bumps the effective priority of queued requests as they
+  wait, so low-priority leaders cannot starve under saturation.
 * **Background warm search** — :meth:`PlanService.prewarm` submits a
   lowest-priority request for an *anticipated* batch; idle workers fill
   the cache so the real request replays instead of searching.
@@ -140,6 +142,14 @@ class PlanService:
         coalesce: Enable in-flight request coalescing.
         recalibration: Online-recalibration policy applied to every
             registered job; ``None`` disables the loop.
+        aging_s: Priority-aging rate — seconds of queueing that offset
+            one priority level.  Under a saturated queue, strict
+            priority order starves low-priority leaders indefinitely;
+            with aging the heap orders entries by virtual start time
+            (``enqueue + priority * aging_s``), bounding any request's
+            starvation at ``priority_gap * aging_s`` seconds of queue
+            drain.  ``None`` (default) keeps strict priority order.
+        clock: Monotonic time source for aging (injectable for tests).
     """
 
     def __init__(
@@ -150,11 +160,17 @@ class PlanService:
         cache_size: int = DEFAULT_CACHE_SIZE,
         coalesce: bool = True,
         recalibration: Optional[RecalibrationPolicy] = None,
+        aging_s: Optional[float] = None,
+        clock=time.monotonic,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if aging_s is not None and aging_s <= 0:
+            raise ValueError("aging_s must be positive (or None to disable)")
+        self.aging_s = aging_s
+        self._clock = clock
         self.cache = plan_cache if plan_cache is not None else PlanCache(
             capacity=cache_size
         )
@@ -168,7 +184,9 @@ class PlanService:
         self._not_full = threading.Condition(self._mutex)
         # The heap may hold stale duplicate references after a waiter
         # promotes its leader's priority; _queued counts live leaders.
-        self._heap: List[Tuple[Tuple[int, int], PendingPlan]] = []
+        # Keys come from PendingPlan.sort_key: (priority, seq) without
+        # aging, (virtual_start_s, seq) with it.
+        self._heap: List[Tuple[Tuple[float, int], PendingPlan]] = []
         self._pending: Dict[str, PendingPlan] = {}
         self._queued = 0
         self._seq = 0
@@ -328,8 +346,9 @@ class PlanService:
                         if (not pending.taken
                                 and ticket.priority < pending.priority):
                             pending.priority = ticket.priority
-                            heapq.heappush(self._heap,
-                                           (pending.sort_key(), pending))
+                            heapq.heappush(
+                                self._heap,
+                                (pending.sort_key(self.aging_s), pending))
                         return ticket
                 if self._queued < self.max_queue:
                     break
@@ -354,9 +373,10 @@ class PlanService:
                 seq=self._seq,
                 ticket=ticket,
                 prepared=prepared,
+                enqueued_s=self._clock(),
             )
             self._seq += 1
-            heapq.heappush(self._heap, (entry.sort_key(), entry))
+            heapq.heappush(self._heap, (entry.sort_key(self.aging_s), entry))
             self._queued += 1
             if digest is not None and self.coalesce:
                 self._pending[digest] = entry
@@ -455,6 +475,8 @@ class PlanService:
             self._retire(entry)
             outcome = OUTCOME_HIT if result.cache_hit else OUTCOME_SEARCH
             self.stats.count("replays" if result.cache_hit else "searches")
+            if result.memo_hits:
+                self.stats.count("memo_hits", result.memo_hits)
             self._deliver(entry.ticket, result, outcome)
             if entry.waiters:
                 self._fan_out(entry, result)

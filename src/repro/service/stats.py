@@ -35,6 +35,9 @@ class ServiceStats:
             identical request (no queue slot, no search of their own).
         searches: schedule searches actually run (cold or warm).
         replays: plans served by cache replay (exact hits + fan-outs).
+        memo_hits: rollout evaluations answered by the kernel's
+            per-search ordering memo, summed over every search the
+            service ran (0 on the legacy-eval path).
         prewarms: background warm-search requests accepted.
         recalibrations: cost-model refits applied.
         invalidated: cache entries dropped by recalibration.
@@ -56,6 +59,7 @@ class ServiceStats:
         self.coalesced = 0
         self.searches = 0
         self.replays = 0
+        self.memo_hits = 0
         self.prewarms = 0
         self.recalibrations = 0
         self.invalidated = 0
@@ -114,8 +118,8 @@ class ServiceStats:
             counters = {
                 name: getattr(self, name)
                 for name in ("submitted", "rejected", "completed", "failed",
-                             "coalesced", "searches", "replays", "prewarms",
-                             "recalibrations", "invalidated",
+                             "coalesced", "searches", "replays", "memo_hits",
+                             "prewarms", "recalibrations", "invalidated",
                              "queue_depth", "max_queue_depth")
             }
         counters["coalesce_rate"] = (

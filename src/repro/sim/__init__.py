@@ -9,6 +9,7 @@ discrete-event simulator for whole pipeline schedules.
 
 from repro.sim.costmodel import CostModel, StageCost
 from repro.sim.graph import Graph, OpNode, TensorNode
+from repro.sim.kernel import P2PTable, simulate_order_kernel
 from repro.sim.pipeline import PipelineSimResult, simulate_pipeline
 from repro.sim.reference import ReferenceCostModel
 from repro.sim.calibration import calibrate_cost_model
@@ -19,6 +20,8 @@ __all__ = [
     "Graph",
     "OpNode",
     "TensorNode",
+    "P2PTable",
+    "simulate_order_kernel",
     "simulate_pipeline",
     "PipelineSimResult",
     "ReferenceCostModel",

@@ -5,6 +5,18 @@ order, computes start/end timestamps (longest-path over order edges and
 dependency edges, with P2P transfer latencies), per-rank bubble time, and
 activation-memory timelines.  This is the quantity DIP's searcher
 optimises and what all baseline schedules are evaluated with.
+
+Two execution engines produce the timestamps:
+
+* the **kernel** path (:func:`repro.sim.kernel.simulate_order_kernel`)
+  — a single topological pass over the combined dependency + order DAG,
+  used whenever latencies are deterministic (no ``jitter``);
+* the **legacy** round-robin retry loop — kept as the differential-test
+  oracle and as the only engine able to apply a per-stage ``jitter``
+  callback (jittered latencies make timestamps visit-order dependent).
+
+Both charge P2P hops through one shared
+:class:`~repro.sim.kernel.P2PTable`, which trace emission consumes too.
 """
 
 from __future__ import annotations
@@ -15,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.cluster.topology import ClusterSpec, ParallelConfig
 from repro.progress import drive_round_robin, format_stuck_ranks
 from repro.sim.costmodel import CostModel
+from repro.sim.kernel import P2PTable, simulate_order_kernel
 from repro.trace.events import TraceCollector, emit_sim_spans
 
 
@@ -56,6 +69,8 @@ def simulate_pipeline(
     jitter: Optional[Callable[[int, float], float]] = None,
     track_memory: bool = True,
     collector: Optional[TraceCollector] = None,
+    p2p: Optional[P2PTable] = None,
+    legacy: bool = False,
 ) -> PipelineSimResult:
     """Simulate a scheduled iteration.
 
@@ -67,39 +82,77 @@ def simulate_pipeline(
         cost_model: Latency model for P2P transfers.
         jitter: Optional per-stage latency perturbation
             ``(uid, base_ms) -> ms`` — used by the reference "hardware"
-            simulator.
+            simulator.  Forces the legacy retry-loop engine.
         track_memory: Compute memory timelines (small extra cost).
         collector: Optional :class:`~repro.trace.events.TraceCollector`
             the executed timeline (compute + P2P comm spans) is emitted
             into.
+        p2p: Optional shared :class:`~repro.sim.kernel.P2PTable`
+            (e.g. the searcher's, so one search keeps one transfer
+            cache); built locally when omitted.
+        legacy: Force the round-robin retry loop even without jitter —
+            the differential-test oracle and ``--legacy-eval`` path.
 
     Raises:
         ScheduleDeadlockError: if the order contradicts the dependencies.
         ValueError: if ``order`` does not cover every stage exactly once.
     """
     cost_model = cost_model or CostModel()
-    num_stages = len(graph.stages)
     _check_order_covers(graph, order)
+    if p2p is None:
+        p2p = P2PTable(cluster, parallel, cost_model)
 
+    if jitter is None and not legacy:
+        start, end, busy = simulate_order_kernel(
+            graph, order, p2p, error_cls=ScheduleDeadlockError
+        )
+    else:
+        start, end, busy = _simulate_retry_loop(graph, order, p2p, jitter)
+
+    total = max(end) if end else 0.0
+    if total > 0:
+        idle = sum(total - b for b in busy)
+        bubble = idle / (total * graph.num_ranks)
+    else:
+        bubble = 0.0
+
+    peaks: List[float] = list(graph.static_bytes_per_rank)
+    timelines: List[List[Tuple[float, float]]] = [[] for _ in range(graph.num_ranks)]
+    exceeded: List[int] = []
+    if track_memory:
+        peaks, timelines, exceeded = _memory_accounting(graph, start, end)
+
+    if collector is not None:
+        collector.meta.total_ms = total
+        emit_sim_spans(collector, graph, start, end, p2p.latency_ms)
+
+    return PipelineSimResult(
+        total_ms=total,
+        start_ms=start,
+        end_ms=end,
+        busy_ms_per_rank=busy,
+        bubble_ratio=bubble,
+        peak_memory_bytes=peaks,
+        memory_timeline=timelines,
+        memory_exceeded=exceeded,
+    )
+
+
+def _simulate_retry_loop(
+    graph,
+    order: Sequence[Sequence[int]],
+    p2p: P2PTable,
+    jitter: Optional[Callable[[int, float], float]],
+) -> Tuple[List[float], List[float], List[float]]:
+    """The original round-robin engine (jitter support + kernel oracle)."""
+    num_stages = len(graph.stages)
     start = [0.0] * num_stages
     end = [0.0] * num_stages
     done = [False] * num_stages
     pointer = [0] * graph.num_ranks
     rank_clock = [0.0] * graph.num_ranks
     busy = [0.0] * graph.num_ranks
-
-    p2p_ms_cache: Dict[Tuple[int, int, float], float] = {}
-
-    def p2p_ms(src_rank: int, dst_rank: int, nbytes: float) -> float:
-        if src_rank == dst_rank or nbytes <= 0:
-            return 0.0
-        key = (src_rank, dst_rank, nbytes)
-        cached = p2p_ms_cache.get(key)
-        if cached is None:
-            bandwidth = cluster.p2p_bandwidth(parallel, src_rank, dst_rank)
-            cached = cost_model.p2p_latency_ms(nbytes, bandwidth)
-            p2p_ms_cache[key] = cached
-        return cached
+    p2p_ms = p2p.latency_ms
 
     def advance_rank(rank: int) -> int:
         completed = 0
@@ -142,34 +195,7 @@ def simulate_pipeline(
 
     drive_round_robin(graph.num_ranks, num_stages, advance_rank,
                       describe_stuck, ScheduleDeadlockError)
-
-    total = max(end) if end else 0.0
-    if total > 0:
-        idle = sum(total - b for b in busy)
-        bubble = idle / (total * graph.num_ranks)
-    else:
-        bubble = 0.0
-
-    peaks: List[float] = list(graph.static_bytes_per_rank)
-    timelines: List[List[Tuple[float, float]]] = [[] for _ in range(graph.num_ranks)]
-    exceeded: List[int] = []
-    if track_memory:
-        peaks, timelines, exceeded = _memory_accounting(graph, start, end)
-
-    if collector is not None:
-        collector.meta.total_ms = total
-        emit_sim_spans(collector, graph, start, end, p2p_ms)
-
-    return PipelineSimResult(
-        total_ms=total,
-        start_ms=start,
-        end_ms=end,
-        busy_ms_per_rank=busy,
-        bubble_ratio=bubble,
-        peak_memory_bytes=peaks,
-        memory_timeline=timelines,
-        memory_exceeded=exceeded,
-    )
+    return start, end, busy
 
 
 def _check_order_covers(graph, order: Sequence[Sequence[int]]) -> None:

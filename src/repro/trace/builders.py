@@ -54,14 +54,12 @@ def trace_from_sim(
     p2p_ms = None
     if cluster is not None and parallel is not None:
         from repro.sim.costmodel import CostModel
+        from repro.sim.kernel import P2PTable
 
-        model = cost_model or CostModel()
-
-        def p2p_ms(src_rank: int, dst_rank: int, nbytes: float) -> float:
-            if src_rank == dst_rank or nbytes <= 0:
-                return 0.0
-            bandwidth = cluster.p2p_bandwidth(parallel, src_rank, dst_rank)
-            return model.p2p_latency_ms(nbytes, bandwidth)
+        # The same memoised lookup path the simulator charges hops
+        # through, so reconstructed comm spans cannot diverge from it.
+        p2p_ms = P2PTable(cluster, parallel,
+                          cost_model or CostModel()).latency_ms
 
     emit_sim_spans(collector, graph, result.start_ms, result.end_ms, p2p_ms)
     trace = collector.build(total_ms=result.total_ms)

@@ -483,7 +483,9 @@ def emit_sim_spans(
     :func:`repro.sim.pipeline.simulate_pipeline` (live collection) and
     :func:`repro.trace.builders.trace_from_sim` (post-hoc construction),
     so the two can never diverge.  ``p2p_ms`` reproduces the simulator's
-    transfer latency; when omitted, comm spans are skipped.
+    transfer latency — both callers pass the bound ``latency_ms`` of a
+    shared :class:`~repro.sim.kernel.P2PTable`, the single bandwidth
+    lookup path; when omitted, comm spans are skipped.
     """
     if collector.meta.num_ranks == 0:
         collector.meta.num_ranks = graph.num_ranks

@@ -1,0 +1,434 @@
+"""Differential tests: compiled evaluation core vs the legacy oracle.
+
+The kernel path (:mod:`repro.core.evalcore` + :mod:`repro.sim.kernel`)
+must be *semantics-identical* to the legacy interleaver and simulator —
+same per-rank orders, timestamps, makespans, memory behaviour and
+deadlock detection — on randomized iteration graphs spanning varying
+rank counts, microbatch counts, modality mixes and memory regimes.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster.devices import GPU_H800_80G
+from repro.cluster.topology import ClusterSpec, ParallelConfig
+from repro.core.evalcore import EvalCore, GraphArrays, RolloutMemo, interleave_kernel
+from repro.core.interleaver import interleave_stages
+from repro.core.memopt import generate_candidates
+from repro.core.searcher import ScheduleSearcher
+from repro.core.stages import (
+    Direction,
+    IterationGraph,
+    SegmentKey,
+    StagePair,
+    StageTask,
+)
+from repro.sim.costmodel import CostModel, StageCost
+from repro.sim.kernel import P2PTable
+from repro.sim.pipeline import ScheduleDeadlockError, simulate_pipeline
+
+CLUSTER = ClusterSpec(gpu=GPU_H800_80G, gpus_per_node=4, num_nodes=2)
+MODULES = ("vit", "llm", "dit")
+
+
+def random_graph(rng: np.random.Generator) -> IterationGraph:
+    """A random multi-modality pipeline iteration graph.
+
+    Per (microbatch, module, sub-microbatch): a forward chain across all
+    ranks, then the backward chain in reverse, one stage pair per rank —
+    the same shape the graph builder produces, with randomized latencies,
+    residencies, P2P payloads and memory limits (loose, tight, or
+    infeasible, to exercise gating and the forced-progress fallback).
+    """
+    num_ranks = int(rng.integers(1, 5))
+    microbatches = int(rng.integers(1, 4))
+    modules = list(rng.permutation(MODULES)[: rng.integers(1, 3)])
+    stages, pairs = [], []
+    for mb in range(microbatches):
+        for module in modules:
+            for sub in range(int(rng.integers(1, 3))):
+                chain_pairs = []
+                for rank in range(num_ranks):
+                    fw = float(rng.uniform(1.0, 20.0))
+                    act = float(rng.uniform(0.0, 400.0))
+                    cost = StageCost(
+                        forward_ms=fw,
+                        backward_ms=fw * float(rng.uniform(1.0, 3.0)),
+                        act_bytes=act,
+                        act_ckpt_bytes=act / 8.0,
+                        recompute_ms=fw,
+                        offload_ms=fw / 2.0,
+                        p2p_bytes=0.0,
+                    )
+                    pair = StagePair(
+                        len(pairs), mb, module, sub, rank, rank=rank,
+                        num_layers=int(rng.integers(1, 5)), cost=cost,
+                    )
+                    pairs.append(pair)
+                    chain_pairs.append(pair)
+                prev = None
+                for rank in range(num_ranks):
+                    p2p = (float(rng.uniform(1e6, 5e8))
+                           if rng.random() < 0.5 else 0.0)
+                    stages.append(StageTask(
+                        len(stages),
+                        SegmentKey(mb, module, sub, rank, Direction.FORWARD),
+                        rank, chain_pairs[rank].pair_id,
+                        deps=() if prev is None else (prev,),
+                        p2p_bytes=p2p if prev is not None else 0.0,
+                    ))
+                    prev = len(stages) - 1
+                for rank in reversed(range(num_ranks)):
+                    p2p = (float(rng.uniform(1e6, 5e8))
+                           if rng.random() < 0.5 else 0.0)
+                    stages.append(StageTask(
+                        len(stages),
+                        SegmentKey(mb, module, sub, rank, Direction.BACKWARD),
+                        rank, chain_pairs[rank].pair_id,
+                        deps=(prev,),
+                        p2p_bytes=p2p,
+                    ))
+                    prev = len(stages) - 1
+    static = [float(rng.uniform(0.0, 200.0)) for _ in range(num_ranks)]
+    worst = list(static)
+    for pair in pairs:
+        worst[pair.rank] += pair.cost.act_bytes
+    regime = rng.random()
+    if regime < 0.4:
+        limit = 1e12  # loose
+    elif regime < 0.8:
+        limit = max(static) + float(rng.uniform(400.0, 900.0))  # tight
+    else:
+        limit = max(static) + float(rng.uniform(10.0, 300.0))  # may force
+    return IterationGraph(num_ranks, stages, pairs, static, limit)
+
+
+def _parallel(graph: IterationGraph) -> ParallelConfig:
+    return ParallelConfig(dp=1, tp=1, pp=graph.num_ranks)
+
+
+def assert_interleave_equal(graph, ordering_priorities, cost_model,
+                            respect_memory=True, greedy_fill=True):
+    parallel = _parallel(graph)
+    legacy = interleave_stages(
+        graph, CLUSTER, parallel, cost_model,
+        respect_memory=respect_memory, priorities=ordering_priorities,
+        greedy_fill=greedy_fill,
+    )
+    arrays = GraphArrays(graph, CLUSTER, parallel, cost_model)
+    kernel = interleave_kernel(
+        arrays, list(ordering_priorities),
+        respect_memory=respect_memory, greedy_fill=greedy_fill,
+    )
+    assert kernel.order == legacy.order
+    assert kernel.start_ms == legacy.start_ms
+    assert kernel.end_ms == legacy.end_ms
+    assert kernel.total_ms == legacy.total_ms
+    assert kernel.memory_forced == legacy.memory_forced
+    return legacy
+
+
+def assert_sim_equal(graph, order, cost_model):
+    parallel = _parallel(graph)
+    legacy = simulate_pipeline(graph, order, CLUSTER, parallel, cost_model,
+                               legacy=True)
+    kernel = simulate_pipeline(graph, order, CLUSTER, parallel, cost_model)
+    assert kernel.start_ms == legacy.start_ms
+    assert kernel.end_ms == legacy.end_ms
+    assert kernel.total_ms == legacy.total_ms
+    assert kernel.busy_ms_per_rank == legacy.busy_ms_per_rank
+    assert kernel.bubble_ratio == legacy.bubble_ratio
+    assert kernel.peak_memory_bytes == legacy.peak_memory_bytes
+    assert kernel.memory_timeline == legacy.memory_timeline
+    assert kernel.memory_exceeded == legacy.memory_exceeded
+
+
+class TestRandomizedDifferential:
+    """Kernel == legacy on >= 50 randomized graphs (acceptance gate)."""
+
+    def test_interleaver_and_simulator_match_legacy(self):
+        rng = np.random.default_rng(1234)
+        forced_seen = 0
+        for trial in range(60):
+            graph = random_graph(rng)
+            cost_model = CostModel()
+            n = len(graph.stages)
+            priorities = [int(p) for p in rng.integers(0, n, size=n)]
+            result = assert_interleave_equal(graph, priorities, cost_model)
+            forced_seen += int(result.memory_forced)
+            assert_sim_equal(graph, result.order, cost_model)
+            # Natural per-rank uid order is topological too.
+            natural = [
+                [s.uid for s in graph.stages if s.rank == r]
+                for r in range(graph.num_ranks)
+            ]
+            assert_sim_equal(graph, natural, cost_model)
+        # The random memory regimes must actually exercise the
+        # forced-progress fallback, not only the happy path.
+        assert forced_seen > 0
+
+    def test_ablation_flags_match_legacy(self):
+        rng = np.random.default_rng(77)
+        for trial in range(12):
+            graph = random_graph(rng)
+            cost_model = CostModel()
+            n = len(graph.stages)
+            priorities = [int(p) for p in rng.integers(0, n, size=n)]
+            assert_interleave_equal(graph, priorities, cost_model,
+                                    respect_memory=False)
+            assert_interleave_equal(graph, priorities, cost_model,
+                                    greedy_fill=False)
+            assert_interleave_equal(graph, priorities, cost_model,
+                                    respect_memory=False, greedy_fill=False)
+
+    def test_memopt_candidates_regime(self):
+        """Differential equality also under selected memory strategies."""
+        rng = np.random.default_rng(99)
+        for trial in range(8):
+            graph = random_graph(rng)
+            generate_candidates(graph)
+            graph.select_most_memory_efficient()
+            cost_model = CostModel()
+            n = len(graph.stages)
+            priorities = [int(p) for p in rng.integers(0, n, size=n)]
+            result = assert_interleave_equal(graph, priorities, cost_model)
+            assert_sim_equal(graph, result.order, cost_model)
+
+
+class TestBuilderGraphDifferential:
+    """Kernel == legacy on real graph-builder output (VLM and T2V)."""
+
+    def test_vlm_graph(self, vlm_graph, small_cluster, parallel2, cost_model):
+        rng = np.random.default_rng(3)
+        core = EvalCore(vlm_graph, small_cluster, parallel2, cost_model)
+        groups = list(vlm_graph.groups().keys())
+        for _ in range(5):
+            ordering = list(groups)
+            rng.shuffle(ordering)
+            legacy = interleave_stages(
+                vlm_graph, small_cluster, parallel2, cost_model,
+                priorities=core.arrays.priorities(ordering),
+            )
+            kernel = core.interleave(ordering)
+            assert kernel.order == legacy.order
+            assert kernel.total_ms == legacy.total_ms
+            assert core.evaluate(ordering) == legacy.total_ms
+
+    def test_t2v_graph(self, t2v_graph, small_cluster, parallel2, cost_model):
+        core = EvalCore(t2v_graph, small_cluster, parallel2, cost_model)
+        ordering = list(t2v_graph.groups().keys())
+        legacy = interleave_stages(
+            t2v_graph, small_cluster, parallel2, cost_model,
+            priorities=core.arrays.priorities(ordering),
+        )
+        kernel = core.interleave(ordering)
+        assert kernel.order == legacy.order
+        assert kernel.start_ms == legacy.start_ms
+
+    def test_full_search_parity(self, vlm_setup, small_cluster, parallel2,
+                                cost_model):
+        """Identical seeds/budget: kernel and legacy searches agree on
+        the winning order, makespan and evaluation count."""
+        from repro.core.graphbuilder import build_iteration_graph
+        from repro.data.workload import vlm_workload
+
+        arch, plan, partitioner = vlm_setup
+        batch = vlm_workload(3, seed=5).next_batch()
+
+        def build():
+            return build_iteration_graph(
+                arch, plan, batch, small_cluster, parallel2, cost_model,
+                partitioner=partitioner,
+            )
+
+        for enable_memopt in (False, True):
+            kernel_searcher = ScheduleSearcher(
+                small_cluster, parallel2, cost_model,
+                budget_evaluations=12, seed=7, enable_memopt=enable_memopt)
+            legacy_searcher = ScheduleSearcher(
+                small_cluster, parallel2, cost_model,
+                budget_evaluations=12, seed=7, enable_memopt=enable_memopt,
+                use_kernel=False)
+            kernel_result = kernel_searcher.search(build())
+            legacy_result = legacy_searcher.search(build())
+            assert kernel_result.total_ms == legacy_result.total_ms
+            assert kernel_result.schedule.order == legacy_result.schedule.order
+            assert kernel_result.ordering == legacy_result.ordering
+            assert kernel_result.evaluations == legacy_result.evaluations
+            assert legacy_result.memo_hits == 0
+
+    def test_search_parity_across_strategies(self, vlm_graph, small_cluster,
+                                             parallel2, cost_model):
+        for strategy in ("dfs", "random", "natural"):
+            kernel_searcher = ScheduleSearcher(
+                small_cluster, parallel2, cost_model, strategy=strategy,
+                budget_evaluations=10, seed=3, enable_memopt=False)
+            legacy_searcher = ScheduleSearcher(
+                small_cluster, parallel2, cost_model, strategy=strategy,
+                budget_evaluations=10, seed=3, enable_memopt=False,
+                use_kernel=False)
+            # Same graph object is fine: searches are read-only apart
+            # from strategy selections, which both paths reset.
+            kernel_result = kernel_searcher.search(vlm_graph)
+            legacy_result = legacy_searcher.search(vlm_graph)
+            assert kernel_result.total_ms == legacy_result.total_ms
+            assert kernel_result.schedule.order == legacy_result.schedule.order
+
+
+class TestSimulatorKernel:
+    def test_deadlock_detected_by_both_engines(self):
+        from tests.test_pipeline_sim import two_rank_graph
+
+        graph = two_rank_graph()
+        parallel = ParallelConfig(dp=1, tp=1, pp=2)
+        bad_order = [[3, 0], [1, 2]]  # rank 0 runs bw before its fw
+        with pytest.raises(ScheduleDeadlockError) as kernel_err:
+            simulate_pipeline(graph, bad_order, CLUSTER, parallel)
+        with pytest.raises(ScheduleDeadlockError) as legacy_err:
+            simulate_pipeline(graph, bad_order, CLUSTER, parallel,
+                              legacy=True)
+        assert "waiting stages" in str(kernel_err.value)
+        assert "waiting stages" in str(legacy_err.value)
+
+    def test_jitter_forces_retry_engine(self):
+        from tests.test_pipeline_sim import two_rank_graph
+
+        graph = two_rank_graph(fw=10.0, bw=20.0)
+        parallel = ParallelConfig(dp=1, tp=1, pp=2)
+        result = simulate_pipeline(
+            graph, [[0, 3], [1, 2]], CLUSTER, parallel,
+            jitter=lambda uid, ms: ms * 2.0,
+        )
+        assert result.total_ms == pytest.approx(120.0)
+
+    def test_shared_p2p_table_consistency(self):
+        parallel = ParallelConfig(dp=1, tp=1, pp=4)
+        cost_model = CostModel()
+        table = P2PTable(CLUSTER, parallel, cost_model)
+        for src in range(4):
+            for dst in range(4):
+                direct = (0.0 if src == dst else cost_model.p2p_latency_ms(
+                    1e8, CLUSTER.p2p_bandwidth(parallel, src, dst)))
+                assert table.latency_ms(src, dst, 1e8) == direct
+        assert table.latency_ms(0, 1, 0.0) == 0.0
+        # Memoised: the same key returns the identical cached value.
+        assert table.latency_ms(0, 1, 1e8) is table.latency_ms(0, 1, 1e8)
+
+
+class TestGraphArrays:
+    def test_refresh_tracks_strategy_changes(self, vlm_graph, small_cluster,
+                                             parallel2, cost_model):
+        generate_candidates(vlm_graph)
+        arrays = GraphArrays(vlm_graph, small_cluster, parallel2, cost_model)
+        before = list(arrays.latency)
+        vlm_graph.select_most_memory_efficient()
+        arrays.refresh()
+        expected = [vlm_graph.latency_ms(s) for s in vlm_graph.stages]
+        assert arrays.latency == expected
+        assert arrays.latency != before  # lean strategies add latency
+
+    def test_priorities_match_searcher(self, vlm_graph, small_cluster,
+                                       parallel2, cost_model):
+        searcher = ScheduleSearcher(small_cluster, parallel2, cost_model)
+        arrays = GraphArrays(vlm_graph, small_cluster, parallel2, cost_model)
+        groups = list(vlm_graph.groups().keys())
+        rng = np.random.default_rng(0)
+        ordering = list(groups)
+        rng.shuffle(ordering)
+        assert arrays.priorities(ordering) == searcher._priorities_array(
+            vlm_graph, ordering)
+        # Partial orderings leave uncovered groups at priority 0.
+        partial = ordering[: len(ordering) // 2]
+        assert arrays.priorities(partial) == searcher._priorities_array(
+            vlm_graph, partial)
+
+
+class TestRolloutMemo:
+    def test_memo_hits_reported(self, vlm_graph, small_cluster, parallel2,
+                                cost_model):
+        core = EvalCore(vlm_graph, small_cluster, parallel2, cost_model)
+        ordering = list(vlm_graph.groups().keys())
+        first = core.evaluate(ordering)
+        second = core.evaluate(ordering)
+        assert first == second
+        assert core.memo.hits == 1
+        assert core.memo.misses == 1
+        assert len(core.memo) == 1
+        core.refresh()  # stale scores dropped
+        assert len(core.memo) == 0
+
+    def test_memo_thread_safety(self, vlm_graph, small_cluster, parallel2,
+                                cost_model):
+        """Concurrent workers share one memo: every lookup is counted,
+        every returned score matches the single-threaded value."""
+        core = EvalCore(vlm_graph, small_cluster, parallel2, cost_model)
+        groups = list(vlm_graph.groups().keys())
+        rng = np.random.default_rng(11)
+        orderings = []
+        for _ in range(10):
+            ordering = list(groups)
+            rng.shuffle(ordering)
+            orderings.append(ordering)
+        expected = {tuple(o): interleave_stages(
+            vlm_graph, small_cluster, parallel2, cost_model,
+            priorities=core.arrays.priorities(o)).total_ms
+            for o in orderings}
+
+        per_thread = 60
+        num_threads = 8
+        errors = []
+
+        def worker(seed: int) -> None:
+            local = np.random.default_rng(seed)
+            try:
+                for _ in range(per_thread):
+                    ordering = orderings[int(local.integers(len(orderings)))]
+                    score = core.evaluate(ordering)
+                    if score != expected[tuple(ordering)]:
+                        errors.append((ordering, score))
+            except Exception as exc:  # noqa: BLE001 — surface in assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(num_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        memo = core.memo
+        assert memo.lookups == per_thread * num_threads
+        assert memo.hits + memo.misses == memo.lookups
+        # Racing threads may compute a key twice, but the table holds
+        # exactly one entry per distinct ordering.
+        assert len(memo) == len(orderings)
+        assert memo.hits >= memo.lookups - 2 * len(orderings)
+
+    def test_bare_memo(self):
+        memo = RolloutMemo()
+        assert memo.get(("a",)) is None
+        memo.put(("a",), 1.5)
+        assert memo.get(("a",)) == 1.5
+        assert (memo.hits, memo.misses) == (1, 1)
+        memo.clear()
+        assert len(memo) == 0
+
+
+class TestEmptyAndEdgeGraphs:
+    def test_single_rank_single_stage(self):
+        pair = StagePair(0, 0, "m", 0, 0, rank=0, num_layers=1,
+                         cost=StageCost(5.0, 10.0, 10.0, 1.0, 5.0, 1.0, 0.0))
+        stage = StageTask(0, SegmentKey(0, "m", 0, 0, Direction.FORWARD),
+                          0, 0, ())
+        graph = IterationGraph(1, [stage], [pair], [0.0], 1e12)
+        assert_interleave_equal(graph, [0], CostModel())
+
+    def test_kernel_handles_empty_graph(self):
+        graph = IterationGraph(2, [], [], [0.0, 0.0], 1e12)
+        arrays = GraphArrays(graph, CLUSTER, ParallelConfig(1, 1, 2),
+                             CostModel())
+        result = interleave_kernel(arrays, [])
+        assert result.order == [[], []]
+        assert result.total_ms == 0.0

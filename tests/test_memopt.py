@@ -106,3 +106,55 @@ class TestOptimizeMemory:
                                 parallel2, cost_model)
         assert sim.memory_exceeded == []
         assert report.improvement_ms >= 0
+
+
+class TestCandidateMemoization:
+    def test_repeat_call_is_a_noop(self, vlm_graph):
+        """The per-graph guard: a second generate_candidates on the same
+        graph object keeps the candidate lists (only selections reset)."""
+        generate_candidates(vlm_graph)
+        first = [pair.candidates for pair in vlm_graph.pairs]
+        vlm_graph.pairs[0].selected = 2
+        generate_candidates(vlm_graph)
+        second = [pair.candidates for pair in vlm_graph.pairs]
+        assert all(a is b for a, b in zip(first, second))
+        assert vlm_graph.pairs[0].selected == 0  # selections still reset
+
+    def test_cross_graph_memo_reuses_solved_sets(self, vlm_setup,
+                                                 small_cluster, parallel2,
+                                                 cost_model):
+        """Signature-identical graphs (e.g. cache replays) share the
+        memoised candidate objects instead of re-solving the MCKP."""
+        from repro.core.graphbuilder import build_iteration_graph
+        from repro.core.memopt import candidate_memo_size, clear_candidate_memo
+        from repro.data.workload import vlm_workload
+
+        arch, plan, partitioner = vlm_setup
+        batch = vlm_workload(2, seed=1).next_batch()
+
+        def build():
+            return build_iteration_graph(
+                arch, plan, batch, small_cluster, parallel2, cost_model,
+                partitioner=partitioner,
+            )
+
+        clear_candidate_memo()
+        g1, g2 = build(), build()
+        generate_candidates(g1)
+        solved = candidate_memo_size()
+        assert solved > 0
+        generate_candidates(g2)
+        assert candidate_memo_size() == solved  # nothing new solved
+        for p1, p2 in zip(g1.pairs, g2.pairs):
+            assert p1.candidates[0] is p2.candidates[0]  # shared frozen objects
+            assert p1.candidates is not p2.candidates  # but private lists
+
+    def test_uniform_policy_invalidates_graph_guard(self, vlm_graph):
+        from repro.core.memopt import apply_uniform_memory_policy
+
+        generate_candidates(vlm_graph)
+        assert len(vlm_graph.pairs[0].candidates) > 1
+        apply_uniform_memory_policy(vlm_graph)
+        assert len(vlm_graph.pairs[0].candidates) == 1
+        generate_candidates(vlm_graph)  # must regenerate, not skip
+        assert len(vlm_graph.pairs[0].candidates) > 1

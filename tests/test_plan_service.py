@@ -389,3 +389,78 @@ class TestStatsHelpers:
         assert snap["completed"] == 1
         assert "plans" in service.describe()
         service.close()
+
+
+class FakeClock:
+    """Deterministic stand-in for time.monotonic in aging tests."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestPriorityAging:
+    def test_without_aging_high_priority_always_wins(
+            self, tiny_vlm, small_cluster, parallel2, cost_model):
+        clock = FakeClock()
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model,
+                               clock=clock)
+        low = service.submit("vlm", controlled_batch([4]), priority=5)
+        clock.now = 1000.0  # ages arbitrarily long, still loses
+        high = service.submit("vlm", controlled_batch([2, 2]), priority=0)
+        service.step()
+        assert high.done() and not low.done()
+        service.step()
+        assert low.done()
+        service.close()
+
+    def test_aged_low_priority_overtakes(self, tiny_vlm, small_cluster,
+                                         parallel2, cost_model):
+        """With aging_s=1, five queued seconds offset five priority
+        levels: the old priority-5 request runs before a fresh
+        priority-0 one — no starvation under a saturated queue."""
+        clock = FakeClock()
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model,
+                               aging_s=1.0, clock=clock)
+        low = service.submit("vlm", controlled_batch([4]), priority=5)
+        clock.now = 10.0  # virtual start 5.0 < 10.0
+        high = service.submit("vlm", controlled_batch([2, 2]), priority=0)
+        service.step()
+        assert low.done() and not high.done()
+        service.step()
+        assert high.done()
+        service.close()
+
+    def test_fresh_high_priority_still_wins_under_aging(
+            self, tiny_vlm, small_cluster, parallel2, cost_model):
+        clock = FakeClock()
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model,
+                               aging_s=10.0, clock=clock)
+        low = service.submit("vlm", controlled_batch([4]), priority=5)
+        clock.now = 2.0  # aged only 2s of the 50s needed to draw level
+        high = service.submit("vlm", controlled_batch([2, 2]), priority=0)
+        service.step()
+        assert high.done() and not low.done()
+        service.close()
+
+    def test_invalid_aging_rejected(self):
+        from repro.service import PlanService
+
+        with pytest.raises(ValueError):
+            PlanService(num_workers=0, aging_s=0.0)
+        with pytest.raises(ValueError):
+            PlanService(num_workers=0, aging_s=-1.0)
+
+
+class TestMemoHitTelemetry:
+    def test_memo_hits_counter_flows_to_stats(self, tiny_vlm, small_cluster,
+                                              parallel2, cost_model):
+        service = make_service(tiny_vlm, small_cluster, parallel2, cost_model)
+        service.submit("vlm", controlled_batch([4, 8]))
+        service.step()
+        snap = service.stats.snapshot()
+        assert "memo_hits" in snap
+        assert snap["memo_hits"] >= 0
+        service.close()
