@@ -277,3 +277,201 @@ def test_online_recalibration_reduces_sim_drift(benchmark):
         "fit_error_after": (applied[0].report.mean_abs_error_after
                             if applied[0].report else None),
     })
+
+
+# -- cross-process serving (PR 5) -------------------------------------------
+
+RPC_JOB = "VLM-M"  # the Fig. 11 workload (12 microbatches, seed 9)
+RPC_MICROBATCHES = 12
+RPC_WORKLOAD_SEED = 9
+RPC_ITERATIONS = 3
+RPC_REPLICAS = 4
+RPC_BUDGET = 24
+PING_SAMPLES = 50
+HIT_SAMPLES = 8
+
+
+def _timed(fn):
+    t0 = time.monotonic()
+    fn()
+    return time.monotonic() - t0
+
+
+def run_rpc_transport():
+    """In-process vs socket-served planning on the fig11 workload.
+
+    Same service configuration, same batches, same seeds — the only
+    difference is the transport: `drive_replicas` over direct calls vs
+    `drive_remote_replicas` over a Unix socket with per-replica client
+    processes' worth of connections.  Measures the per-plan latency
+    overhead of the socket hop (frame codec + canonical-plan payload +
+    client-side replay round trip).
+    """
+    import os
+    import tempfile
+
+    from repro.service import (
+        PlanServiceClient,
+        PlanServiceServer,
+        drive_remote_replicas,
+    )
+
+    setup = make_setup(RPC_JOB)
+    batches = setup.workload(RPC_MICROBATCHES,
+                             seed=RPC_WORKLOAD_SEED).batches(RPC_ITERATIONS)
+
+    def build_service():
+        service = PlanService(num_workers=2, max_queue=64)
+        register(service, setup, budget=RPC_BUDGET)
+        return service
+
+    def planner_mirror(_job):
+        return OnlinePlanner(setup.arch, setup.cluster, setup.parallel,
+                             setup.cost_model,
+                             searcher=make_searcher(setup, RPC_BUDGET))
+
+    # In-process baseline.
+    local_service = build_service()
+    t0 = time.monotonic()
+    local_report = drive_replicas(local_service, {RPC_JOB: batches},
+                                  replicas=RPC_REPLICAS, timeout_s=600)
+    local_s = time.monotonic() - t0
+    local_stats = local_service.stats.snapshot()
+    # Hit-path latency: the first batch is cached now, so repeated
+    # submits replay without a search — the per-plan floor.
+    local_hit_s = min(
+        _timed(lambda: local_service.submit(RPC_JOB, batches[0])
+               .result(timeout=600))
+        for _ in range(HIT_SAMPLES)
+    )
+    local_service.close()
+
+    # Socket-served: same config behind a Unix socket.
+    remote_service = build_service()
+    uds = os.path.join(tempfile.mkdtemp(prefix="repro-rpc-bench-"),
+                       "plan.sock")
+    server = PlanServiceServer(remote_service, uds=uds)
+    t0 = time.monotonic()
+    remote_report = drive_remote_replicas(
+        server.address, {RPC_JOB: batches}, replicas=RPC_REPLICAS,
+        planner_factory=planner_mirror, timeout_s=600,
+    )
+    remote_s = time.monotonic() - t0
+    remote_stats = remote_service.stats.snapshot()
+    wire_stats = server.remote.snapshot()
+
+    # Hit-path latency over the socket: prepare + frame round trip +
+    # canonical-plan payload + local replay, no search — against the
+    # in-process hit path this isolates the socket hop per plan.
+    from repro.service import RemotePlanClient
+
+    prober = RemotePlanClient(server.address, RPC_JOB, 0, [],
+                              planner=planner_mirror(RPC_JOB),
+                              timeout_s=600)
+    remote_hit_s = min(
+        _timed(lambda: prober.plan_batch(batches[0]))
+        for _ in range(HIT_SAMPLES)
+    )
+    prober.close()
+
+    # Raw round-trip floor: ping RTT through the same frame codec.
+    with PlanServiceClient(server.address) as probe:
+        t0 = time.monotonic()
+        for _ in range(PING_SAMPLES):
+            probe.ping()
+        ping_rtt_s = (time.monotonic() - t0) / PING_SAMPLES
+    server.close()
+    remote_service.close()
+    return {
+        "local": (local_report, local_stats, local_s, local_hit_s),
+        "remote": (remote_report, remote_stats, remote_s, wire_stats,
+                   remote_hit_s),
+        "ping_rtt_s": ping_rtt_s,
+    }
+
+
+@pytest.mark.benchmark(group="service")
+def test_rpc_transport_identical_plans_and_overhead(benchmark):
+    results = benchmark.pedantic(run_rpc_transport, rounds=1, iterations=1)
+    local_report, local_stats, local_s, local_hit_s = results["local"]
+    (remote_report, remote_stats, remote_s, wire_stats,
+     remote_hit_s) = results["remote"]
+
+    total = RPC_REPLICAS * RPC_ITERATIONS
+    assert not local_report.errors, local_report.errors
+    assert not remote_report.errors, remote_report.errors
+    assert len(local_report.records) == total
+    assert len(remote_report.records) == total
+    # Cross-process plans are makespan-identical to in-process plans,
+    # replica by replica, iteration by iteration.
+    for i in range(RPC_ITERATIONS):
+        local_ms = local_report.makespans(RPC_JOB, i)
+        remote_ms = remote_report.makespans(RPC_JOB, i)
+        assert len(set(local_ms)) == 1
+        assert len(set(remote_ms)) == 1
+        assert remote_ms[0] == pytest.approx(local_ms[0], rel=1e-12)
+    # The socket path exercises the same coalescing machinery: one
+    # search per distinct batch, the rest replays/coalesces — and every
+    # remote submit flowed through the server's ServiceStats.
+    assert remote_stats["searches"] == RPC_ITERATIONS
+    assert remote_stats["completed"] == total
+    assert remote_stats["coalesced"] + remote_stats["replays"] > 0
+    assert wire_stats["connections_opened"] >= RPC_REPLICAS
+    assert wire_stats["protocol_errors"] == 0
+
+    def mean_latency_ms(report):
+        return sum(r.latency_s for r in report.records) * 1e3 / max(
+            1, len(report.records))
+
+    local_lat_ms = mean_latency_ms(local_report)
+    remote_lat_ms = mean_latency_ms(remote_report)
+    # Search time dominates mean latency on both transports (seconds),
+    # so the clean socket-hop figure is the *hit path*: a cached plan's
+    # submit→replay round trip with no search on either side.
+    overhead_ms = (remote_hit_s - local_hit_s) * 1e3
+    rows = [
+        {"metric": "plans (each transport)", "value": total},
+        {"metric": "in-process wall (s)", "value": local_s},
+        {"metric": "socket wall (s)", "value": remote_s},
+        {"metric": "in-process mean plan latency (ms)",
+         "value": local_lat_ms},
+        {"metric": "socket mean plan latency (ms)",
+         "value": remote_lat_ms},
+        {"metric": "in-process hit-path latency (ms)",
+         "value": local_hit_s * 1e3},
+        {"metric": "socket hit-path latency (ms)",
+         "value": remote_hit_s * 1e3},
+        {"metric": "socket hop overhead per plan (ms)",
+         "value": overhead_ms},
+        {"metric": "ping RTT (ms)", "value": results["ping_rtt_s"] * 1e3},
+        {"metric": "bytes over the wire",
+         "value": wire_stats["bytes_in"] + wire_stats["bytes_out"]},
+    ]
+    print_table("Cross-process plan serving: socket vs in-process", rows,
+                ["metric", "value"])
+    save_results("service_rpc", {
+        "job": RPC_JOB,
+        "workload": {"microbatches": RPC_MICROBATCHES,
+                     "seed": RPC_WORKLOAD_SEED,
+                     "iterations": RPC_ITERATIONS,
+                     "replicas": RPC_REPLICAS,
+                     "budget": RPC_BUDGET},
+        "makespans_identical": True,
+        "plans": total,
+        "searches": remote_stats["searches"],
+        "coalesced": remote_stats["coalesced"],
+        "replays": remote_stats["replays"],
+        "local_wall_s": local_s,
+        "remote_wall_s": remote_s,
+        "local_mean_latency_ms": local_lat_ms,
+        "remote_mean_latency_ms": remote_lat_ms,
+        "local_hit_latency_ms": local_hit_s * 1e3,
+        "remote_hit_latency_ms": remote_hit_s * 1e3,
+        "socket_overhead_per_plan_ms": overhead_ms,
+        "ping_rtt_ms": results["ping_rtt_s"] * 1e3,
+        "wire_bytes_in": wire_stats["bytes_in"],
+        "wire_bytes_out": wire_stats["bytes_out"],
+        "connections": wire_stats["connections_opened"],
+        "local_p50_latency_ms": local_stats["plan_latency_p50_s"] * 1e3,
+        "remote_p50_latency_ms": remote_stats["plan_latency_p50_s"] * 1e3,
+    })

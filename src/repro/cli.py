@@ -12,7 +12,14 @@ Commands:
 * ``serve``     — run the concurrent planning service: DP replicas of
                   one or more jobs hammer a shared service (request
                   coalescing, shared plan cache, optional online
-                  recalibration).
+                  recalibration).  With ``--listen HOST:PORT`` or
+                  ``--uds PATH`` the service is exposed over a socket
+                  to *other processes* instead.
+* ``plan-client`` — drive a remote ``repro serve --listen/--uds``
+                  service from this process: graphs are built and
+                  replayed locally, searches run on the server, and
+                  identical in-flight batches coalesce across
+                  processes.
 * ``service-bench`` — coalescing + aggregate-throughput comparison of
                   the service against serial per-replica planning.
 * ``perf-bench``— evaluation-core throughput: the compiled kernel
@@ -33,6 +40,8 @@ Examples::
     python -m repro trace recalibrate VLM-S
     python -m repro trace validate /tmp/vlm_s.trace.json
     python -m repro serve VLM-S T2V-S --replicas 4 --iterations 3
+    python -m repro serve VLM-S --uds /tmp/plan.sock --cache-file cache.json
+    python -m repro plan-client VLM-S --uds /tmp/plan.sock --replicas 4
     python -m repro service-bench VLM-S --replicas 4 --iterations 2
     python -m repro perf-bench VLM-M --rollouts 60 --budget 120
 """
@@ -404,8 +413,13 @@ def _service_with_jobs(args, models, budget=None):
         recalibration = RecalibrationPolicy(interval=args.recalibrate,
                                             window=2 * args.recalibrate,
                                             sweeps=2)
+    shared_cache = None
+    cache_file = getattr(args, "cache_file", None)
+    if cache_file:
+        shared_cache = PlanCache.load(cache_file, capacity=args.cache_size)
     service = PlanService(num_workers=args.workers, max_queue=args.queue,
                           cache_size=args.cache_size,
+                          plan_cache=shared_cache,
                           recalibration=recalibration,
                           aging_s=getattr(args, "aging", None))
     for model in models:
@@ -418,23 +432,59 @@ def _service_with_jobs(args, models, budget=None):
     return service
 
 
-def cmd_serve(args) -> int:
-    from repro.service import drive_replicas, run_recalibrating_replica
-    from repro.sim.reference import ReferenceCostModel
+def _serve_socket(args, models) -> int:
+    """Run the planning service behind a TCP / Unix socket.
 
-    models = args.models
+    Blocks until a client sends ``shutdown`` (``repro plan-client
+    --shutdown``), ``--serve-seconds`` elapses, or Ctrl-C.
+    """
+    from repro.service import PlanServiceServer
+
     service = _service_with_jobs(args, models)
-    streams = {}
+    try:
+        server = PlanServiceServer(
+            service,
+            listen=args.listen if args.uds is None else None,
+            uds=args.uds,
+            cache_path=getattr(args, "cache_file", None),
+        )
+    except (OSError, ValueError) as exc:
+        print(f"cannot serve on "
+              f"{args.uds or args.listen}: {exc}", file=sys.stderr)
+        service.close()
+        return 2
+    print(f"plan service listening on {server.address} "
+          f"({len(models)} job(s): {', '.join(models)}; "
+          f"{args.workers} workers, queue {args.queue})", flush=True)
+    try:
+        closed = server.wait_closed(timeout=args.serve_seconds)
+        if not closed:
+            print(f"--serve-seconds {args.serve_seconds} elapsed; "
+                  f"shutting down")
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    server.close()
+    cache_file = getattr(args, "cache_file", None)
+    if cache_file:
+        service.cache.save(cache_file)
+        print(f"saved plan cache to {cache_file} "
+              f"({len(service.cache)} entries)")
+    print(service.describe())
+    remote = server.remote.snapshot()
+    print(f"remote: {remote['connections_opened']} connections, "
+          f"{remote['requests']} requests, "
+          f"{remote['errors']} errors, "
+          f"{remote['protocol_errors']} protocol errors, "
+          f"{remote['disconnects_mid_request']} mid-request disconnects")
+    service.close()
+    return 0
+
+
+def _print_drive_report(report, models, iterations) -> None:
+    """Per-iteration makespans/spread, outcome mix, first errors —
+    shared by the in-process and remote drive commands."""
     for model in models:
-        arch = service.job(model).planner.arch
-        streams[model] = _workload(arch, args.microbatches,
-                                   args.seed).batches(args.iterations)
-    print(f"serving {len(models)} job(s) x {args.replicas} replicas x "
-          f"{args.iterations} iterations on {args.workers} workers "
-          f"(queue {args.queue})")
-    report = drive_replicas(service, streams, replicas=args.replicas)
-    for model in models:
-        for i in range(args.iterations):
+        for i in range(iterations):
             makespans = report.makespans(model, i)
             if not makespans:
                 print(f"  {model} iter {i}: no replica received a plan")
@@ -446,10 +496,29 @@ def cmd_serve(args) -> int:
     outcomes = report.by_outcome()
     print("outcomes: " + ", ".join(f"{k}={v}"
                                    for k, v in sorted(outcomes.items())))
-    if report.errors:
-        for job, replica, iteration, error in report.errors[:5]:
-            print(f"  ERROR {job} replica {replica} iter {iteration}: "
-                  f"{error}", file=sys.stderr)
+    for job, replica, iteration, error in report.errors[:5]:
+        print(f"  ERROR {job} replica {replica} iter {iteration}: {error}",
+              file=sys.stderr)
+
+
+def cmd_serve(args) -> int:
+    from repro.service import drive_replicas, run_recalibrating_replica
+    from repro.sim.reference import ReferenceCostModel
+
+    models = args.models
+    if args.uds or args.listen:
+        return _serve_socket(args, models)
+    service = _service_with_jobs(args, models)
+    streams = {}
+    for model in models:
+        arch = service.job(model).planner.arch
+        streams[model] = _workload(arch, args.microbatches,
+                                   args.seed).batches(args.iterations)
+    print(f"serving {len(models)} job(s) x {args.replicas} replicas x "
+          f"{args.iterations} iterations on {args.workers} workers "
+          f"(queue {args.queue})")
+    report = drive_replicas(service, streams, replicas=args.replicas)
+    _print_drive_report(report, models, args.iterations)
     if args.recalibrate:
         reference = ReferenceCostModel(seed=args.ref_seed)
         for model in models:
@@ -463,7 +532,88 @@ def cmd_serve(args) -> int:
                 print(f"    {event.describe()}")
     print(service.describe())
     service.close()
+    cache_file = getattr(args, "cache_file", None)
+    if cache_file:
+        service.cache.save(cache_file)
     return 1 if report.errors else 0
+
+
+def cmd_plan_client(args) -> int:
+    """Drive a remote planning service from this (client) process.
+
+    Builds a local planner mirror per replica — the planning context
+    (model, budget, seed, kernel flags) must match what the server was
+    started with, or signatures will not line up.
+    """
+    from repro.service import (
+        PlanServiceClient,
+        ProtocolError,
+        drive_remote_replicas,
+    )
+
+    address = args.uds if args.uds else args.connect
+    if not address:
+        print("plan-client needs --uds PATH or --connect HOST:PORT",
+              file=sys.stderr)
+        return 2
+
+    def planner_factory(model):
+        _arch, _cluster, _parallel, planner = _setup(
+            model, args.budget, args.seed, plan_cache=True,
+            cache_size=args.cache_size, use_kernel=_use_kernel(args),
+        )
+        return planner
+
+    try:
+        probe = PlanServiceClient(address, timeout_s=args.timeout)
+        info = probe.ping()
+    except (OSError, TimeoutError, ProtocolError) as exc:
+        print(f"cannot connect to {address}: {exc}", file=sys.stderr)
+        return 2
+    missing = [m for m in args.models if m not in info.get("jobs", [])]
+    if missing:
+        print(f"server at {address} does not serve {missing} "
+              f"(jobs: {info.get('jobs')})", file=sys.stderr)
+        probe.close()
+        return 2
+    streams = {}
+    for model in args.models:
+        arch = build_combination(combination_by_name(model))
+        streams[model] = _workload(arch, args.microbatches,
+                                   args.seed).batches(args.iterations)
+    print(f"driving {address}: {len(args.models)} job(s) x "
+          f"{args.replicas} replicas x {args.iterations} iterations")
+    report = drive_remote_replicas(address, streams,
+                                   replicas=args.replicas,
+                                   planner_factory=planner_factory,
+                                   timeout_s=args.timeout)
+    _print_drive_report(report, args.models, args.iterations)
+    failed = bool(report.errors)
+    if args.show_stats or args.min_coalesced:
+        stats = probe.stats()
+        svc = stats["service"]
+        print(f"server: {svc['completed']} plans, {svc['searches']} "
+              f"searches, {svc['replays']} replays, {svc['coalesced']} "
+              f"coalesced ({svc['coalesce_rate'] * 100:.0f}%), "
+              f"cache {stats['cache']['entries']} entries "
+              f"({stats['cache']['hits']} hits)")
+        remote = stats["remote"]
+        print(f"server connections: {remote['connections_opened']} opened, "
+              f"{remote['connections_active']} active, "
+              f"{remote['requests']} requests")
+        if args.min_coalesced and svc["coalesced"] < args.min_coalesced:
+            print(f"server coalesced only {svc['coalesced']} requests "
+                  f"(< {args.min_coalesced})", file=sys.stderr)
+            failed = True
+    if args.save_cache:
+        saved = probe.save_cache()
+        print(f"server saved its plan cache to {saved['path']} "
+              f"({saved['entries']} entries)")
+    if args.shutdown:
+        probe.shutdown()
+        print("sent shutdown")
+    probe.close()
+    return 1 if failed else 0
 
 
 def cmd_service_bench(args) -> int:
@@ -725,12 +875,72 @@ def build_parser() -> argparse.ArgumentParser:
                             "effective priority level per S seconds waited, "
                             "so low-priority leaders cannot starve "
                             "(default: strict priority order)")
+        p.add_argument("--cache-file", default=None,
+                       help="persist the shared plan cache to this JSON "
+                            "file (loaded on start, saved atomically on "
+                            "exit / 'save-cache')")
         legacy_eval_arg(p)
 
     serve = sub.add_parser(
         "serve", help="concurrent planning service: DP replicas of one or "
-                      "more jobs share one plan cache + worker pool")
+                      "more jobs share one plan cache + worker pool; with "
+                      "--listen/--uds, serve other processes over a socket")
     service_args(serve)
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve the planning service over TCP instead "
+                            "of driving in-process replicas (port 0 picks "
+                            "a free port)")
+    serve.add_argument("--uds", default=None, metavar="PATH",
+                       help="serve over a Unix-domain socket at PATH")
+    serve.add_argument("--serve-seconds", type=float, default=None,
+                       help="socket mode: shut down after this many "
+                            "seconds (default: wait for a client's "
+                            "shutdown request / Ctrl-C)")
+
+    pclient = sub.add_parser(
+        "plan-client",
+        help="drive a remote 'repro serve --listen/--uds' service from "
+             "this process: local graphs, remote searches, canonical-"
+             "plan replay (flags must match the server's)")
+    # Only the flags that shape the *client's* planner mirror and
+    # workload — server-side knobs (--workers, --queue, --recalibrate,
+    # --aging, --cache-file) belong to `repro serve` and accepting them
+    # here would silently do nothing.
+    pclient.add_argument("models", nargs="+",
+                         help="job name(s) registered on the server, "
+                              "e.g. VLM-S")
+    pclient.add_argument("--replicas", type=_positive_int, default=4,
+                         help="concurrent DP replicas (connections) "
+                              "per job")
+    pclient.add_argument("--iterations", type=_positive_int, default=3)
+    pclient.add_argument("--microbatches", type=int, default=4)
+    pclient.add_argument("--budget", type=int, default=16,
+                         help="schedule-search evaluations (must match "
+                              "the server's --budget: it is part of the "
+                              "planning-context signature)")
+    pclient.add_argument("--cache-size", type=_positive_int, default=64,
+                         help="local planner-mirror cache capacity")
+    pclient.add_argument("--seed", type=int, default=0)
+    legacy_eval_arg(pclient)
+    pclient.add_argument("--connect", default=None, metavar="HOST:PORT",
+                         help="TCP address of the serving process")
+    pclient.add_argument("--uds", default=None, metavar="PATH",
+                         help="Unix-domain socket of the serving process")
+    pclient.add_argument("--timeout", type=float, default=300.0,
+                         help="per-request timeout (seconds)")
+    pclient.add_argument("--show-stats", action="store_true",
+                         help="print the server's service/cache/remote "
+                              "stats after driving")
+    pclient.add_argument("--min-coalesced", type=int, default=0,
+                         metavar="N",
+                         help="exit nonzero unless the server coalesced "
+                              "at least N requests (CI gate for cross-"
+                              "process coalescing)")
+    pclient.add_argument("--save-cache", action="store_true",
+                         help="ask the server to persist its shared plan "
+                              "cache (atomic save to its --cache-file)")
+    pclient.add_argument("--shutdown", action="store_true",
+                         help="send a shutdown request after driving")
 
     sbench = sub.add_parser(
         "service-bench",
@@ -771,6 +981,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": cmd_trace,
         "tune": cmd_tune,
         "serve": cmd_serve,
+        "plan-client": cmd_plan_client,
         "service-bench": cmd_service_bench,
         "perf-bench": cmd_perf_bench,
     }

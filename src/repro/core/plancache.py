@@ -24,6 +24,8 @@ asynchronous search thread can share it with the caller.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -46,6 +48,12 @@ DEFAULT_NEAR_MISS_DISTANCE = 0.25
 #: Bumped whenever the persisted cache-file schema changes shape.
 CACHE_FILE_VERSION = 1
 CACHE_FILE_FORMAT = "repro-plan-cache"
+
+#: Process umask, probed once at import (single-threaded) — os.umask is
+#: process-global, so probing it per save would race against other
+#: threads of a live service creating files.
+_UMASK = os.umask(0)
+os.umask(_UMASK)
 
 CanonicalGroup = Tuple[int, str, str]
 
@@ -236,13 +244,46 @@ class PlanCache:
                 "capacity": self.capacity,
                 "near_miss": self.near_miss,
                 "near_miss_max_distance": self.near_miss_max_distance,
-                "entries": [_plan_to_dict(p) for p in self._entries.values()],
+                "entries": [plan_to_dict(p) for p in self._entries.values()],
             }
 
     def save(self, path: str) -> str:
-        """Persist the cache to ``path`` so restarts keep amortization."""
-        with open(path, "w") as f:
-            json.dump(self.to_payload(), f)
+        """Persist the cache to ``path`` so restarts keep amortization.
+
+        The write is atomic: the payload is dumped to a temporary file in
+        the same directory, flushed + fsynced, and renamed over ``path``
+        with :func:`os.replace`.  A crash (or kill) mid-dump therefore
+        leaves either the previous complete file or the new complete file
+        on disk — never a truncated JSON document that would silently
+        lose the whole cache on restart.
+        """
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp",
+            dir=directory,
+        )
+        try:
+            # mkstemp creates 0600; restore what open(path, "w") would
+            # have produced (existing file's mode, else umask default)
+            # so a shared cache file stays readable after the rename.
+            try:
+                mode = os.stat(path).st_mode & 0o777
+            except OSError:
+                mode = 0o666 & ~_UMASK
+            os.chmod(tmp_path, mode)
+            with os.fdopen(fd, "w") as f:
+                json.dump(self.to_payload(), f)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            # Never leave the temp file behind on a failed dump; the
+            # previous cache file (if any) is untouched.
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
         return path
 
     @classmethod
@@ -280,7 +321,7 @@ class PlanCache:
             # A malformed entry is dropped, never fatal — the cache is an
             # amortization, and the rest of the file may still be good.
             try:
-                plan = _plan_from_dict(entry)
+                plan = plan_from_dict(entry)
             except (KeyError, TypeError, ValueError, AttributeError):
                 continue
             cache._entries[plan.signature.digest] = plan
@@ -305,7 +346,10 @@ class PlanCache:
             return cls(capacity=capacity or DEFAULT_CACHE_SIZE, **kwargs)
 
 
-def _signature_to_dict(signature: GraphSignature) -> Dict:
+def signature_to_dict(signature: GraphSignature) -> Dict:
+    """JSON codec for :class:`GraphSignature` — shared by the persisted
+    cache file and the planning service's wire protocol (one schema, not
+    two)."""
     return {
         "digest": signature.digest,
         "context_digest": signature.context_digest,
@@ -319,7 +363,8 @@ def _signature_to_dict(signature: GraphSignature) -> Dict:
     }
 
 
-def _signature_from_dict(payload: Dict) -> GraphSignature:
+def signature_from_dict(payload: Dict) -> GraphSignature:
+    """Inverse of :func:`signature_to_dict`."""
     return GraphSignature(
         digest=payload["digest"],
         context_digest=payload["context_digest"],
@@ -329,9 +374,10 @@ def _signature_from_dict(payload: Dict) -> GraphSignature:
     )
 
 
-def _plan_to_dict(plan: CachedPlan) -> Dict:
+def plan_to_dict(plan: CachedPlan) -> Dict:
+    """JSON codec for :class:`CachedPlan` (cache file + wire protocol)."""
     return {
-        "signature": _signature_to_dict(plan.signature),
+        "signature": signature_to_dict(plan.signature),
         "ordering": [list(g) for g in plan.ordering],
         "order": plan.order,
         "selected": plan.selected,
@@ -342,9 +388,10 @@ def _plan_to_dict(plan: CachedPlan) -> Dict:
     }
 
 
-def _plan_from_dict(payload: Dict) -> CachedPlan:
+def plan_from_dict(payload: Dict) -> CachedPlan:
+    """Inverse of :func:`plan_to_dict`; raises on malformed payloads."""
     return CachedPlan(
-        signature=_signature_from_dict(payload["signature"]),
+        signature=signature_from_dict(payload["signature"]),
         ordering=[tuple(g) for g in payload["ordering"]],
         order=[list(rank_order) for rank_order in payload["order"]],
         selected=list(payload["selected"]),

@@ -2,16 +2,28 @@
 
 * :mod:`repro.service.service` — :class:`PlanService`: worker pool,
   bounded priority queue, in-flight request coalescing on graph
-  signatures, background warm search, online recalibration.
+  signatures, background warm search, online recalibration (with a
+  held-out validation window gating refits).
 * :mod:`repro.service.requests` — tickets, pending entries, admission
-  errors.
+  errors, wire errors, and the remote-request lifecycle.
 * :mod:`repro.service.stats` — :class:`ServiceStats` telemetry (queue
-  depth, coalesce rate, latency percentiles).
+  depth, coalesce rate, latency percentiles) and :class:`RemoteStats`
+  (per-connection wire counters).
 * :mod:`repro.service.recal` — per-job recalibration windows + policy.
 * :mod:`repro.service.replica` — DP-replica clients and multi-job
   drivers (including the closed plan→execute→observe loop).
+* :mod:`repro.service.rpc` — :class:`PlanServiceServer`: the service
+  behind a length-prefixed JSON-RPC socket (TCP or Unix).
+* :mod:`repro.service.client` — :class:`RemotePlanClient` /
+  :class:`PlanServiceClient`: cross-process clients that re-materialize
+  canonical plans onto locally built graphs.
 """
 
+from repro.service.client import (
+    PlanServiceClient,
+    RemotePlanClient,
+    drive_remote_replicas,
+)
 from repro.service.recal import (
     JobRecalibrator,
     RecalibrationEvent,
@@ -23,6 +35,7 @@ from repro.service.replica import (
     ReplicaRecord,
     drive_replicas,
     observed_execution,
+    run_clients,
     run_recalibrating_replica,
 )
 from repro.service.requests import (
@@ -30,19 +43,33 @@ from repro.service.requests import (
     OUTCOME_HIT,
     OUTCOME_SEARCH,
     PlanTicket,
+    ProtocolError,
+    RemotePlanError,
+    RemoteRequest,
     ServiceClosedError,
     ServiceOverloadError,
+    SignatureMismatchError,
 )
+from repro.service.rpc import PlanServiceServer
 from repro.service.service import PREWARM_PRIORITY, PlanService, RegisteredJob
-from repro.service.stats import ServiceStats
+from repro.service.stats import ConnectionStats, RemoteStats, ServiceStats
 
 __all__ = [
     "PlanService",
+    "PlanServiceServer",
+    "PlanServiceClient",
+    "RemotePlanClient",
     "RegisteredJob",
     "PlanTicket",
     "ServiceStats",
+    "RemoteStats",
+    "ConnectionStats",
     "ServiceOverloadError",
     "ServiceClosedError",
+    "ProtocolError",
+    "RemotePlanError",
+    "RemoteRequest",
+    "SignatureMismatchError",
     "RecalibrationPolicy",
     "RecalibrationEvent",
     "JobRecalibrator",
@@ -50,6 +77,8 @@ __all__ = [
     "ReplicaRecord",
     "DriveReport",
     "drive_replicas",
+    "drive_remote_replicas",
+    "run_clients",
     "observed_execution",
     "run_recalibrating_replica",
     "OUTCOME_SEARCH",

@@ -1,0 +1,381 @@
+"""Remote planning clients: the wire twin of :mod:`repro.service.replica`.
+
+A training process that does not host the :class:`PlanService` connects
+to one over a TCP or Unix socket (:class:`PlanServiceClient`, the raw
+RPC connection) and drives it through :class:`RemotePlanClient`, which
+mirrors :class:`~repro.service.replica.ReplicaClient`'s API exactly —
+``run()`` over a batch stream, ``records`` / ``errors`` accounting — so
+:func:`~repro.service.replica.drive_replicas`-style drivers and the
+benchmarks run unmodified against either transport.
+
+The client process owns a *local* :class:`~repro.core.planner.
+OnlinePlanner` mirror (same model, cluster, layout, cost model and
+searcher configuration as the server's registered job — the planning
+*context*).  Per iteration it builds + fingerprints its own graph
+(``planner.prepare``), ships only the batch *metadata*, and
+re-materializes the server's canonical plan by replaying it onto the
+local graph — one pipeline simulation, no search, makespans identical
+to in-process serving.  A digest mismatch between the local signature
+and the server's means the two processes disagree about the planning
+context and raises :class:`~repro.service.requests.
+SignatureMismatchError` rather than silently replaying a wrong plan.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.plancache import plan_from_dict, signature_from_dict
+from repro.core.planner import OnlinePlanner
+from repro.core.signature import SIGNATURE_VERSION
+from repro.data.batching import GlobalBatch
+from repro.service.replica import DriveReport, ReplicaRecord, run_clients
+from repro.service.requests import (
+    ProtocolError,
+    RemotePlanError,
+    ServiceClosedError,
+    ServiceOverloadError,
+    SignatureMismatchError,
+)
+from repro.service.rpc import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ERROR_CLOSED,
+    ERROR_OVERLOAD,
+    ERROR_PROTOCOL,
+    batch_to_dict,
+    check_envelope,
+    cost_model_from_dict,
+    parse_address,
+    recv_frame,
+    request_envelope,
+    send_frame,
+)
+from repro.trace.events import Trace
+
+
+def connect(address, timeout_s: float = 30.0) -> socket.socket:
+    """Open a socket to ``address`` (``host:port``, ``tcp://``,
+    ``uds://`` or a bare Unix-socket path).
+
+    The timeout stays armed on the returned socket: every read is
+    bounded, so a server that silently stops responding (blackholed
+    network, stopped process) surfaces as ``socket.timeout`` instead of
+    hanging the caller forever.
+    """
+    kind, target = parse_address(address)
+    if kind == "uds":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(timeout_s)
+    sock.connect(target)
+    return sock
+
+
+def _raise_wire_error(error: Dict) -> None:
+    kind = error.get("kind")
+    message = error.get("message", "remote error")
+    if kind == ERROR_OVERLOAD:
+        raise ServiceOverloadError(message)
+    if kind == ERROR_CLOSED:
+        raise ServiceClosedError(message)
+    if kind == ERROR_PROTOCOL:
+        raise ProtocolError(message)
+    raise RemotePlanError(message)
+
+
+class PlanServiceClient:
+    """One RPC connection to a :class:`~repro.service.rpc.
+    PlanServiceServer` (thread-safe; one request in flight at a time
+    per connection — open one client per concurrent replica)."""
+
+    def __init__(self, address, timeout_s: float = 30.0,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        self.address = address
+        self.max_frame_bytes = max_frame_bytes
+        self._sock = connect(address, timeout_s)
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+
+    def __enter__(self) -> "PlanServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        # Deliberately lock-free: a reader blocked in call() holds the
+        # lock, and closing the socket out from under it is exactly how
+        # that reader gets unblocked (its recv raises).
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def call(self, method: str, params: Optional[Dict] = None) -> Dict:
+        """One request/response round trip; raises the mapped error.
+
+        Reads are bounded by the connection's ``timeout_s``; a server
+        that goes silent raises :class:`TimeoutError` and the
+        connection is closed (the stream position is unknowable).
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("client connection is closed")
+            request_id = self._next_id
+            self._next_id += 1
+            try:
+                send_frame(self._sock,
+                           request_envelope(request_id, method, params))
+                response = recv_frame(self._sock, self.max_frame_bytes)
+            except socket.timeout as exc:
+                self.close()
+                raise TimeoutError(
+                    f"no response to {method!r} from {self.address} "
+                    f"within the connection timeout"
+                ) from exc
+            except ProtocolError:
+                # A framing violation leaves the stream position
+                # unknowable — the connection cannot be reused.
+                self.close()
+                raise
+        try:
+            if response is None:
+                raise ProtocolError(
+                    f"server closed the connection during {method!r}"
+                )
+            check_envelope(response)
+            if response.get("id") not in (request_id, None):
+                raise ProtocolError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {request_id}"
+                )
+        except ProtocolError:
+            self.close()
+            raise
+        if response.get("ok"):
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        error = response.get("error") or {}
+        if error.get("kind") == ERROR_PROTOCOL:
+            self.close()  # the server closes its side after reporting
+        _raise_wire_error(error)
+
+    # -- convenience methods -------------------------------------------------
+
+    def ping(self) -> Dict:
+        return self.call("ping")
+
+    def jobs(self) -> List[str]:
+        return list(self.ping().get("jobs", []))
+
+    def stats(self) -> Dict:
+        return self.call("stats")
+
+    def save_cache(self, path: Optional[str] = None) -> Dict:
+        params = {"path": path} if path else {}
+        return self.call("save-cache", params)
+
+    def shutdown(self) -> Dict:
+        return self.call("shutdown")
+
+    def submit_raw(
+        self,
+        job: str,
+        batch: GlobalBatch,
+        priority: Optional[int] = None,
+        replica: int = 0,
+        block: bool = True,
+        timeout_s: Optional[float] = None,
+    ) -> Dict:
+        """Submit a batch; returns the raw wire result (signature
+        payload + canonical plan + report)."""
+        params = {
+            "job": job,
+            "signature_version": SIGNATURE_VERSION,
+            "replica": replica,
+            "block": block,
+        }
+        params.update(batch_to_dict(batch))
+        if priority is not None:
+            params["priority"] = priority
+        if timeout_s is not None:
+            params["timeout_s"] = timeout_s
+            params["result_timeout_s"] = timeout_s
+        return self.call("submit", params)
+
+    def prewarm_raw(self, job: str, batch: GlobalBatch) -> bool:
+        params = {"job": job}
+        params.update(batch_to_dict(batch))
+        return bool(self.call("prewarm", params).get("accepted"))
+
+    def observe_raw(self, job: str, trace: Trace) -> Optional[Dict]:
+        return self.call("observe",
+                         {"job": job, "trace": trace.to_dict()}).get("event")
+
+
+class RemotePlanClient:
+    """One DP replica driving a *remote* planning service.
+
+    Mirror of :class:`~repro.service.replica.ReplicaClient`: same
+    constructor shape (an address instead of a service), same ``run()``
+    / ``records`` / ``errors`` surface, so the shared drive helpers
+    thread both kinds interchangeably.
+
+    Args:
+        address: Server address (see :func:`connect`).
+        job: Registered job name on the server.
+        replica: This replica's index (accounting only).
+        batches: The iteration batch stream to plan.
+        planner: Local planner mirror; must be configured with the same
+            planning context as the server's job, and with its plan
+            cache enabled (signatures are what cross the wire).
+        timeout_s: Per-request bound (connect, submit and result).
+    """
+
+    def __init__(
+        self,
+        address,
+        job: str,
+        replica: int,
+        batches: Sequence[GlobalBatch],
+        planner: OnlinePlanner,
+        timeout_s: float = 300.0,
+        client: Optional[PlanServiceClient] = None,
+    ) -> None:
+        self.address = address
+        self.job = job
+        self.replica = replica
+        self.batches = list(batches)
+        self.planner = planner
+        self.timeout_s = timeout_s
+        self._client = client
+        self.records: List[ReplicaRecord] = []
+        self.errors: List[tuple] = []
+
+    @property
+    def client(self) -> PlanServiceClient:
+        """The underlying connection, re-established when a previous
+        request killed it (timeout, protocol violation) — one failed
+        batch must not strand the replica's remaining stream behind a
+        dead socket."""
+        if self._client is None or self._client.closed:
+            self._client = PlanServiceClient(self.address,
+                                             timeout_s=self.timeout_s)
+        return self._client
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def plan_batch(self, batch: GlobalBatch) -> tuple:
+        """Round-trip one batch; returns ``(SearchResult, report dict)``.
+
+        The returned result lives on the *locally built* graph — the
+        canonical plan from the wire is replayed through the local
+        signature's uid/pair translation tables, exactly like the
+        in-process coalescing fan-out.
+        """
+        prepared = self.planner.prepare(batch)
+        if prepared.signature is None:
+            raise RemotePlanError(
+                "local planner has caching disabled — remote replay "
+                "needs graph signatures"
+            )
+        response = self.client.submit_raw(
+            self.job, batch, replica=self.replica, block=True,
+            timeout_s=self.timeout_s,
+        )
+        remote_sig = signature_from_dict(response["signature"])
+        if remote_sig.digest != prepared.signature.digest:
+            raise SignatureMismatchError(
+                f"server signature {remote_sig.digest[:12]} != local "
+                f"{prepared.signature.digest[:12]} — the two processes "
+                f"plan under different contexts (check model, cluster, "
+                f"parallel layout, cost model and searcher flags)"
+            )
+        plan = plan_from_dict(response["plan"])
+        result = self.planner.searcher.replay(prepared.graph, plan,
+                                              prepared.signature)
+        result.signature = prepared.signature.digest
+        return result, response.get("report") or {}
+
+    def run(self) -> List[ReplicaRecord]:
+        for i, batch in enumerate(self.batches):
+            t0 = time.monotonic()
+            try:
+                result, report = self.plan_batch(batch)
+            except SignatureMismatchError as exc:
+                # Deterministic for every batch of this stream (the two
+                # processes disagree about the planning context), and
+                # each attempt costs the server a full discarded search
+                # — abort the replica instead of failing N more times.
+                self.errors.append((self.job, self.replica, i, str(exc)))
+                break
+            except Exception as exc:  # noqa: BLE001 — recorded, not fatal
+                self.errors.append((self.job, self.replica, i, str(exc)))
+                continue
+            self.records.append(ReplicaRecord(
+                job=self.job,
+                replica=self.replica,
+                iteration=i,
+                outcome=report.get("outcome") or "",
+                predicted_ms=result.total_ms,
+                latency_s=time.monotonic() - t0,
+                queue_wait_s=report.get("queue_wait_s") or 0.0,
+                signature=result.signature,
+            ))
+        return self.records
+
+    def observe(self, trace: Trace) -> Optional[Dict]:
+        """Feed an executed trace to the server's recalibration loop.
+
+        When the server applied a refit, the response carries the
+        calibrated cost model and the local planner mirror is swapped
+        onto it — otherwise the local signatures would stop matching the
+        server's recalibrated context and every later submit would fail.
+        """
+        event = self.client.observe_raw(self.job, trace)
+        if event and event.get("applied") and event.get("cost_model"):
+            self.planner.set_cost_model(
+                cost_model_from_dict(event["cost_model"]))
+        return event
+
+
+def drive_remote_replicas(
+    address,
+    streams: Dict[str, Sequence[GlobalBatch]],
+    replicas: int,
+    planner_factory,
+    timeout_s: float = 300.0,
+) -> DriveReport:
+    """Hammer a remote service with ``replicas`` clients per job.
+
+    The cross-process twin of :func:`~repro.service.replica.
+    drive_replicas`: every replica opens its own connection (the server
+    sees N concurrent clients) and owns a fresh local planner mirror
+    from ``planner_factory(job_name)``.  Identical batches submitted
+    concurrently coalesce *on the server*, across connections and hence
+    across processes.
+    """
+    clients = [
+        RemotePlanClient(address, job, replica, batches,
+                         planner=planner_factory(job), timeout_s=timeout_s)
+        for job, batches in streams.items()
+        for replica in range(replicas)
+    ]
+    try:
+        return run_clients(clients, timeout_s=timeout_s)
+    finally:
+        for client in clients:
+            client.close()

@@ -29,12 +29,21 @@ class RecalibrationPolicy:
 
     Attributes:
         interval: Refit after every N observed iterations.
-        window: Observed traces retained per job (the fit window).
+        window: Observed traces retained per job (fit + holdout).
         sweeps: Coordinate-descent sweeps per refit.
         min_samples: Minimum fit-able forward spans required to attempt
             a refit (too few observations overfit the factors).
         min_improvement: Required relative reduction of the fit error
             before a refit is *applied* (0.0 applies any improvement).
+            This gates on the fit window itself, so it is only a
+            pre-filter — the holdout check below is what protects
+            against overfitting.
+        holdout: The most recent ``holdout`` observed traces are held
+            out of the fit as a validation window; a refit that clears
+            ``min_improvement`` on its own fit window but *worsens* the
+            held-out error is rolled back (an overfit to noisy spans
+            must not degrade future plans).  ``0`` disables validation
+            — any refit clearing the fit-window bar applies.
     """
 
     interval: int = 4
@@ -42,6 +51,7 @@ class RecalibrationPolicy:
     sweeps: int = 2
     min_samples: int = 4
     min_improvement: float = 0.0
+    holdout: int = 1
 
     def __post_init__(self) -> None:
         if self.interval < 1:
@@ -50,6 +60,14 @@ class RecalibrationPolicy:
             raise ValueError("recalibration window must be >= 1")
         if self.min_samples < 1:
             raise ValueError("recalibration min_samples must be >= 1")
+        if self.holdout < 0:
+            raise ValueError("recalibration holdout must be >= 0")
+        if self.holdout >= self.window:
+            raise ValueError(
+                "recalibration holdout must leave at least one trace in "
+                f"the fit window (holdout={self.holdout} >= "
+                f"window={self.window})"
+            )
 
 
 @dataclass
@@ -62,11 +80,27 @@ class RecalibrationEvent:
     invalidated: int = 0
     report: Optional[TraceCalibrationReport] = None
     old_model: Optional[CostModel] = None
+    # Holdout validation: the refit's error on the held-out (most
+    # recent) observations under the old vs the candidate model.  A
+    # refit whose held-out error worsens is *rolled back*: applied stays
+    # False and rolled_back records why.
+    rolled_back: bool = False
+    holdout_error_before: Optional[float] = None
+    holdout_error_after: Optional[float] = None
+    holdout_samples: int = 0
 
     def describe(self) -> str:
         if self.report is None:
             return f"{self.job}: recalibration skipped (too few samples)"
-        verdict = "applied" if self.applied else "not applied"
+        if self.rolled_back:
+            verdict = (
+                f"ROLLED BACK (held-out error "
+                f"{self.holdout_error_before * 100:.1f}% -> "
+                f"{self.holdout_error_after * 100:.1f}% over "
+                f"{self.holdout_samples} validation spans)"
+            )
+        else:
+            verdict = "applied" if self.applied else "not applied"
         return (
             f"{self.job} @ iter {self.observation}: {self.report.describe()}"
             f" — {verdict}, {self.invalidated} cache entries invalidated"
@@ -94,6 +128,20 @@ class JobRecalibrator:
         """Fit-able observations in one window snapshot (extracted once;
         the caller passes the same list into the refit)."""
         return samples_from_traces(traces)
+
+    def split_window(self, window: "list[Trace]"):
+        """Split one ring snapshot into (fit traces, held-out traces).
+
+        The ring snapshot is oldest-first; the most recent
+        ``policy.holdout`` traces form the validation window — the
+        observations closest to the iterations the refit model will
+        actually plan.  With too few traces retained (or holdout 0) the
+        validation window is empty and the holdout check is skipped.
+        """
+        holdout = self.policy.holdout
+        if holdout <= 0 or len(window) <= holdout:
+            return list(window), []
+        return list(window[:-holdout]), list(window[-holdout:])
 
     def worth_applying(self, report: TraceCalibrationReport) -> bool:
         """Does the refit clear the policy's improvement bar?"""

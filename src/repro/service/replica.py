@@ -114,24 +114,15 @@ class ReplicaClient:
         return self.records
 
 
-def drive_replicas(
-    service: PlanService,
-    streams: Dict[str, Sequence[GlobalBatch]],
-    replicas: int,
-    timeout_s: float = 300.0,
-) -> DriveReport:
-    """Hammer the service with ``replicas`` concurrent clients per job.
+def run_clients(clients: Sequence, timeout_s: float = 300.0) -> DriveReport:
+    """Run any replica-shaped clients concurrently, one thread each.
 
-    Every replica of a job submits the same batch sequence (the
-    data-parallel regime), so per iteration the service should run one
-    search and fan the plan out to the rest.  Blocks until every client
+    A *client* is anything with ``run()`` populating ``records`` and
+    ``errors`` — the in-process :class:`ReplicaClient` and the socket
+    :class:`~repro.service.client.RemotePlanClient` both qualify, so the
+    same driver exercises either transport.  Blocks until every client
     drains its stream; per-request failures are recorded, not raised.
     """
-    clients = [
-        ReplicaClient(service, job, replica, batches, timeout_s=timeout_s)
-        for job, batches in streams.items()
-        for replica in range(replicas)
-    ]
     threads = [
         threading.Thread(target=client.run, name=f"replica-{c}", daemon=True)
         for c, client in enumerate(clients)
@@ -156,6 +147,26 @@ def drive_replicas(
         report.errors.extend(client.errors)
     report.records.sort(key=lambda r: (r.job, r.iteration, r.replica))
     return report
+
+
+def drive_replicas(
+    service: PlanService,
+    streams: Dict[str, Sequence[GlobalBatch]],
+    replicas: int,
+    timeout_s: float = 300.0,
+) -> DriveReport:
+    """Hammer the service with ``replicas`` concurrent clients per job.
+
+    Every replica of a job submits the same batch sequence (the
+    data-parallel regime), so per iteration the service should run one
+    search and fan the plan out to the rest.
+    """
+    clients = [
+        ReplicaClient(service, job, replica, batches, timeout_s=timeout_s)
+        for job, batches in streams.items()
+        for replica in range(replicas)
+    ]
+    return run_clients(clients, timeout_s=timeout_s)
 
 
 def observed_execution(

@@ -35,6 +35,24 @@ class ServiceClosedError(RuntimeError):
     """The service is shut down and accepts no further requests."""
 
 
+class ProtocolError(RuntimeError):
+    """A wire-protocol violation: malformed frame, oversized payload,
+    bad envelope, or a version the peer does not speak.  The stream
+    cannot be trusted past the violation, so the connection is closed
+    after (best-effort) reporting it."""
+
+
+class RemotePlanError(RuntimeError):
+    """A server-side planning failure relayed over the wire."""
+
+
+class SignatureMismatchError(RemotePlanError):
+    """The client's locally computed graph signature disagrees with the
+    server's — the two processes are planning under different contexts
+    (cluster, parallel layout, cost model or searcher semantics) and the
+    server's canonical plan cannot be replayed onto the client graph."""
+
+
 class PlanTicket:
     """A client's handle on one in-flight planning request."""
 
@@ -46,12 +64,20 @@ class PlanTicket:
         self.started_s: Optional[float] = None
         self.done_s: Optional[float] = None
         self.outcome: Optional[str] = None
+        # The prepared iteration this ticket was submitted with (set by
+        # PlanService.submit).  The RPC layer needs it to encode the
+        # delivered plan into canonical signature space for the wire.
+        self.prepared: Optional[PreparedIteration] = None
         self._event = threading.Event()
         self._result: Optional[SearchResult] = None
         self._error: Optional[BaseException] = None
 
     def done(self) -> bool:
         return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until completed or failed; False on timeout."""
+        return self._event.wait(timeout)
 
     @property
     def latency_s(self) -> Optional[float]:
@@ -138,3 +164,35 @@ class PendingPlan:
         if aging_s is None:
             return (self.priority, self.seq)
         return (self.enqueued_s + self.priority * aging_s, self.seq)
+
+
+#: Remote-request lifecycle states.
+REMOTE_PENDING = "pending"  # submitted to the service, result outstanding
+REMOTE_DONE = "done"  # result (or error) delivered to the socket
+REMOTE_ABANDONED = "abandoned"  # client vanished before the result
+
+
+@dataclass
+class RemoteRequest:
+    """One socket client's in-flight planning request.
+
+    The server keeps these per connection so a disconnect can be reaped
+    deterministically: the ticket still completes inside the service
+    (the leader's search must finish for its coalesced *local* waiters),
+    but the connection's registry entry is marked abandoned and dropped
+    instead of waiting on a peer that will never read the response.
+    ``PlanServiceServer.close`` drains by waiting on every live entry's
+    ticket — in-flight remote work either completes or is failed by the
+    service shutdown, never silently dropped mid-search.
+    """
+
+    conn_id: int
+    request_id: int
+    method: str
+    job: str
+    ticket: Optional[PlanTicket] = None
+    submitted_s: float = field(default_factory=time.monotonic)
+    state: str = REMOTE_PENDING
+
+    def finish(self, abandoned: bool = False) -> None:
+        self.state = REMOTE_ABANDONED if abandoned else REMOTE_DONE

@@ -28,7 +28,13 @@ per registered job behind a shared, thread-safe
   every N observations the job's cost-model efficiency factors are
   refit from observed span durations, the planner switches to the
   calibrated model, and cache entries stored under the stale planning
-  context are invalidated.
+  context are invalidated.  The newest ``policy.holdout`` traces are
+  held out of the fit as a validation window: a refit that improves its
+  own fit window but worsens held-out error is rolled back.
+
+Cross-process serving lives one layer up: :mod:`repro.service.rpc`
+wraps this service in a socket server and :mod:`repro.service.client`
+re-materializes its canonical plans in other processes.
 """
 
 from __future__ import annotations
@@ -236,6 +242,17 @@ class PlanService:
             for worker in self._workers:
                 worker.join(timeout=30.0)
 
+    def shutdown(self, wait: bool = True) -> None:
+        """Alias for :meth:`close` (the RPC layer's vocabulary).
+
+        Deterministic drain semantics: queued-but-unclaimed requests
+        fail immediately with :class:`ServiceClosedError` (leaders and
+        their coalesced waiters alike); requests a worker already
+        claimed run to completion and deliver before the worker exits —
+        with ``wait=True`` this call blocks until they have.
+        """
+        self.close(wait=wait)
+
     # -- registration --------------------------------------------------------
 
     def register_job(
@@ -321,6 +338,7 @@ class PlanService:
         )
         with job.lock:
             prepared = job.planner.prepare(batch)
+        ticket.prepared = prepared
         self.stats.count("submitted")
         digest = (prepared.signature.digest
                   if prepared.signature is not None else None)
@@ -544,19 +562,31 @@ class PlanService:
         and searches; only the final model swap takes the lock (and
         drains in-flight searches, see
         :meth:`RegisteredJob.swap_cost_model`).
+
+        The refit is fitted on the *older* part of the window only; the
+        most recent ``policy.holdout`` traces are a validation window.
+        A candidate model that clears ``min_improvement`` on its own fit
+        window but scores *worse* than the current model on the held-out
+        observations is rolled back (``event.rolled_back``,
+        ``stats.recal_rollbacks``) — an overfit to noisy spans must not
+        degrade future plans.
         """
-        from repro.trace.recalibrate import recalibrate_from_traces
+        from repro.trace.recalibrate import (
+            prediction_error,
+            recalibrate_from_traces,
+        )
 
         recal = job.recalibrator
         event = RecalibrationEvent(job=job.name, observation=recal.observed,
                                    applied=False)
         window = recal.ring.snapshot()
-        samples = recal.window_samples(window)
+        fit_traces, holdout_traces = recal.split_window(window)
+        samples = recal.window_samples(fit_traces)
         if len(samples) < recal.policy.min_samples:
             recal.events.append(event)
             return event
         report = recalibrate_from_traces(
-            window,
+            fit_traces,
             job.planner.cost_model,
             job.device,
             job.specs,
@@ -566,6 +596,20 @@ class PlanService:
         )
         event.report = report
         if recal.worth_applying(report):
+            holdout_samples = recal.window_samples(holdout_traces)
+            if holdout_samples:
+                event.holdout_samples = len(holdout_samples)
+                event.holdout_error_before = prediction_error(
+                    holdout_samples, job.planner.cost_model,
+                    job.device, job.specs, tp=job.parallel.tp)
+                event.holdout_error_after = prediction_error(
+                    holdout_samples, report.calibrated,
+                    job.device, job.specs, tp=job.parallel.tp)
+                if event.holdout_error_after > event.holdout_error_before:
+                    event.rolled_back = True
+                    self.stats.count("recal_rollbacks")
+                    recal.events.append(event)
+                    return event
             with job.lock:
                 old_model = job.planner.cost_model
                 with self._mutex:

@@ -40,6 +40,8 @@ class ServiceStats:
             service ran (0 on the legacy-eval path).
         prewarms: background warm-search requests accepted.
         recalibrations: cost-model refits applied.
+        recal_rollbacks: refits that cleared the fit-window improvement
+            bar but worsened held-out error and were rolled back.
         invalidated: cache entries dropped by recalibration.
 
     Gauges:
@@ -62,6 +64,7 @@ class ServiceStats:
         self.memo_hits = 0
         self.prewarms = 0
         self.recalibrations = 0
+        self.recal_rollbacks = 0
         self.invalidated = 0
         self.queue_depth = 0
         self.max_queue_depth = 0
@@ -119,8 +122,8 @@ class ServiceStats:
                 name: getattr(self, name)
                 for name in ("submitted", "rejected", "completed", "failed",
                              "coalesced", "searches", "replays", "memo_hits",
-                             "prewarms", "recalibrations", "invalidated",
-                             "queue_depth", "max_queue_depth")
+                             "prewarms", "recalibrations", "recal_rollbacks",
+                             "invalidated", "queue_depth", "max_queue_depth")
             }
         counters["coalesce_rate"] = (
             counters["coalesced"] / counters["completed"]
@@ -144,3 +147,101 @@ class ServiceStats:
             f"latency p50 {snap['plan_latency_p50_s'] * 1e3:.0f}ms "
             f"p99 {snap['plan_latency_p99_s'] * 1e3:.0f}ms"
         )
+
+
+class ConnectionStats:
+    """Per-connection wire-protocol counters (one socket client)."""
+
+    def __init__(self, conn_id: int, peer: str = "") -> None:
+        self.conn_id = conn_id
+        self.peer = peer
+        self.requests = 0
+        self.responses = 0
+        self.errors = 0
+        self.protocol_errors = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def snapshot(self) -> Dict:
+        return {
+            "conn_id": self.conn_id,
+            "peer": self.peer,
+            "requests": self.requests,
+            "responses": self.responses,
+            "errors": self.errors,
+            "protocol_errors": self.protocol_errors,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+        }
+
+
+class RemoteStats:
+    """Aggregate + per-connection telemetry of the socket server.
+
+    Separate from :class:`ServiceStats` on purpose: the planning
+    counters describe *requests* regardless of transport, these describe
+    the *wire* — connections opened and reaped, frames that failed to
+    parse, clients that vanished mid-request.  Per-connection counters
+    live here until the connection is reaped, then fold into the
+    aggregate totals (a long-lived server must not retain one record per
+    dead client forever).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.connections_opened = 0
+        self.connections_closed = 0
+        self.disconnects_mid_request = 0
+        self.requests = 0
+        self.errors = 0
+        self.protocol_errors = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self._live: Dict[int, ConnectionStats] = {}
+        self._next_conn_id = 0
+
+    def open_connection(self, peer: str = "") -> ConnectionStats:
+        with self._lock:
+            conn = ConnectionStats(self._next_conn_id, peer)
+            self._next_conn_id += 1
+            self._live[conn.conn_id] = conn
+            self.connections_opened += 1
+            return conn
+
+    def close_connection(self, conn: "ConnectionStats",
+                         mid_request: bool = False) -> None:
+        """Reap one connection, folding its counters into the totals."""
+        with self._lock:
+            self._live.pop(conn.conn_id, None)
+            self.connections_closed += 1
+            if mid_request:
+                self.disconnects_mid_request += 1
+            self.requests += conn.requests
+            self.errors += conn.errors
+            self.protocol_errors += conn.protocol_errors
+            self.bytes_in += conn.bytes_in
+            self.bytes_out += conn.bytes_out
+
+    @property
+    def connections_active(self) -> int:
+        with self._lock:
+            return len(self._live)
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            live = [conn.snapshot() for conn in self._live.values()]
+            totals = {
+                "connections_opened": self.connections_opened,
+                "connections_closed": self.connections_closed,
+                "connections_active": len(self._live),
+                "disconnects_mid_request": self.disconnects_mid_request,
+                "requests": self.requests + sum(c["requests"] for c in live),
+                "errors": self.errors + sum(c["errors"] for c in live),
+                "protocol_errors": self.protocol_errors
+                + sum(c["protocol_errors"] for c in live),
+                "bytes_in": self.bytes_in + sum(c["bytes_in"] for c in live),
+                "bytes_out": self.bytes_out
+                + sum(c["bytes_out"] for c in live),
+            }
+        totals["connections"] = live
+        return totals

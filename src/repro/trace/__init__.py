@@ -40,6 +40,7 @@ from repro.trace.export import (
 from repro.trace.recalibrate import (
     TraceCalibrationReport,
     measure_reference_traces,
+    prediction_error,
     recalibrate_from_trace,
     recalibrate_from_traces,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "annotate_stalls",
     "diff_traces",
     "TraceDiff",
+    "prediction_error",
     "recalibrate_from_trace",
     "recalibrate_from_traces",
     "measure_reference_traces",

@@ -106,6 +106,46 @@ def samples_from_traces(
     return samples
 
 
+def _collapse_shapes(samples: Sequence[TraceSample]):
+    """Mean observation per distinct workload shape (denoises jitter)."""
+    by_shape: Dict[Tuple, List[float]] = {}
+    for sample in samples:
+        shape = (sample.module, sample.layers, sample.instances,
+                 sample.seq, sample.context)
+        by_shape.setdefault(shape, []).append(sample.observed_ms)
+    shapes = sorted(by_shape)
+    observed = np.array([np.mean(by_shape[s]) for s in shapes])
+    return shapes, observed
+
+
+def prediction_error(
+    samples: Sequence[TraceSample],
+    model: CostModel,
+    device: GpuSpec,
+    specs: Dict[str, ModalityModuleSpec],
+    tp: int = 1,
+) -> float:
+    """Mean relative |predicted - observed| of ``model`` on ``samples``.
+
+    The same per-shape error the coordinate-descent refit minimises —
+    exposed so the recalibration loop can score a candidate model on a
+    *held-out* validation window it never fitted (and roll back refits
+    that only look good on their own fit window).
+
+    Raises:
+        ValueError: when ``samples`` is empty.
+    """
+    if not samples:
+        raise ValueError("cannot score a model on zero samples")
+    shapes, observed = _collapse_shapes(samples)
+    predicted = np.array([
+        model.stage_cost(device, specs[module], layers, instances, seq,
+                         tp=tp, context=context).forward_ms
+        for module, layers, instances, seq, context in shapes
+    ])
+    return float(np.mean(np.abs(predicted - observed) / observed))
+
+
 def recalibrate_from_traces(
     traces: Sequence[Trace],
     base: CostModel,
@@ -144,13 +184,7 @@ def recalibrate_from_traces(
     # Collapse repeats of one shape into its mean observation — a
     # dynamic-workload trace repeats few distinct shapes many times, and
     # averaging both denoises jitter and makes the descent O(shapes).
-    by_shape: Dict[Tuple, List[float]] = {}
-    for sample in samples:
-        shape = (sample.module, sample.layers, sample.instances,
-                 sample.seq, sample.context)
-        by_shape.setdefault(shape, []).append(sample.observed_ms)
-    shapes = sorted(by_shape)
-    observed = np.array([np.mean(by_shape[s]) for s in shapes])
+    shapes, observed = _collapse_shapes(samples)
 
     def predict(model: CostModel) -> np.ndarray:
         return np.array([

@@ -464,3 +464,130 @@ class TestMemoHitTelemetry:
         assert "memo_hits" in snap
         assert snap["memo_hits"] >= 0
         service.close()
+
+
+def scaled_trace(trace, factor):
+    """A copy of ``trace`` whose span durations are scaled by ``factor``
+    — a stand-in for systematically distorted (noisy) observations."""
+    from dataclasses import replace as dc_replace
+
+    from repro.trace.events import Trace
+
+    spans = [dc_replace(span, start_ms=span.start_ms * factor,
+                        end_ms=span.end_ms * factor)
+             for span in trace.spans]
+    return Trace(trace.meta, spans)
+
+
+class TestRecalibrationHoldout:
+    """Refits are validated on held-out observations and rolled back
+    when they only look good on their own fit window."""
+
+    def test_policy_validation(self):
+        from repro.service import RecalibrationPolicy
+
+        with pytest.raises(ValueError, match="holdout"):
+            RecalibrationPolicy(holdout=-1)
+        with pytest.raises(ValueError, match="holdout"):
+            RecalibrationPolicy(window=4, holdout=4)
+        assert RecalibrationPolicy(window=4, holdout=0).holdout == 0
+
+    def test_split_window(self):
+        from repro.service import JobRecalibrator, RecalibrationPolicy
+
+        recal = JobRecalibrator(RecalibrationPolicy(window=8, holdout=2))
+        fit, held = recal.split_window(["t0", "t1", "t2", "t3"])
+        assert fit == ["t0", "t1"] and held == ["t2", "t3"]
+        # Too few traces: nothing held out rather than nothing fitted.
+        fit, held = recal.split_window(["t0"])
+        assert fit == ["t0"] and held == []
+        none_held = JobRecalibrator(RecalibrationPolicy(window=8, holdout=0))
+        fit, held = none_held.split_window(["t0", "t1"])
+        assert fit == ["t0", "t1"] and held == []
+
+    def test_overfit_refit_is_rolled_back(self, tiny_vlm, small_cluster,
+                                          parallel2, cost_model):
+        """Fit window full of distorted (2x slower) observations, a
+        genuine trace held out: the refit clears the fit-window bar but
+        worsens held-out error — it must be rolled back, counted, and
+        the planner left on its original model."""
+        service = make_service(
+            tiny_vlm, small_cluster, parallel2, cost_model, budget=6,
+            recalibration=RecalibrationPolicy(interval=4, window=4,
+                                              sweeps=1, holdout=1),
+        )
+        ticket = service.submit("vlm", controlled_batch([4, 8]))
+        service.step()
+        result = ticket.result(timeout=30)
+        reference = ReferenceCostModel(seed=7)
+        genuine = observed_execution(service, "vlm", result, reference)
+        distorted = scaled_trace(genuine, 2.0)
+        base_model = service.job("vlm").planner.cost_model
+        for _ in range(3):
+            assert service.observe("vlm", distorted) is None
+        event = service.observe("vlm", genuine)  # 4th observation: refit
+        assert event is not None
+        assert event.report is not None
+        assert event.report.improved  # the overfit *did* clear the bar...
+        assert event.rolled_back  # ...and the holdout caught it
+        assert not event.applied
+        assert event.holdout_samples > 0
+        assert event.holdout_error_after > event.holdout_error_before
+        assert "ROLLED BACK" in event.describe()
+        # Nothing was swapped, invalidated, or counted as applied.
+        assert service.job("vlm").planner.cost_model is base_model
+        assert service.stats.recal_rollbacks == 1
+        assert service.stats.recalibrations == 0
+        assert service.cache.stats.invalidations == 0
+        assert service.stats.snapshot()["recal_rollbacks"] == 1
+        service.close()
+
+    def test_genuine_refit_applies_through_holdout(self, tiny_vlm,
+                                                   small_cluster, parallel2,
+                                                   cost_model):
+        """Consistent observations: the holdout agrees with the fit
+        window and the refit applies (records its holdout scores)."""
+        service = make_service(
+            tiny_vlm, small_cluster, parallel2, cost_model, budget=6,
+            recalibration=RecalibrationPolicy(interval=4, window=4,
+                                              sweeps=1, holdout=1),
+        )
+        ticket = service.submit("vlm", controlled_batch([4, 8]))
+        service.step()
+        result = ticket.result(timeout=30)
+        reference = ReferenceCostModel(seed=7)
+        genuine = observed_execution(service, "vlm", result, reference)
+        for _ in range(3):
+            service.observe("vlm", genuine)
+        event = service.observe("vlm", genuine)
+        assert event is not None and event.applied
+        assert not event.rolled_back
+        assert event.holdout_samples > 0
+        assert event.holdout_error_after <= event.holdout_error_before
+        assert service.stats.recal_rollbacks == 0
+        assert service.stats.recalibrations == 1
+        service.close()
+
+    def test_holdout_zero_applies_overfit(self, tiny_vlm, small_cluster,
+                                          parallel2, cost_model):
+        """holdout=0 restores the old (unguarded) behaviour — the same
+        distorted window that rolls back above now swaps the model."""
+        service = make_service(
+            tiny_vlm, small_cluster, parallel2, cost_model, budget=6,
+            recalibration=RecalibrationPolicy(interval=4, window=4,
+                                              sweeps=1, holdout=0),
+        )
+        ticket = service.submit("vlm", controlled_batch([4, 8]))
+        service.step()
+        result = ticket.result(timeout=30)
+        reference = ReferenceCostModel(seed=7)
+        genuine = observed_execution(service, "vlm", result, reference)
+        distorted = scaled_trace(genuine, 2.0)
+        base_model = service.job("vlm").planner.cost_model
+        for _ in range(3):
+            service.observe("vlm", distorted)
+        event = service.observe("vlm", genuine)
+        assert event is not None and event.applied
+        assert not event.rolled_back
+        assert service.job("vlm").planner.cost_model is not base_model
+        service.close()
