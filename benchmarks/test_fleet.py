@@ -1,0 +1,81 @@
+"""Fleet scaling: plans/sec vs shard count on the fig. 11 workload.
+
+Schedule search is CPU-bound Python, so one server process is
+GIL-bound.  The fleet shards the service across N processes with
+consistent-hash signature routing, which should scale aggregate
+plans/sec whenever distinct signatures are concurrently in flight —
+while per-signature behaviour (one search, coalesced replays, identical
+best makespans) must stay exactly as a single server's.
+
+Scale note: shard counts 1/2/4 with 6 OS client processes each driving
+8 iterations of the VLM-M dynamic workload (search budget 10) — far
+below the paper's 64-GPU fleet, but enough for the scaling trend and
+the makespan-identity assertion.  Results land in
+``benchmarks/results/fleet.json`` for EXPERIMENTS.md.
+
+Shard processes can only run side by side when the machine grants them
+cores: on a single-CPU runner every process multiplexes one core, so
+plans/sec is flat-to-declining by construction.  The correctness
+invariants (makespan identity, fleet-wide coalescing, single-shard
+signature homes) hold regardless and are always asserted; the
+plans/sec scaling floor is asserted only when at least two CPUs are
+available, and the measured scaling + CPU count are recorded in the
+results either way.
+"""
+
+import pytest
+
+from repro.fleet.bench import (
+    makespan_conflicts,
+    print_fleet_bench,
+    run_fleet_bench,
+)
+
+from common import save_results
+
+SHARD_COUNTS = (1, 2, 4)
+ITERATIONS = 8
+CLIENTS = 6
+BUDGET = 10
+#: Conservative: 1 -> 4 shards should beat this handily, but CI
+#: machines share cores with the client processes.
+SCALING_FLOOR = 1.2
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_scales_plans_per_second(benchmark):
+    result = benchmark.pedantic(
+        run_fleet_bench,
+        kwargs=dict(shard_counts=SHARD_COUNTS, iterations=ITERATIONS,
+                    clients=CLIENTS, budget=BUDGET),
+        rounds=1, iterations=1,
+    )
+    print_fleet_bench(result)
+    save_results("fleet", result)
+
+    sizes = result["sizes"]
+    assert set(sizes) == {str(c) for c in SHARD_COUNTS}
+
+    expected_plans = ITERATIONS * CLIENTS
+    for key, size in sizes.items():
+        assert size["errors"] == [], f"{key} shards: {size['errors']}"
+        assert size["plans"] == expected_plans
+        # Routing keeps every signature on one shard (absent failovers).
+        assert size["failovers"] == 0
+        assert size["max_shards_per_signature"] == 1
+        # Fleet-wide coalescing: one search per distinct signature.
+        assert size["service"]["searches"] == len(size["makespans"])
+
+    # The shard count must never change a plan: best makespans are
+    # identical per signature across every fleet size.
+    assert makespan_conflicts(result) == []
+
+    # The scaling claim needs real cores to hold: N CPU-bound shard
+    # processes cannot outpace one on a single-CPU machine.
+    assert result["scaling"] > 0
+    if result["workload"]["cpus"] >= 2:
+        assert result["scaling"] >= SCALING_FLOOR, (
+            f"1 -> {max(SHARD_COUNTS)} shards scaled only "
+            f"{result['scaling']:.2f}x on "
+            f"{result['workload']['cpus']} CPUs"
+        )

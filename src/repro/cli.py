@@ -20,6 +20,12 @@ Commands:
                   replayed locally, searches run on the server, and
                   identical in-flight batches coalesce across
                   processes.
+* ``fleet``     — the sharded planning fleet: ``serve`` spawns N
+                  server subprocesses over one shared on-disk cache
+                  tier and supervises them (crash restart, drain on
+                  stop); ``drive`` hammers a running fleet with
+                  signature-routed clients; ``bench`` measures
+                  plans/sec vs shard count on the fig. 11 workload.
 * ``service-bench`` — coalescing + aggregate-throughput comparison of
                   the service against serial per-replica planning.
 * ``perf-bench``— evaluation-core throughput: the compiled kernel
@@ -42,6 +48,9 @@ Examples::
     python -m repro serve VLM-S T2V-S --replicas 4 --iterations 3
     python -m repro serve VLM-S --uds /tmp/plan.sock --cache-file cache.json
     python -m repro plan-client VLM-S --uds /tmp/plan.sock --replicas 4
+    python -m repro fleet serve VLM-S --shards 2 --cache-dir /tmp/plans
+    python -m repro fleet drive VLM-S --address-file /tmp/fleet.json
+    python -m repro fleet bench --shards 1 2 4 --output fleet.json
     python -m repro service-bench VLM-S --replicas 4 --iterations 2
     python -m repro perf-bench VLM-M --rollouts 60 --budget 120
 """
@@ -415,8 +424,20 @@ def _service_with_jobs(args, models, budget=None):
                                             sweeps=2)
     shared_cache = None
     cache_file = getattr(args, "cache_file", None)
+    cache_dir = getattr(args, "cache_dir", None)
+    disk_tier = None
+    if cache_dir:
+        from repro.core.cachetier import DiskCacheTier
+
+        disk_tier = DiskCacheTier(cache_dir)
+    near_miss = getattr(args, "near_miss", True)
     if cache_file:
-        shared_cache = PlanCache.load(cache_file, capacity=args.cache_size)
+        shared_cache = PlanCache.load(cache_file, capacity=args.cache_size,
+                                      disk_tier=disk_tier,
+                                      near_miss=near_miss)
+    elif disk_tier is not None or not near_miss:
+        shared_cache = PlanCache(capacity=args.cache_size,
+                                 disk_tier=disk_tier, near_miss=near_miss)
     service = PlanService(num_workers=args.workers, max_queue=args.queue,
                           cache_size=args.cache_size,
                           plan_cache=shared_cache,
@@ -614,6 +635,213 @@ def cmd_plan_client(args) -> int:
         print("sent shutdown")
     probe.close()
     return 1 if failed else 0
+
+
+def _fleet_addresses(args) -> List[str]:
+    """Shard addresses from repeated ``--address`` flags and/or the
+    ``--address-file`` a ``repro fleet serve`` wrote."""
+    addresses = list(args.address or [])
+    if args.address_file:
+        import json
+
+        try:
+            with open(args.address_file) as f:
+                payload = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {args.address_file}: {exc}",
+                  file=sys.stderr)
+            return []
+        addresses.extend(payload.get("addresses", []))
+    return addresses
+
+
+def cmd_fleet_serve(args) -> int:
+    import os
+
+    from repro.fleet import FleetConfig, PlanFleet
+
+    config = FleetConfig(
+        models=args.models, shards=args.shards, cache_dir=args.cache_dir,
+        runtime_dir=args.runtime_dir,
+        transport="tcp" if args.tcp else "uds",
+        budget=args.budget, seed=args.seed, workers=args.workers,
+        queue=args.queue, cache_size=args.cache_size,
+        near_miss=args.near_miss,
+        serve_seconds=args.serve_seconds,
+        legacy_eval=not _use_kernel(args),
+        restart_crashed=not args.no_restart,
+        max_restarts=args.max_restarts,
+    )
+    fleet = PlanFleet(config)
+    try:
+        fleet.start()
+    except RuntimeError as exc:
+        print(f"fleet failed to start: {exc}", file=sys.stderr)
+        return 2
+    print(fleet.describe(), flush=True)
+    for shard in fleet.shards:
+        print(f"  shard {shard.index}: {shard.address}", flush=True)
+    if args.address_file:
+        from repro.core.plancache import atomic_write_json
+
+        atomic_write_json(args.address_file,
+                          {"addresses": fleet.addresses,
+                           "models": list(args.models),
+                           "pid": os.getpid()})
+        print(f"wrote {args.address_file}", flush=True)
+    try:
+        # Blocks until every shard exits for good — a client's fleet-wide
+        # shutdown, --serve-seconds elapsing, or Ctrl-C.
+        fleet.wait()
+        print("all shards exited; stopping")
+    except KeyboardInterrupt:
+        print("interrupted; stopping fleet")
+    finally:
+        fleet.stop()
+        if args.address_file:
+            try:
+                os.unlink(args.address_file)
+            except OSError:
+                pass
+    return 0
+
+
+def cmd_fleet_drive(args) -> int:
+    from repro.fleet import drive_fleet, fleet_stats
+    from repro.service import PlanServiceClient
+
+    addresses = _fleet_addresses(args)
+    if not addresses:
+        print("fleet drive needs --address ADDR (repeatable) or "
+              "--address-file PATH", file=sys.stderr)
+        return 2
+
+    def planner_factory(model):
+        _arch, _cluster, _parallel, planner = _setup(
+            model, args.budget, args.seed, plan_cache=True,
+            cache_size=args.cache_size, use_kernel=_use_kernel(args),
+        )
+        return planner
+
+    streams = {}
+    for model in args.models:
+        arch = build_combination(combination_by_name(model))
+        streams[model] = _workload(arch, args.microbatches,
+                                   args.seed).batches(args.iterations)
+    print(f"driving fleet of {len(addresses)} shard(s): "
+          f"{len(args.models)} job(s) x {args.replicas} replicas x "
+          f"{args.iterations} iterations")
+    report, clients = drive_fleet(
+        addresses, streams, replicas=args.replicas,
+        planner_factory=planner_factory, timeout_s=args.timeout,
+        failover=not args.no_failover,
+    )
+    _print_drive_report(report, args.models, args.iterations)
+    failed = bool(report.errors)
+    # Routing audit: absent failovers, every signature must have been
+    # served by exactly one shard (the coalescing-locality invariant).
+    shard_of = {}
+    for client in clients:
+        for digest, address in client.routes:
+            shard_of.setdefault(digest, set()).add(address)
+    failovers = sum(client.failovers for client in clients)
+    split = sorted(d for d, s in shard_of.items() if len(s) > 1)
+    print(f"routing: {len(shard_of)} signature(s) over "
+          f"{len(addresses)} shard(s), {failovers} failover(s), "
+          f"{len(split)} split signature(s)")
+    if split and not failovers:
+        print(f"signatures served by >1 shard without failover: "
+              f"{[d[:12] for d in split]}", file=sys.stderr)
+        failed = True
+    stats = fleet_stats(addresses, timeout_s=args.timeout)
+    svc = stats["service"]
+    if args.show_stats:
+        print(f"fleet: {svc['completed']} plans, {svc['searches']} "
+              f"searches, {svc['replays']} replays, {svc['coalesced']} "
+              f"coalesced ({svc['coalesce_rate'] * 100:.0f}%), "
+              f"{svc['memory_hits']} memory hits, {svc['disk_hits']} "
+              f"disk hits; {stats['reachable']}/{len(addresses)} shards "
+              f"reachable")
+        cache = stats["cache"]
+        print(f"fleet cache: {cache.get('entries', 0):.0f} in-memory "
+              f"entries, {cache.get('hits', 0):.0f} hits "
+              f"({cache.get('disk_hits', 0):.0f} served from disk)")
+    if (args.expect_searches is not None
+            and svc["searches"] != args.expect_searches):
+        print(f"fleet ran {svc['searches']} searches, expected exactly "
+              f"{args.expect_searches} — same-signature requests should "
+              f"land on one shard and coalesce/replay there",
+              file=sys.stderr)
+        failed = True
+    if args.min_coalesced and svc["coalesced"] < args.min_coalesced:
+        print(f"fleet coalesced only {svc['coalesced']} requests "
+              f"(< {args.min_coalesced})", file=sys.stderr)
+        failed = True
+    if args.min_disk_hits and svc["disk_hits"] < args.min_disk_hits:
+        print(f"fleet served only {svc['disk_hits']} disk-tier hits "
+              f"(< {args.min_disk_hits})", file=sys.stderr)
+        failed = True
+    if args.shutdown:
+        for address in addresses:
+            try:
+                client = PlanServiceClient(address,
+                                           timeout_s=args.timeout)
+                try:
+                    client.shutdown()
+                finally:
+                    client.close()
+            except (OSError, TimeoutError) as exc:
+                print(f"shutdown {address}: {exc}", file=sys.stderr)
+        print("sent shutdown to every shard")
+    return 1 if failed else 0
+
+
+def cmd_fleet_bench(args) -> int:
+    import json
+
+    from repro.fleet.bench import (
+        makespan_conflicts,
+        print_fleet_bench,
+        run_fleet_bench,
+    )
+
+    result = run_fleet_bench(
+        shard_counts=tuple(args.shards), model=args.model,
+        microbatches=args.microbatches, iterations=args.iterations,
+        clients=args.clients, budget=args.budget, seed=args.seed,
+        workers=args.workers, timeout_s=args.timeout,
+    )
+    print_fleet_bench(result)
+    failed = False
+    conflicts = makespan_conflicts(result)
+    if conflicts:
+        print(f"best makespans differ across fleet sizes for "
+              f"{[d[:12] for d in conflicts]}", file=sys.stderr)
+        failed = True
+    errors = [e for size in result["sizes"].values()
+              for e in size["errors"]]
+    for error in errors[:5]:
+        print(f"  ERROR {error}", file=sys.stderr)
+    failed = failed or bool(errors)
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump(result, f, indent=2)
+        print(f"wrote {args.output}")
+    if args.min_scaling and result["scaling"] < args.min_scaling:
+        print(f"plans/sec scaled only {result['scaling']:.2f}x from the "
+              f"smallest to the largest fleet (< {args.min_scaling}x)",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+def cmd_fleet(args) -> int:
+    handlers = {
+        "serve": cmd_fleet_serve,
+        "drive": cmd_fleet_drive,
+        "bench": cmd_fleet_bench,
+    }
+    return handlers[args.fleet_command](args)
 
 
 def cmd_service_bench(args) -> int:
@@ -896,6 +1124,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="socket mode: shut down after this many "
                             "seconds (default: wait for a client's "
                             "shutdown request / Ctrl-C)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="back the in-memory plan cache with a shared "
+                            "on-disk tier under DIR (one file per "
+                            "signature; cross-process safe — fleet "
+                            "shards share one directory)")
+    serve.add_argument("--no-near-miss", dest="near_miss",
+                       action="store_false",
+                       help="disable near-miss warm starts so every "
+                            "search depends only on (signature, "
+                            "context, seed) — makes plans reproducible "
+                            "across cache states and fleet sizes")
 
     pclient = sub.add_parser(
         "plan-client",
@@ -942,6 +1181,137 @@ def build_parser() -> argparse.ArgumentParser:
     pclient.add_argument("--shutdown", action="store_true",
                          help="send a shutdown request after driving")
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="sharded planning fleet: N server shards over one shared "
+             "on-disk cache tier, signature-routed clients, plans/sec "
+             "scaling benchmark")
+    fsub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fserve = fsub.add_parser(
+        "serve",
+        help="spawn and supervise N 'repro serve' shard subprocesses "
+             "sharing one --cache-dir (crash restarts, graceful drain)")
+    fserve.add_argument("models", nargs="+",
+                        help="combination name(s) registered on every "
+                             "shard, e.g. VLM-S")
+    fserve.add_argument("--shards", type=_positive_int, default=2)
+    fserve.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="shared on-disk plan tier for every shard "
+                             "(plans survive restarts, spread across "
+                             "shards)")
+    fserve.add_argument("--runtime-dir", default="/tmp/repro-fleet",
+                        help="sockets + per-shard logs live here")
+    fserve.add_argument("--tcp", action="store_true",
+                        help="serve over TCP on 127.0.0.1 (default: one "
+                             "Unix socket per shard)")
+    fserve.add_argument("--workers", type=_positive_int, default=2,
+                        help="search worker threads per shard")
+    fserve.add_argument("--queue", type=_positive_int, default=32,
+                        help="bounded plan-queue capacity per shard")
+    fserve.add_argument("--budget", type=int, default=16,
+                        help="schedule-search evaluations per search "
+                             "(part of the planning context — clients "
+                             "must match)")
+    fserve.add_argument("--cache-size", type=_positive_int, default=64,
+                        help="in-memory plan-cache capacity per shard")
+    fserve.add_argument("--seed", type=int, default=0)
+    fserve.add_argument("--no-near-miss", dest="near_miss",
+                        action="store_false",
+                        help="disable near-miss warm starts on every "
+                             "shard (plans then depend only on "
+                             "signature + context + seed, identical "
+                             "across fleet sizes)")
+    fserve.add_argument("--serve-seconds", type=float, default=None,
+                        help="shards shut down after this many seconds "
+                             "(default: wait for fleet-wide shutdown / "
+                             "Ctrl-C)")
+    fserve.add_argument("--address-file", default=None, metavar="PATH",
+                        help="write the shard addresses to this JSON "
+                             "file once every shard answers pings "
+                             "(clients wait on it)")
+    fserve.add_argument("--max-restarts", type=int, default=3,
+                        help="crash-restart budget per shard")
+    fserve.add_argument("--no-restart", action="store_true",
+                        help="never restart crashed shards")
+    legacy_eval_arg(fserve)
+
+    fdrive = fsub.add_parser(
+        "drive",
+        help="drive a fleet from this process: each batch is routed to "
+             "its signature's shard through the consistent-hash ring")
+    fdrive.add_argument("models", nargs="+",
+                        help="job name(s) registered on the shards")
+    fdrive.add_argument("--address", action="append", default=None,
+                        metavar="ADDR",
+                        help="shard address (repeat per shard); every "
+                             "client must be given the same set")
+    fdrive.add_argument("--address-file", default=None, metavar="PATH",
+                        help="JSON address file a 'repro fleet serve "
+                             "--address-file' wrote")
+    fdrive.add_argument("--replicas", type=_positive_int, default=4,
+                        help="concurrent routed clients per job")
+    fdrive.add_argument("--iterations", type=_positive_int, default=3)
+    fdrive.add_argument("--microbatches", type=int, default=4)
+    fdrive.add_argument("--budget", type=int, default=16,
+                        help="must match the fleet's --budget (planning "
+                             "context)")
+    fdrive.add_argument("--cache-size", type=_positive_int, default=64,
+                        help="local planner-mirror cache capacity")
+    fdrive.add_argument("--seed", type=int, default=0)
+    fdrive.add_argument("--timeout", type=float, default=300.0,
+                        help="per-request timeout (seconds)")
+    fdrive.add_argument("--no-failover", action="store_true",
+                        help="surface shard loss as per-batch errors "
+                             "instead of retrying ring successors")
+    fdrive.add_argument("--show-stats", action="store_true",
+                        help="print merged fleet service/cache stats "
+                             "after driving")
+    fdrive.add_argument("--expect-searches", type=int, default=None,
+                        metavar="N",
+                        help="exit nonzero unless the whole fleet ran "
+                             "exactly N searches (CI gate: same-"
+                             "signature requests land on one shard)")
+    fdrive.add_argument("--min-coalesced", type=int, default=0,
+                        metavar="N",
+                        help="exit nonzero unless the fleet coalesced "
+                             "at least N requests")
+    fdrive.add_argument("--min-disk-hits", type=int, default=0,
+                        metavar="N",
+                        help="exit nonzero unless at least N hits were "
+                             "served from the shared disk tier (CI "
+                             "gate: restarts keep amortization)")
+    fdrive.add_argument("--shutdown", action="store_true",
+                        help="send shutdown to every shard after "
+                             "driving")
+    legacy_eval_arg(fdrive)
+
+    fbench = fsub.add_parser(
+        "bench",
+        help="plans/sec vs shard count on the fig. 11 workload, many "
+             "concurrent client processes")
+    fbench.add_argument("model", nargs="?", default="VLM-M",
+                        help="combination name (default: VLM-M)")
+    fbench.add_argument("--shards", type=_positive_int, nargs="+",
+                        default=[1, 2, 4],
+                        help="fleet sizes to measure")
+    fbench.add_argument("--clients", type=_positive_int, default=6,
+                        help="concurrent client OS processes")
+    fbench.add_argument("--iterations", type=_positive_int, default=8,
+                        help="distinct batches per client stream")
+    fbench.add_argument("--microbatches", type=int, default=12)
+    fbench.add_argument("--budget", type=int, default=10)
+    fbench.add_argument("--seed", type=int, default=0)
+    fbench.add_argument("--workers", type=_positive_int, default=2,
+                        help="search worker threads per shard")
+    fbench.add_argument("--timeout", type=float, default=300.0)
+    fbench.add_argument("--output", default=None,
+                        help="write the JSON report to this path")
+    fbench.add_argument("--min-scaling", type=float, default=None,
+                        help="exit nonzero when plans/sec scales less "
+                             "than this factor from the smallest to "
+                             "the largest fleet (CI gate)")
+
     sbench = sub.add_parser(
         "service-bench",
         help="coalescing + throughput: planning service vs serial "
@@ -982,6 +1352,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tune": cmd_tune,
         "serve": cmd_serve,
         "plan-client": cmd_plan_client,
+        "fleet": cmd_fleet,
         "service-bench": cmd_service_bench,
         "perf-bench": cmd_perf_bench,
     }

@@ -58,6 +58,47 @@ os.umask(_UMASK)
 CanonicalGroup = Tuple[int, str, str]
 
 
+def atomic_write_json(path: str, payload: Dict) -> str:
+    """Dump ``payload`` to ``path`` atomically (temp + fsync + replace).
+
+    The shared write discipline of every persisted planning artifact
+    (cache file, disk-tier plan files): the payload lands in a temporary
+    file in the destination directory, is flushed + fsynced, then
+    renamed over ``path`` with :func:`os.replace`.  A crash mid-dump
+    leaves either the previous complete file or the new complete file —
+    never a truncated JSON document.  Concurrent writers to the same
+    path are safe: each replace publishes one complete file.
+    """
+    path = os.path.abspath(path)
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp",
+        dir=os.path.dirname(path),
+    )
+    try:
+        # mkstemp creates 0600; restore what open(path, "w") would have
+        # produced (existing file's mode, else umask default) so a
+        # shared file stays readable after the rename.
+        try:
+            mode = os.stat(path).st_mode & 0o777
+        except OSError:
+            mode = 0o666 & ~_UMASK
+        os.chmod(tmp_path, mode)
+        with os.fdopen(fd, "w") as f:
+            json.dump(payload, f)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        # Never leave the temp file behind on a failed dump; the
+        # previous file (if any) is untouched.
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 @dataclass
 class CachedPlan:
     """One cached schedule, stored in canonical (signature) space."""
@@ -74,7 +115,15 @@ class CachedPlan:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction telemetry."""
+    """Hit/miss/eviction telemetry.
+
+    ``hits`` counts every exact hit regardless of the tier that served
+    it; ``disk_hits`` counts the subset answered by the on-disk tier
+    (so ``hits - disk_hits`` hits came straight from memory).  Keeping
+    ``hits`` tier-blind is the accounting half of the tier-parity
+    invariant: which tier serves a plan must not change what callers
+    observe.
+    """
 
     hits: int = 0
     near_hits: int = 0
@@ -82,6 +131,7 @@ class CacheStats:
     evictions: int = 0
     stores: int = 0
     invalidations: int = 0
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -107,6 +157,8 @@ class CacheStats:
             f"({self.hit_rate * 100:.0f}% exact, {self.warm_rate * 100:.0f}% "
             f"warm), {self.evictions} evictions"
         )
+        if self.disk_hits:
+            text += f", {self.disk_hits} from disk"
         if self.invalidations:
             text += f", {self.invalidations} invalidated"
         return text
@@ -114,21 +166,36 @@ class CacheStats:
 
 @dataclass
 class CacheLookup:
-    """Outcome of one :meth:`PlanCache.lookup`."""
+    """Outcome of one :meth:`PlanCache.lookup`.
+
+    ``tier`` labels which tier answered an exact hit — ``"memory"`` or
+    ``"disk"`` — and is ``None`` for near misses and misses.
+    """
 
     kind: str  # "hit" | "near" | "miss"
     entry: Optional[CachedPlan] = None
     distance: float = float("inf")
+    tier: Optional[str] = None
 
 
 class PlanCache:
     """LRU signature → :class:`CachedPlan` store with near-miss retrieval.
+
+    Optionally two-tiered: the in-memory LRU is the hot set, backed by a
+    shared on-disk tier (:class:`repro.core.cachetier.DiskCacheTier`, or
+    anything with the same ``get``/``put``/``invalidate_contexts``
+    surface).  A memory miss consults disk before reporting a miss; a
+    disk hit is promoted into memory; a fresh store writes through to
+    both tiers.  Near-miss retrieval stays memory-only — warm-start
+    seeds come from the hot set, a full directory scan per miss would
+    put disk latency on the search path for a heuristic.
 
     Args:
         capacity: Maximum number of cached plans (LRU eviction beyond).
         near_miss: Enable the warm-start tier.
         near_miss_max_distance: Feature-distance ceiling for a cached
             entry to count as a near miss.
+        disk_tier: Optional shared on-disk tier behind the memory LRU.
     """
 
     def __init__(
@@ -136,12 +203,14 @@ class PlanCache:
         capacity: int = DEFAULT_CACHE_SIZE,
         near_miss: bool = True,
         near_miss_max_distance: float = DEFAULT_NEAR_MISS_DISTANCE,
+        disk_tier=None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self.near_miss = near_miss
         self.near_miss_max_distance = near_miss_max_distance
+        self.disk_tier = disk_tier
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
         self._lock = threading.Lock()
@@ -166,7 +235,23 @@ class PlanCache:
             if entry is not None:
                 self._entries.move_to_end(signature.digest)
                 self.stats.hits += 1
-                return CacheLookup(kind="hit", entry=entry, distance=0.0)
+                return CacheLookup(kind="hit", entry=entry, distance=0.0,
+                                   tier="memory")
+            if self.disk_tier is not None:
+                entry = self.disk_tier.get(signature.digest)
+                if entry is not None:
+                    # Promote into the hot set so the next lookup is a
+                    # memory hit.  A promotion is not a fresh store
+                    # (stats.stores describes plans *produced*), but it
+                    # does respect capacity like one.
+                    self._entries[signature.digest] = entry
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+                        self.stats.evictions += 1
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    return CacheLookup(kind="hit", entry=entry,
+                                       distance=0.0, tier="disk")
             if self.near_miss and allow_near:
                 best: Optional[CachedPlan] = None
                 best_distance = float("inf")
@@ -192,7 +277,12 @@ class PlanCache:
             return CacheLookup(kind="miss")
 
     def store(self, plan: CachedPlan) -> None:
-        """Insert (or refresh) a plan, evicting the LRU entry if full."""
+        """Insert (or refresh) a plan, evicting the LRU entry if full.
+
+        With a disk tier attached the store writes through: memory gets
+        the hot copy, disk gets the shared one (atomically, outside the
+        cache lock — sibling shards may read it the moment it lands).
+        """
         with self._lock:
             digest = plan.signature.digest
             if digest in self._entries:
@@ -202,6 +292,8 @@ class PlanCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+        if self.disk_tier is not None:
+            self.disk_tier.put(plan)
 
     def invalidate_context(self, context_digest: str) -> int:
         """Drop every entry stored under ``context_digest``.
@@ -216,7 +308,12 @@ class PlanCache:
         return self.invalidate_contexts((context_digest,))
 
     def invalidate_contexts(self, context_digests) -> int:
-        """Drop entries under any of ``context_digests`` in one pass."""
+        """Drop entries under any of ``context_digests`` in one pass.
+
+        With a disk tier attached the stale plan files are unlinked too
+        (``stats.invalidations`` keeps counting memory entries only; the
+        tier tracks its own).  Returns the total removed across tiers.
+        """
         context_digests = set(context_digests)
         with self._lock:
             stale = [
@@ -226,7 +323,10 @@ class PlanCache:
             for digest in stale:
                 del self._entries[digest]
             self.stats.invalidations += len(stale)
-            return len(stale)
+            removed = len(stale)
+        if self.disk_tier is not None:
+            removed += self.disk_tier.invalidate_contexts(context_digests)
+        return removed
 
     def clear(self) -> None:
         with self._lock:
@@ -248,43 +348,14 @@ class PlanCache:
             }
 
     def save(self, path: str) -> str:
-        """Persist the cache to ``path`` so restarts keep amortization.
-
-        The write is atomic: the payload is dumped to a temporary file in
-        the same directory, flushed + fsynced, and renamed over ``path``
-        with :func:`os.replace`.  A crash (or kill) mid-dump therefore
-        leaves either the previous complete file or the new complete file
-        on disk — never a truncated JSON document that would silently
-        lose the whole cache on restart.
+        """Persist the memory tier to ``path`` so restarts keep
+        amortization.  The write is atomic (see
+        :func:`atomic_write_json`): a crash mid-dump leaves either the
+        previous complete file or the new complete file on disk — never
+        a truncated JSON document that would silently lose the whole
+        cache on restart.
         """
-        directory = os.path.dirname(os.path.abspath(path))
-        fd, tmp_path = tempfile.mkstemp(
-            prefix=os.path.basename(path) + ".", suffix=".tmp",
-            dir=directory,
-        )
-        try:
-            # mkstemp creates 0600; restore what open(path, "w") would
-            # have produced (existing file's mode, else umask default)
-            # so a shared cache file stays readable after the rename.
-            try:
-                mode = os.stat(path).st_mode & 0o777
-            except OSError:
-                mode = 0o666 & ~_UMASK
-            os.chmod(tmp_path, mode)
-            with os.fdopen(fd, "w") as f:
-                json.dump(self.to_payload(), f)
-                f.flush()
-                os.fsync(f.fileno())
-            os.replace(tmp_path, path)
-        except BaseException:
-            # Never leave the temp file behind on a failed dump; the
-            # previous cache file (if any) is untouched.
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
-        return path
+        return atomic_write_json(path, self.to_payload())
 
     @classmethod
     def from_payload(cls, payload: Dict, capacity: Optional[int] = None,
@@ -311,6 +382,7 @@ class PlanCache:
                 "near_miss_max_distance",
                 payload.get("near_miss_max_distance",
                             DEFAULT_NEAR_MISS_DISTANCE)),
+            disk_tier=kwargs.get("disk_tier"),
         )
         if stale:
             return cache

@@ -109,6 +109,10 @@ class PlannerReport:
         memo_hits: Rollout evaluations this iteration's search answered
             from the kernel's ordering memo (0 on the legacy-eval path
             and on cache replays).
+        cache_tier: Tier that served a cache hit ("memory" / "disk");
+            ``None`` unless ``cache_hit``.  The tier-parity invariant:
+            the label is the *only* thing allowed to differ between a
+            memory- and a disk-served hit.
     """
 
     iteration: int
@@ -122,6 +126,7 @@ class PlannerReport:
     warm_start: bool = False
     signature: Optional[str] = None
     memo_hits: int = 0
+    cache_tier: Optional[str] = None
 
 
 class OnlinePlanner:
@@ -296,8 +301,10 @@ class OnlinePlanner:
         lookup = self.cache.lookup(prepared.signature, allow_near=False)
         if lookup.kind != "hit":
             return None
-        return self.searcher.replay(prepared.graph, lookup.entry,
-                                    prepared.signature)
+        result = self.searcher.replay(prepared.graph, lookup.entry,
+                                      prepared.signature)
+        result.cache_tier = lookup.tier
+        return result
 
     def plan_prepared(self, prepared: PreparedIteration) -> SearchResult:
         """Stage 3: cache-assisted schedule search on a prepared batch."""
@@ -309,7 +316,9 @@ class OnlinePlanner:
         lookup = self.cache.lookup(signature,
                                    allow_near=prepared.allow_near)
         if lookup.kind == "hit":
-            return self.searcher.replay(graph, lookup.entry, signature)
+            result = self.searcher.replay(graph, lookup.entry, signature)
+            result.cache_tier = lookup.tier
+            return result
         seed = (
             decode_ordering(lookup.entry, signature)
             if lookup.kind == "near"
@@ -402,4 +411,5 @@ class OnlinePlanner:
             warm_start=result.warm_started,
             signature=result.signature,
             memo_hits=result.memo_hits,
+            cache_tier=result.cache_tier,
         )

@@ -62,6 +62,9 @@ class SearchResult:
         memo_hits: Rollout evaluations answered by the per-search
             ordering memo instead of re-running the interleaver (0 on
             the legacy evaluator path and on cache replays).
+        cache_tier: Which cache tier served a hit ("memory" / "disk");
+            ``None`` unless ``cache_hit`` — set by the planner, which is
+            the layer that knows where the cached plan came from.
     """
 
     schedule: PipelineSchedule
@@ -75,6 +78,7 @@ class SearchResult:
     warm_started: bool = False
     signature: Optional[str] = None
     memo_hits: int = 0
+    cache_tier: Optional[str] = None
 
     @property
     def trace(self) -> List:

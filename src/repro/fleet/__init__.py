@@ -1,0 +1,42 @@
+"""Planning fleet: N shard processes behind signature-routed clients.
+
+One :class:`~repro.service.rpc.PlanServiceServer` is a single process —
+one GIL, one in-memory cache, one coalescing domain.  This package
+scales it out while keeping the properties that make the service fast:
+
+* :mod:`repro.fleet.ring` — consistent hashing of signature digests
+  onto shards (virtual nodes, deterministic across processes), so every
+  request for one signature lands on one shard and cross-client
+  coalescing + cache locality survive at fleet scale.
+* :mod:`repro.fleet.client` — :class:`FleetClient`: routes each batch
+  by its locally computed signature, fails over along the ring on shard
+  loss (loudly — locality is temporarily gone), and merges per-shard
+  stats into one fleet view.
+* :mod:`repro.fleet.launcher` — :class:`PlanFleet`: spawns and monitors
+  the shard subprocesses over one shared on-disk cache tier
+  (:mod:`repro.core.cachetier`), with graceful drain-and-stop and a
+  crashed-shard restart policy.
+* :mod:`repro.fleet.bench` — plans/sec vs shard count on the paper's
+  fig. 11 workload (``benchmarks/test_fleet.py`` and ``repro fleet
+  bench`` both drive it).
+"""
+
+from repro.fleet.client import (
+    FleetClient,
+    FleetFailoverWarning,
+    drive_fleet,
+    fleet_stats,
+)
+from repro.fleet.launcher import FleetConfig, PlanFleet, ShardHandle
+from repro.fleet.ring import HashRing
+
+__all__ = [
+    "FleetClient",
+    "FleetFailoverWarning",
+    "FleetConfig",
+    "HashRing",
+    "PlanFleet",
+    "ShardHandle",
+    "drive_fleet",
+    "fleet_stats",
+]

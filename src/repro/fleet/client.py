@@ -1,0 +1,320 @@
+"""Signature-routed client over a fleet of planning shards.
+
+:class:`FleetClient` is to a shard fleet what
+:class:`~repro.service.client.RemotePlanClient` is to one server — the
+same ``run()`` / ``records`` / ``errors`` surface (so
+:func:`~repro.service.replica.run_clients` drives either), with routing
+in the middle: each batch is prepared and fingerprinted *locally*, and
+the signature digest picks the shard through the fleet's consistent-hash
+ring.  Every client process computes the same mapping, so identical
+signatures from different processes still meet on one shard and coalesce
+there, exactly as they would against a single server.
+
+Failure handling is explicit about the trade it makes: when a shard is
+unreachable, the request retries along the ring's preference order
+(every client picks the same successor), which keeps planning available
+but *temporarily splits the signature's home* — a loud
+:class:`FleetFailoverWarning` says so.  Context mismatches
+(:class:`~repro.service.requests.SignatureMismatchError`) never fail
+over: a plan that replays wrongly on one shard replays wrongly on all
+of them.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.planner import OnlinePlanner
+from repro.data.batching import GlobalBatch
+from repro.fleet.ring import DEFAULT_VNODES, HashRing
+from repro.service.client import ServiceConnection, submit_and_replay
+from repro.service.replica import ReplicaRecord
+from repro.service.requests import (
+    ProtocolError,
+    RemotePlanError,
+    ServiceClosedError,
+)
+from repro.service.stats import ServiceStats
+from repro.trace.events import Trace
+
+
+class FleetFailoverWarning(RuntimeWarning):
+    """A shard was unreachable and its requests moved to the ring
+    successor — coalescing locality for those signatures is temporarily
+    lost until the shard returns."""
+
+
+#: Transport-shaped failures that justify trying the next shard.  A
+#: planning failure (``RemotePlanError``) or signature mismatch is
+#: deterministic and would just fail again elsewhere, at full cost.
+FAILOVER_ERRORS = (OSError, TimeoutError, ProtocolError,
+                   ServiceClosedError)
+
+
+class FleetClient:
+    """One DP replica planning against a sharded fleet.
+
+    Args:
+        addresses: Shard addresses (TCP ``host:port`` / ``uds://`` /
+            socket paths).  Their *identity strings* define the ring —
+            every client must be given the same set for routing to
+            agree (order does not matter).
+        job: Registered job name, identical on every shard.
+        replica: This replica's index (accounting only).
+        batches: The iteration batch stream to plan.
+        planner: Local planner mirror (same planning context as the
+            shards' job, plan cache enabled).
+        timeout_s: Per-request bound on every shard connection.
+        vnodes: Ring virtual nodes per shard.
+        failover: Retry unreachable shards' requests on ring successors
+            (loudly).  ``False`` surfaces shard loss as a per-batch
+            error instead.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[str],
+        job: str,
+        replica: int,
+        batches: Sequence[GlobalBatch],
+        planner: OnlinePlanner,
+        timeout_s: float = 300.0,
+        vnodes: int = DEFAULT_VNODES,
+        failover: bool = True,
+    ) -> None:
+        self.ring = HashRing([str(a) for a in addresses], vnodes=vnodes)
+        self.job = job
+        self.replica = replica
+        self.batches = list(batches)
+        self.planner = planner
+        self.timeout_s = timeout_s
+        self.failover = failover
+        self._conns: Dict[str, ServiceConnection] = {
+            address: ServiceConnection(address, timeout_s=timeout_s,
+                                       expect_job=job)
+            for address in self.ring.nodes
+        }
+        self.records: List[ReplicaRecord] = []
+        self.errors: List[tuple] = []
+        #: (signature digest, serving shard) per planned batch — the
+        #: routing audit trail tests and the CLI assert on.
+        self.routes: List[Tuple[str, str]] = []
+        self.failovers = 0
+
+    # -- routing -------------------------------------------------------------
+
+    @property
+    def addresses(self) -> List[str]:
+        return list(self.ring.nodes)
+
+    def shard_for(self, digest: str) -> str:
+        """The shard this client routes ``digest`` to (ring owner)."""
+        return self.ring.node_for(digest)
+
+    def connection(self, address: str) -> ServiceConnection:
+        return self._conns[address]
+
+    # -- planning ------------------------------------------------------------
+
+    def plan_batch(self, batch: GlobalBatch) -> tuple:
+        """Route one batch by its signature; returns
+        ``(SearchResult, report dict)`` replayed on the local graph."""
+        prepared = self.planner.prepare(batch)
+        if prepared.signature is None:
+            raise RemotePlanError(
+                "local planner has caching disabled — fleet routing "
+                "needs graph signatures"
+            )
+        digest = prepared.signature.digest
+        attempts = (self.ring.preference(digest) if self.failover
+                    else [self.ring.node_for(digest)])
+        last_error: Optional[BaseException] = None
+        for nth, address in enumerate(attempts):
+            if nth:
+                self.failovers += 1
+                warnings.warn(
+                    f"fleet shard {attempts[nth - 1]} unreachable "
+                    f"({last_error!r}); retrying signature "
+                    f"{digest[:12]} on ring successor {address} — "
+                    f"coalescing locality is temporarily lost for this "
+                    f"signature until the shard returns",
+                    FleetFailoverWarning,
+                    stacklevel=2,
+                )
+            try:
+                result, report = submit_and_replay(
+                    self.connection(address).client(), self.job,
+                    self.planner, prepared, batch, replica=self.replica,
+                    timeout_s=self.timeout_s,
+                )
+            except FAILOVER_ERRORS as exc:
+                last_error = exc
+                continue
+            self.routes.append((digest, address))
+            return result, report
+        raise last_error  # every shard in the preference order failed
+
+    def run(self) -> List[ReplicaRecord]:
+        for i, batch in enumerate(self.batches):
+            t0 = time.monotonic()
+            try:
+                result, report = self.plan_batch(batch)
+            except Exception as exc:  # noqa: BLE001 — recorded, not fatal
+                self.errors.append((self.job, self.replica, i, str(exc)))
+                continue
+            self.records.append(ReplicaRecord(
+                job=self.job,
+                replica=self.replica,
+                iteration=i,
+                outcome=report.get("outcome") or "",
+                predicted_ms=result.total_ms,
+                latency_s=time.monotonic() - t0,
+                queue_wait_s=report.get("queue_wait_s") or 0.0,
+                signature=result.signature,
+            ))
+        return self.records
+
+    def observe(self, trace: Trace) -> List[Dict]:
+        """Feed an executed trace to *every* shard's recalibration loop.
+
+        Unlike submits, observations are not routed: each shard refits
+        its own cost model from what it observes, and they must all
+        converge on the same planning context or routing would turn
+        context skew into per-signature mismatch errors.  Broadcasting
+        keeps every shard's window identical.  The local mirror swaps
+        onto the first applied refit's model.
+        """
+        events: List[Dict] = []
+        from repro.service.rpc import cost_model_from_dict
+        swapped = False
+        for address in self.ring.nodes:
+            event = self.connection(address).client().observe_raw(
+                self.job, trace)
+            if event:
+                events.append(event)
+                if (not swapped and event.get("applied")
+                        and event.get("cost_model")):
+                    self.planner.set_cost_model(
+                        cost_model_from_dict(event["cost_model"]))
+                    swapped = True
+        return events
+
+    # -- telemetry -----------------------------------------------------------
+
+    def stats(self) -> Dict:
+        """Fleet-wide stats: per-shard raw snapshots + merged view.
+
+        Shards are polled with ``samples=True`` so the merged latency
+        percentiles are recomputed from the union of per-shard sample
+        windows (see :meth:`ServiceStats.merge`), not averaged from
+        per-shard percentiles.  An unreachable shard contributes an
+        ``error`` entry instead of sinking the whole view.
+        """
+        shards: Dict[str, Dict] = {}
+        parts: List[ServiceStats] = []
+        cache_totals: Dict[str, float] = {}
+        for address in self.ring.nodes:
+            try:
+                snap = self.connection(address).call("stats",
+                                                     {"samples": True})
+            except FAILOVER_ERRORS as exc:
+                shards[address] = {"error": str(exc)}
+                continue
+            shards[address] = snap
+            parts.append(ServiceStats.from_snapshot(
+                snap.get("service") or {}))
+            for key, value in (snap.get("cache") or {}).items():
+                if isinstance(value, (int, float)):
+                    cache_totals[key] = cache_totals.get(key, 0) + value
+        merged = ServiceStats.merge(parts)
+        return {
+            "service": merged.snapshot(),
+            "cache": cache_totals,
+            "shards": shards,
+            "reachable": len(parts),
+            "failovers": self.failovers,
+        }
+
+    def ping_all(self) -> Dict[str, Dict]:
+        """Reachability sweep; unreachable shards map to ``None``."""
+        out: Dict[str, Optional[Dict]] = {}
+        for address in self.ring.nodes:
+            try:
+                out[address] = self.connection(address).client().ping()
+            except FAILOVER_ERRORS:
+                out[address] = None
+        return out
+
+    def close(self) -> None:
+        for conn in self._conns.values():
+            conn.close()
+
+
+def fleet_stats(addresses: Sequence[str],
+                timeout_s: float = 30.0) -> Dict:
+    """Poll every shard's stats RPC and merge into one fleet view —
+    usable without a live :class:`FleetClient` (the CLI and the
+    benchmark poll after their drive processes have exited).
+
+    Same shape as :meth:`FleetClient.stats`, minus ``failovers``.
+    """
+    from repro.service.client import PlanServiceClient
+
+    shards: Dict[str, Dict] = {}
+    parts: List[ServiceStats] = []
+    cache_totals: Dict[str, float] = {}
+    for address in addresses:
+        try:
+            client = PlanServiceClient(address, timeout_s=timeout_s)
+        except FAILOVER_ERRORS as exc:
+            shards[address] = {"error": str(exc)}
+            continue
+        try:
+            snap = client.call("stats", {"samples": True})
+        except FAILOVER_ERRORS as exc:
+            shards[address] = {"error": str(exc)}
+            continue
+        finally:
+            client.close()
+        shards[address] = snap
+        parts.append(ServiceStats.from_snapshot(snap.get("service") or {}))
+        for key, value in (snap.get("cache") or {}).items():
+            if isinstance(value, (int, float)):
+                cache_totals[key] = cache_totals.get(key, 0) + value
+    return {
+        "service": ServiceStats.merge(parts).snapshot(),
+        "cache": cache_totals,
+        "shards": shards,
+        "reachable": len(parts),
+    }
+
+
+def drive_fleet(
+    addresses: Sequence[str],
+    streams: Dict[str, Sequence[GlobalBatch]],
+    replicas: int,
+    planner_factory,
+    timeout_s: float = 300.0,
+    failover: bool = True,
+):
+    """Hammer a fleet with ``replicas`` routed clients per job — the
+    fleet twin of :func:`~repro.service.client.drive_remote_replicas`.
+    Returns ``(DriveReport, clients)``; the clients are already closed
+    but keep their routing/stats state for inspection."""
+    from repro.service.replica import run_clients
+
+    clients = [
+        FleetClient(addresses, job, replica, batches,
+                    planner=planner_factory(job), timeout_s=timeout_s,
+                    failover=failover)
+        for job, batches in streams.items()
+        for replica in range(replicas)
+    ]
+    try:
+        report = run_clients(clients, timeout_s=timeout_s)
+    finally:
+        for client in clients:
+            client.close()
+    return report, clients

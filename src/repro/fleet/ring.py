@@ -1,0 +1,112 @@
+"""Consistent hashing of signature digests onto fleet shards.
+
+Routing requirement: every request carrying the same graph signature
+must land on the same shard, from every client process, with no
+coordination — that is what keeps cross-client coalescing and in-memory
+cache locality intact at fleet scale.  A consistent-hash ring with
+virtual nodes gives exactly that, plus two properties a plain
+``hash(digest) % N`` would lose:
+
+* **Determinism across processes.** Points are derived with SHA-256,
+  not Python's seeded ``hash()`` — two clients started hours apart (or
+  with different ``PYTHONHASHSEED``) map a digest identically.
+* **Minimal disruption.** Adding or removing one shard remaps only the
+  arc segments owned by its virtual nodes (~1/N of the keyspace), so a
+  resize does not cold-start every shard's cache.
+
+``preference()`` additionally yields the failover order: the owner
+first, then the distinct ring successors — the same walk every client
+performs, so even degraded routing stays consistent fleet-wide.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterator, List, Optional, Sequence
+
+#: Virtual nodes per shard.  64 keeps the keyspace arcs balanced within
+#: a few percent for small fleets while building the ring in well under
+#: a millisecond.
+DEFAULT_VNODES = 64
+
+
+def ring_point(key: str) -> int:
+    """Deterministic 64-bit ring position for ``key``."""
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Digest → node mapping via consistent hashing.
+
+    Args:
+        nodes: Shard identities (addresses); order does not affect the
+            mapping — only the identity strings do.
+        vnodes: Virtual nodes per shard (balance/knob).
+    """
+
+    def __init__(self, nodes: Sequence[str],
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        nodes = list(nodes)
+        if not nodes:
+            raise ValueError("a hash ring needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate ring nodes: {nodes}")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.nodes = nodes
+        self.vnodes = vnodes
+        # Sorting (point, node) pairs breaks the astronomically unlikely
+        # point collision by node name — still deterministic.
+        points = sorted(
+            (ring_point(f"{node}#{replica}"), node)
+            for node in nodes
+            for replica in range(vnodes)
+        )
+        self._points: List[int] = [point for point, _ in points]
+        self._owners: List[str] = [node for _, node in points]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def _start_index(self, digest: str) -> int:
+        # bisect_right: a key sitting exactly on a vnode point belongs
+        # to that vnode's successor — any fixed convention works, it
+        # just has to be the same in every process.
+        return bisect.bisect_right(self._points,
+                                   ring_point(digest)) % len(self._points)
+
+    def node_for(self, digest: str) -> str:
+        """The shard owning ``digest`` (the first vnode at/after its
+        ring position)."""
+        return self._owners[self._start_index(digest)]
+
+    def preference(self, digest: str,
+                   limit: Optional[int] = None) -> List[str]:
+        """Owner followed by the distinct ring successors.
+
+        This is the fleet-wide failover order for ``digest``: when the
+        owner is down, every client retries the *same* successor, so
+        coalescing re-forms on the fallback shard instead of scattering.
+        """
+        if limit is None:
+            limit = len(self.nodes)
+        found: List[str] = []
+        start = self._start_index(digest)
+        for offset in range(len(self._owners)):
+            node = self._owners[(start + offset) % len(self._owners)]
+            if node not in found:
+                found.append(node)
+                if len(found) >= limit:
+                    break
+        return found
+
+    def iter_nodes(self, digest: str) -> Iterator[str]:
+        """Lazy :meth:`preference` (full walk)."""
+        return iter(self.preference(digest))
+
+    def describe(self) -> str:
+        return (f"{len(self.nodes)} nodes x {self.vnodes} vnodes "
+                f"({len(self._points)} points)")

@@ -22,7 +22,9 @@
 from repro.service.client import (
     PlanServiceClient,
     RemotePlanClient,
+    ServiceConnection,
     drive_remote_replicas,
+    submit_and_replay,
 )
 from repro.service.recal import (
     JobRecalibrator,
@@ -59,6 +61,8 @@ __all__ = [
     "PlanServiceServer",
     "PlanServiceClient",
     "RemotePlanClient",
+    "ServiceConnection",
+    "submit_and_replay",
     "RegisteredJob",
     "PlanTicket",
     "ServiceStats",

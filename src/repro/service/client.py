@@ -114,7 +114,13 @@ class PlanServiceClient:
     def close(self) -> None:
         # Deliberately lock-free: a reader blocked in call() holds the
         # lock, and closing the socket out from under it is exactly how
-        # that reader gets unblocked (its recv raises).
+        # that reader gets unblocked (its recv raises).  Idempotent:
+        # the error paths inside call() close the connection and the
+        # owner (ServiceConnection, RemotePlanClient, a with-block)
+        # closes it again on teardown — the raw socket must only be
+        # released once, or the fd could already belong to someone else.
+        if self._closed:
+            return
         self._closed = True
         try:
             self._sock.close()
@@ -223,6 +229,148 @@ class PlanServiceClient:
                          {"job": job, "trace": trace.to_dict()}).get("event")
 
 
+class ServiceConnection:
+    """Owns one logical connection's whole lifecycle: lazy connect,
+    optional handshake, transparent reconnect, exactly-once close.
+
+    :class:`RemotePlanClient` reuses one socket across a whole batch
+    stream but must survive a request that kills the connection
+    (timeout, protocol violation); :class:`~repro.fleet.client.
+    FleetClient` holds one such connection per shard.  Both need the
+    same teardown discipline, so it lives here instead of being
+    duplicated: ``close()`` retires the handle permanently, works from
+    any state, and never touches a socket twice.
+
+    Args:
+        address: Server address (see :func:`connect`).
+        timeout_s: Per-request bound on every connection built here.
+        expect_job: When set, each fresh connection is handshaken with a
+            ``ping`` and must serve this job under the local signature
+            version — turning a mis-wired address into an immediate,
+            legible error instead of a failed submit later.
+        client: Optional pre-built connection to adopt (reconnection
+            still goes through the factory once it dies).
+    """
+
+    def __init__(
+        self,
+        address,
+        timeout_s: float = 30.0,
+        expect_job: Optional[str] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        client: Optional[PlanServiceClient] = None,
+    ) -> None:
+        self.address = address
+        self.timeout_s = timeout_s
+        self.expect_job = expect_job
+        self.max_frame_bytes = max_frame_bytes
+        self._client = client
+        self._lock = threading.Lock()
+        self._retired = False
+
+    def __enter__(self) -> "ServiceConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def connected(self) -> bool:
+        with self._lock:
+            return self._client is not None and not self._client.closed
+
+    def client(self) -> PlanServiceClient:
+        """The live connection, (re-)established on demand.
+
+        A request that killed the previous socket (timeout, framing
+        violation) must not strand the owner's remaining work behind a
+        dead fd — the next ``client()`` dials again.  After ``close()``
+        the handle is retired for good and raises
+        :class:`ServiceClosedError` instead of resurrecting itself.
+        """
+        with self._lock:
+            if self._retired:
+                raise ServiceClosedError(
+                    f"connection to {self.address} has been closed"
+                )
+            if self._client is None or self._client.closed:
+                client = PlanServiceClient(
+                    self.address, timeout_s=self.timeout_s,
+                    max_frame_bytes=self.max_frame_bytes,
+                )
+                try:
+                    self._handshake(client)
+                except BaseException:
+                    client.close()
+                    raise
+                self._client = client
+            return self._client
+
+    def _handshake(self, client: PlanServiceClient) -> None:
+        if self.expect_job is None:
+            return
+        hello = client.ping()
+        version = hello.get("signature_version")
+        if version != SIGNATURE_VERSION:
+            raise ProtocolError(
+                f"{self.address} speaks signature v{version!r}, this "
+                f"process v{SIGNATURE_VERSION} — canonical plans would "
+                f"not replay"
+            )
+        jobs = hello.get("jobs") or []
+        if self.expect_job not in jobs:
+            raise RemotePlanError(
+                f"{self.address} does not serve job "
+                f"{self.expect_job!r} (registered: {jobs})"
+            )
+
+    def call(self, method: str, params: Optional[Dict] = None) -> Dict:
+        return self.client().call(method, params)
+
+    def close(self) -> None:
+        """Retire the handle; the underlying socket is closed exactly
+        once, and later ``client()`` calls refuse to reconnect."""
+        with self._lock:
+            if self._retired:
+                return
+            self._retired = True
+            client, self._client = self._client, None
+        if client is not None:
+            client.close()
+
+
+def submit_and_replay(client: PlanServiceClient, job: str,
+                      planner: OnlinePlanner, prepared, batch: GlobalBatch,
+                      replica: int = 0,
+                      timeout_s: Optional[float] = None) -> tuple:
+    """Ship one prepared batch to a server and re-materialize its plan.
+
+    The round-trip core shared by :class:`RemotePlanClient` and the
+    fleet's routed client: submit the batch metadata, verify the
+    server's signature digest matches the locally computed one (a
+    mismatch means the processes plan under different contexts —
+    replaying would be silently wrong), then replay the canonical plan
+    onto the locally built graph.  Returns ``(SearchResult, report)``.
+    """
+    response = client.submit_raw(job, batch, replica=replica, block=True,
+                                 timeout_s=timeout_s)
+    remote_sig = signature_from_dict(response["signature"])
+    if remote_sig.digest != prepared.signature.digest:
+        raise SignatureMismatchError(
+            f"server signature {remote_sig.digest[:12]} != local "
+            f"{prepared.signature.digest[:12]} — the two processes "
+            f"plan under different contexts (check model, cluster, "
+            f"parallel layout, cost model and searcher flags)"
+        )
+    plan = plan_from_dict(response["plan"])
+    result = planner.searcher.replay(prepared.graph, plan,
+                                     prepared.signature)
+    result.signature = prepared.signature.digest
+    report = response.get("report") or {}
+    result.cache_tier = report.get("cache_tier")
+    return result, report
+
+
 class RemotePlanClient:
     """One DP replica driving a *remote* planning service.
 
@@ -258,7 +406,8 @@ class RemotePlanClient:
         self.batches = list(batches)
         self.planner = planner
         self.timeout_s = timeout_s
-        self._client = client
+        self._conn = ServiceConnection(address, timeout_s=timeout_s,
+                                       client=client)
         self.records: List[ReplicaRecord] = []
         self.errors: List[tuple] = []
 
@@ -268,15 +417,10 @@ class RemotePlanClient:
         request killed it (timeout, protocol violation) — one failed
         batch must not strand the replica's remaining stream behind a
         dead socket."""
-        if self._client is None or self._client.closed:
-            self._client = PlanServiceClient(self.address,
-                                             timeout_s=self.timeout_s)
-        return self._client
+        return self._conn.client()
 
     def close(self) -> None:
-        if self._client is not None:
-            self._client.close()
-            self._client = None
+        self._conn.close()
 
     def plan_batch(self, batch: GlobalBatch) -> tuple:
         """Round-trip one batch; returns ``(SearchResult, report dict)``.
@@ -292,23 +436,9 @@ class RemotePlanClient:
                 "local planner has caching disabled — remote replay "
                 "needs graph signatures"
             )
-        response = self.client.submit_raw(
-            self.job, batch, replica=self.replica, block=True,
-            timeout_s=self.timeout_s,
-        )
-        remote_sig = signature_from_dict(response["signature"])
-        if remote_sig.digest != prepared.signature.digest:
-            raise SignatureMismatchError(
-                f"server signature {remote_sig.digest[:12]} != local "
-                f"{prepared.signature.digest[:12]} — the two processes "
-                f"plan under different contexts (check model, cluster, "
-                f"parallel layout, cost model and searcher flags)"
-            )
-        plan = plan_from_dict(response["plan"])
-        result = self.planner.searcher.replay(prepared.graph, plan,
-                                              prepared.signature)
-        result.signature = prepared.signature.digest
-        return result, response.get("report") or {}
+        return submit_and_replay(self.client, self.job, self.planner,
+                                 prepared, batch, replica=self.replica,
+                                 timeout_s=self.timeout_s)
 
     def run(self) -> List[ReplicaRecord]:
         for i, batch in enumerate(self.batches):

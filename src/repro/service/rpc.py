@@ -678,6 +678,7 @@ class PlanServiceServer:
                     "interleave_ms": result.interleave_ms,
                     "evaluations": result.evaluations,
                     "cache_hit": result.cache_hit,
+                    "cache_tier": result.cache_tier,
                     "warm_started": result.warm_started,
                     "memo_hits": result.memo_hits,
                     "latency_s": ticket.latency_s,
@@ -724,12 +725,20 @@ class PlanServiceServer:
 
     def _handle_stats(self, params: Dict, conn: ConnectionStats,
                       request_id) -> Dict:
+        # params["samples"] additionally ships the retained latency/wait
+        # samples — a fleet aggregator merges percentiles from samples,
+        # not from per-shard percentiles.
         cache = self.service.cache
+        cache_payload = dict(asdict(cache.stats), entries=len(cache))
+        if cache.disk_tier is not None:
+            cache_payload["disk"] = cache.disk_tier.snapshot()
         return {
-            "service": self.service.stats.snapshot(),
-            "cache": dict(asdict(cache.stats), entries=len(cache)),
+            "service": self.service.stats.snapshot(
+                include_samples=bool(params.get("samples"))),
+            "cache": cache_payload,
             "remote": self.remote.snapshot(),
             "jobs": self.service.jobs,
+            "pid": os.getpid(),
         }
 
     def _handle_save_cache(self, params: Dict, conn: ConnectionStats,

@@ -493,6 +493,12 @@ class PlanService:
             self._retire(entry)
             outcome = OUTCOME_HIT if result.cache_hit else OUTCOME_SEARCH
             self.stats.count("replays" if result.cache_hit else "searches")
+            if result.cache_hit:
+                # Tier breakdown of exact hits (tier-parity invariant:
+                # only this label may differ between memory and disk).
+                self.stats.count("disk_hits"
+                                 if result.cache_tier == "disk"
+                                 else "memory_hits")
             if result.memo_hits:
                 self.stats.count("memo_hits", result.memo_hits)
             self._deliver(entry.ticket, result, outcome)

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Dict, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 #: Trailing completed requests the latency percentiles are computed
 #: over — a long-lived service must not accumulate one float per
@@ -35,6 +35,9 @@ class ServiceStats:
             identical request (no queue slot, no search of their own).
         searches: schedule searches actually run (cold or warm).
         replays: plans served by cache replay (exact hits + fan-outs).
+        memory_hits / disk_hits: exact cache hits broken down by the
+            tier that served them (fan-out replays to coalesced waiters
+            count under neither — they are accounted as ``coalesced``).
         memo_hits: rollout evaluations answered by the kernel's
             per-search ordering memo, summed over every search the
             service ran (0 on the legacy-eval path).
@@ -52,20 +55,19 @@ class ServiceStats:
     requests (bounded memory for long-lived services).
     """
 
+    #: Additive counters, in snapshot order.  ``queue_depth`` /
+    #: ``max_queue_depth`` are gauges and handled separately by
+    #: :meth:`merge`.
+    COUNTERS = (
+        "submitted", "rejected", "completed", "failed", "coalesced",
+        "searches", "replays", "memory_hits", "disk_hits", "memo_hits",
+        "prewarms", "recalibrations", "recal_rollbacks", "invalidated",
+    )
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.submitted = 0
-        self.rejected = 0
-        self.completed = 0
-        self.failed = 0
-        self.coalesced = 0
-        self.searches = 0
-        self.replays = 0
-        self.memo_hits = 0
-        self.prewarms = 0
-        self.recalibrations = 0
-        self.recal_rollbacks = 0
-        self.invalidated = 0
+        for name in self.COUNTERS:
+            setattr(self, name, 0)
         self.queue_depth = 0
         self.max_queue_depth = 0
         self._latencies_s: "deque[float]" = deque(maxlen=LATENCY_WINDOW)
@@ -114,16 +116,21 @@ class ServiceStats:
         with self._lock:
             return percentile(self._waits_s, q)
 
-    def snapshot(self) -> Dict:
+    def snapshot(self, include_samples: bool = False) -> Dict:
+        """JSON-serialisable counters + derived rates.
+
+        ``include_samples=True`` additionally exports the retained
+        latency/wait samples (``latency_samples_s`` / ``wait_samples_s``)
+        so a fleet aggregator can merge percentiles across shards
+        instead of averaging pre-computed ones (see :meth:`merge`).
+        """
         with self._lock:
             latencies = list(self._latencies_s)
             waits = list(self._waits_s)
             counters = {
                 name: getattr(self, name)
-                for name in ("submitted", "rejected", "completed", "failed",
-                             "coalesced", "searches", "replays", "memo_hits",
-                             "prewarms", "recalibrations", "recal_rollbacks",
-                             "invalidated", "queue_depth", "max_queue_depth")
+                for name in self.COUNTERS + ("queue_depth",
+                                             "max_queue_depth")
             }
         counters["coalesce_rate"] = (
             counters["coalesced"] / counters["completed"]
@@ -133,7 +140,59 @@ class ServiceStats:
         counters["plan_latency_p99_s"] = percentile(latencies, 99)
         counters["queue_wait_p50_s"] = percentile(waits, 50)
         counters["queue_wait_p99_s"] = percentile(waits, 99)
+        if include_samples:
+            counters["latency_samples_s"] = latencies
+            counters["wait_samples_s"] = waits
         return counters
+
+    # -- fleet aggregation ---------------------------------------------------
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict) -> "ServiceStats":
+        """Rebuild stats from a :meth:`snapshot` dict (e.g. one received
+        over the stats RPC).  Derived rates are ignored — they are
+        recomputed; samples are restored when the snapshot carried them."""
+        stats = cls()
+        for name in cls.COUNTERS + ("queue_depth", "max_queue_depth"):
+            value = snapshot.get(name, 0)
+            if isinstance(value, (int, float)):
+                setattr(stats, name, int(value))
+        for sample in snapshot.get("latency_samples_s", ()) or ():
+            stats._latencies_s.append(float(sample))
+        for sample in snapshot.get("wait_samples_s", ()) or ():
+            stats._waits_s.append(float(sample))
+        return stats
+
+    @classmethod
+    def merge(cls, parts: Iterable["ServiceStats"]) -> "ServiceStats":
+        """Combine per-shard stats into one fleet-wide view.
+
+        Counters sum; queue gauges combine as current-sum / peak-max
+        (shard queues are independent, so the fleet's high-water mark is
+        conservatively the worst single shard's).  Latency percentiles
+        are recomputed from the union of the shards' retained sample
+        windows — merging samples, not percentiles, because the p99 of
+        per-shard p99s is not the fleet p99.  The merged window is still
+        bounded (``LATENCY_WINDOW``): with many shards the newest
+        samples win, mirroring each shard's own trailing window.
+        """
+        merged = cls()
+        for part in parts:
+            with part._lock:
+                counters = {name: getattr(part, name)
+                            for name in cls.COUNTERS}
+                queue_depth = part.queue_depth
+                max_queue_depth = part.max_queue_depth
+                latencies = list(part._latencies_s)
+                waits = list(part._waits_s)
+            for name, value in counters.items():
+                setattr(merged, name, getattr(merged, name) + value)
+            merged.queue_depth += queue_depth
+            merged.max_queue_depth = max(merged.max_queue_depth,
+                                         max_queue_depth)
+            merged._latencies_s.extend(latencies)
+            merged._waits_s.extend(waits)
+        return merged
 
     def describe(self) -> str:
         snap = self.snapshot()
