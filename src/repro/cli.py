@@ -462,12 +462,24 @@ def _serve_socket(args, models) -> int:
     from repro.service import PlanServiceServer
 
     service = _service_with_jobs(args, models)
+    tracer = None
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir:
+        import os
+
+        from repro.obs import RequestTracer
+
+        os.makedirs(trace_dir, exist_ok=True)
+        tracer = RequestTracer(role="shard")
+        service.tracer = tracer
     try:
         server = PlanServiceServer(
             service,
             listen=args.listen if args.uds is None else None,
             uds=args.uds,
             cache_path=getattr(args, "cache_file", None),
+            shard_index=getattr(args, "shard_index", None),
+            restarts=getattr(args, "shard_restarts", 0) or 0,
         )
     except (OSError, ValueError) as exc:
         print(f"cannot serve on "
@@ -485,6 +497,12 @@ def _serve_socket(args, models) -> int:
     except KeyboardInterrupt:
         print("interrupted; shutting down")
     server.close()
+    if tracer is not None:
+        import os
+
+        path = os.path.join(trace_dir, tracer.default_filename())
+        tracer.save(path)
+        print(f"saved {len(tracer)} request span(s) to {path}")
     cache_file = getattr(args, "cache_file", None)
     if cache_file:
         service.cache.save(cache_file)
@@ -671,6 +689,7 @@ def cmd_fleet_serve(args) -> int:
         legacy_eval=not _use_kernel(args),
         restart_crashed=not args.no_restart,
         max_restarts=args.max_restarts,
+        trace_dir=args.trace_dir,
     )
     fleet = PlanFleet(config)
     try:
@@ -728,14 +747,28 @@ def cmd_fleet_drive(args) -> int:
         arch = build_combination(combination_by_name(model))
         streams[model] = _workload(arch, args.microbatches,
                                    args.seed).batches(args.iterations)
+    tracer = None
+    if args.trace_dir:
+        import os
+
+        from repro.obs import RequestTracer
+
+        os.makedirs(args.trace_dir, exist_ok=True)
+        tracer = RequestTracer(role="client")
     print(f"driving fleet of {len(addresses)} shard(s): "
           f"{len(args.models)} job(s) x {args.replicas} replicas x "
           f"{args.iterations} iterations")
     report, clients = drive_fleet(
         addresses, streams, replicas=args.replicas,
         planner_factory=planner_factory, timeout_s=args.timeout,
-        failover=not args.no_failover,
+        failover=not args.no_failover, tracer=tracer,
     )
+    if tracer is not None:
+        import os
+
+        path = os.path.join(args.trace_dir, tracer.default_filename())
+        tracer.save(path)
+        print(f"saved {len(tracer)} client span(s) to {path}")
     _print_drive_report(report, args.models, args.iterations)
     failed = bool(report.errors)
     # Routing audit: absent failovers, every signature must have been
@@ -842,6 +875,94 @@ def cmd_fleet(args) -> int:
         "bench": cmd_fleet_bench,
     }
     return handlers[args.fleet_command](args)
+
+
+def cmd_obs_scrape(args) -> int:
+    import json
+
+    from repro.obs import render_exposition
+    from repro.obs.scrape import check_scrape, merged_snapshot, scrape_fleet
+
+    addresses = _fleet_addresses(args)
+    if not addresses:
+        print("obs scrape needs --address ADDR (repeatable) or "
+              "--address-file PATH", file=sys.stderr)
+        return 2
+    scrapes = scrape_fleet(addresses, timeout_s=args.timeout)
+    merged = merged_snapshot(scrapes)
+    if args.format == "json":
+        text = json.dumps(merged, indent=2) + "\n"
+    else:
+        text = render_exposition(merged)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote {args.output} "
+              f"({sum(1 for s in scrapes if s.ok)}/{len(scrapes)} "
+              f"shards scraped)")
+    else:
+        sys.stdout.write(text)
+    failed = False
+    if args.check:
+        problems = check_scrape(scrapes)
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}", file=sys.stderr)
+        failed = bool(problems)
+        if not problems:
+            print(f"checks passed on {len(scrapes)} shard(s)")
+    return 1 if failed else 0
+
+
+def cmd_obs_report(args) -> int:
+    from repro.obs.scrape import render_report, scrape_fleet
+
+    addresses = _fleet_addresses(args)
+    if not addresses:
+        print("obs report needs --address ADDR (repeatable) or "
+              "--address-file PATH", file=sys.stderr)
+        return 2
+    scrapes = scrape_fleet(addresses, timeout_s=args.timeout)
+    print(render_report(scrapes))
+    return 0 if any(s.ok for s in scrapes) else 1
+
+
+def cmd_obs_merge(args) -> int:
+    import json
+
+    from repro.obs import merge_trace_files
+    from repro.trace.export import validate_chrome_trace
+
+    try:
+        merged = merge_trace_files(args.traces, output=args.output)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"cannot merge: {exc}", file=sys.stderr)
+        return 2
+    slices = sum(1 for e in merged["traceEvents"]
+                 if e.get("ph") == "X")
+    flows = sum(1 for e in merged["traceEvents"] if e.get("ph") == "s")
+    print(f"merged {len(args.traces)} trace file(s): {slices} span(s), "
+          f"{flows} cross-process flow(s)"
+          + (f" -> {args.output}" if args.output else ""))
+    if args.validate:
+        problems = validate_chrome_trace(merged)
+        if problems:
+            print("INVALID merged timeline:", file=sys.stderr)
+            for problem in problems[:10]:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print("merged timeline validates clean")
+    if not args.output:
+        sys.stdout.write(json.dumps(merged) + "\n")
+    return 0
+
+
+def cmd_obs(args) -> int:
+    handlers = {
+        "scrape": cmd_obs_scrape,
+        "report": cmd_obs_report,
+        "merge": cmd_obs_merge,
+    }
+    return handlers[args.obs_command](args)
 
 
 def cmd_service_bench(args) -> int:
@@ -1135,6 +1256,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "search depends only on (signature, "
                             "context, seed) — makes plans reproducible "
                             "across cache states and fleet sizes")
+    serve.add_argument("--trace-dir", default=None, metavar="DIR",
+                       help="socket mode: emit per-request spans "
+                            "(queue wait, cache lookup, search/replay) "
+                            "tagged with client trace ids, saved to "
+                            "DIR on exit for 'repro obs merge'")
+    serve.add_argument("--shard-index", type=int, default=None,
+                       help="this server's shard slot in a fleet "
+                            "(reported over ping/metrics; set by the "
+                            "fleet launcher)")
+    serve.add_argument("--shard-restarts", type=int, default=0,
+                       help="crash respawns this shard slot has seen "
+                            "(reported over ping/metrics; set by the "
+                            "fleet launcher)")
 
     pclient = sub.add_parser(
         "plan-client",
@@ -1234,6 +1368,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="crash-restart budget per shard")
     fserve.add_argument("--no-restart", action="store_true",
                         help="never restart crashed shards")
+    fserve.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="every shard saves its request-span trace "
+                             "file here on exit (merge with "
+                             "'repro obs merge')")
     legacy_eval_arg(fserve)
 
     fdrive = fsub.add_parser(
@@ -1284,6 +1422,11 @@ def build_parser() -> argparse.ArgumentParser:
     fdrive.add_argument("--shutdown", action="store_true",
                         help="send shutdown to every shard after "
                              "driving")
+    fdrive.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="stamp every submit with a distributed "
+                             "trace id and save the client-side span "
+                             "file here (merge with the shards' files "
+                             "via 'repro obs merge')")
     legacy_eval_arg(fdrive)
 
     fbench = fsub.add_parser(
@@ -1311,6 +1454,61 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exit nonzero when plans/sec scales less "
                              "than this factor from the smallest to "
                              "the largest fleet (CI gate)")
+
+    obs = sub.add_parser(
+        "obs",
+        help="fleet telemetry plane: scrape per-shard metrics into "
+             "Prometheus exposition, render a health report, merge "
+             "client + shard request traces into one timeline")
+    osub = obs.add_subparsers(dest="obs_command", required=True)
+
+    def obs_addressing(p) -> None:
+        p.add_argument("--address", action="append", default=None,
+                       metavar="ADDR",
+                       help="shard address (repeat per shard)")
+        p.add_argument("--address-file", default=None, metavar="PATH",
+                       help="JSON address file a 'repro fleet serve "
+                            "--address-file' wrote")
+        p.add_argument("--timeout", type=float, default=10.0,
+                       help="per-shard RPC timeout (seconds)")
+
+    oscrape = osub.add_parser(
+        "scrape",
+        help="poll every shard's metrics RPC and merge label-wise "
+             "(each series gains a shard=\"N\" label)")
+    obs_addressing(oscrape)
+    oscrape.add_argument("--format", choices=("expo", "json"),
+                         default="expo",
+                         help="output format: Prometheus text "
+                              "exposition (default) or the raw merged "
+                              "JSON snapshot")
+    oscrape.add_argument("--output", default=None, metavar="PATH",
+                         help="write to PATH instead of stdout")
+    oscrape.add_argument("--check", action="store_true",
+                         help="exit nonzero unless cross-subsystem "
+                              "consistency holds on every shard "
+                              "(tier-split hits sum to totals, metrics "
+                              "agree with the stats RPC)")
+
+    oreport = osub.add_parser(
+        "report",
+        help="human health summary per shard: identity, uptime, "
+             "restarts, queue depth, hit rates, latency percentiles")
+    obs_addressing(oreport)
+
+    omerge = osub.add_parser(
+        "merge",
+        help="join client + shard request-span files into one Chrome/"
+             "Perfetto timeline with cross-process flow arrows per "
+             "trace id")
+    omerge.add_argument("traces", nargs="+", metavar="TRACE",
+                        help="span files written by --trace-dir runs")
+    omerge.add_argument("--output", default=None, metavar="PATH",
+                        help="write the merged Chrome JSON here "
+                             "(default: stdout)")
+    omerge.add_argument("--validate", action="store_true",
+                        help="exit nonzero unless the merged timeline "
+                             "passes the Chrome-trace validator")
 
     sbench = sub.add_parser(
         "service-bench",
@@ -1353,6 +1551,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": cmd_serve,
         "plan-client": cmd_plan_client,
         "fleet": cmd_fleet,
+        "obs": cmd_obs,
         "service-bench": cmd_service_bench,
         "perf-bench": cmd_perf_bench,
     }

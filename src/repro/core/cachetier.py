@@ -223,3 +223,20 @@ class DiskCacheTier:
         snap["entries"] = len(self)
         snap["directory"] = self.directory
         return snap
+
+    def export_metrics(self, registry) -> None:
+        """Bridge :class:`TierStats` into a metrics registry (absolute
+        values, per-process — the directory is shared, the counters are
+        not)."""
+        with self._lock:
+            stats = asdict(self.stats)
+        ops = registry.counter(
+            "repro_disk_tier_ops_total",
+            "Disk-tier operations by kind", labels=("op",))
+        for op, value in stats.items():
+            ops.set_value(value, op=op)
+        registry.gauge(
+            "repro_disk_tier_entries",
+            "Plan files currently in the shared tier directory",
+            agg="max",  # shards share one directory; don't multi-count
+        ).set(len(self))

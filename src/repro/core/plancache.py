@@ -27,6 +27,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -176,6 +177,9 @@ class CacheLookup:
     entry: Optional[CachedPlan] = None
     distance: float = float("inf")
     tier: Optional[str] = None
+    #: Wall-clock seconds the lookup took (includes any disk-tier read
+    #: and promotion) — the request tracer's cache-lookup span duration.
+    elapsed_s: float = 0.0
 
 
 class PlanCache:
@@ -230,6 +234,13 @@ class PlanCache:
         ordering (natural strategy, single-group graph), so near-hit
         telemetry only counts retrievals that actually warm a search.
         """
+        start = time.perf_counter()
+        result = self._lookup(signature, allow_near)
+        result.elapsed_s = time.perf_counter() - start
+        return result
+
+    def _lookup(self, signature: GraphSignature,
+                allow_near: bool) -> CacheLookup:
         with self._lock:
             entry = self._entries.get(signature.digest)
             if entry is not None:
@@ -294,6 +305,47 @@ class PlanCache:
                 self.stats.evictions += 1
         if self.disk_tier is not None:
             self.disk_tier.put(plan)
+
+    def export_metrics(self, registry) -> None:
+        """Bridge :class:`CacheStats` into a metrics registry.
+
+        Absolute values via ``set_value`` — the cache keeps counting in
+        its own stats object and every snapshot re-exports the current
+        totals, so repeated ``metrics`` RPCs never double-count.  The
+        tier-labelled ``repro_cache_hits_total`` series sum to
+        ``repro_cache_lookups_total{result="hit"}`` by construction
+        (``hits`` is tier-blind, ``disk_hits`` is its disk subset) —
+        the scrape checker asserts exactly that.
+        """
+        stats = self.stats
+        hits = registry.counter(
+            "repro_cache_hits_total",
+            "Exact plan-cache hits by serving tier", labels=("tier",))
+        hits.set_value(stats.hits - stats.disk_hits, tier="memory")
+        hits.set_value(stats.disk_hits, tier="disk")
+        lookups = registry.counter(
+            "repro_cache_lookups_total",
+            "Plan-cache lookups by result", labels=("result",))
+        lookups.set_value(stats.hits, result="hit")
+        lookups.set_value(stats.near_hits, result="near")
+        lookups.set_value(stats.misses, result="miss")
+        for name, value, help_text in (
+            ("repro_cache_evictions_total", stats.evictions,
+             "LRU evictions from the in-memory tier"),
+            ("repro_cache_stores_total", stats.stores,
+             "Fresh plans stored (write-through when a disk tier "
+             "is attached)"),
+            ("repro_cache_invalidations_total", stats.invalidations,
+             "Entries dropped by context invalidation"),
+        ):
+            registry.counter(name, help_text).set_value(value)
+        registry.gauge(
+            "repro_cache_entries",
+            "Plans currently resident in the in-memory tier",
+        ).set(len(self._entries))
+        if self.disk_tier is not None and hasattr(self.disk_tier,
+                                                  "export_metrics"):
+            self.disk_tier.export_metrics(registry)
 
     def invalidate_context(self, context_digest: str) -> int:
         """Drop every entry stored under ``context_digest``.

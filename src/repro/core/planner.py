@@ -304,6 +304,7 @@ class OnlinePlanner:
         result = self.searcher.replay(prepared.graph, lookup.entry,
                                       prepared.signature)
         result.cache_tier = lookup.tier
+        result.lookup_s = lookup.elapsed_s
         return result
 
     def plan_prepared(self, prepared: PreparedIteration) -> SearchResult:
@@ -318,6 +319,7 @@ class OnlinePlanner:
         if lookup.kind == "hit":
             result = self.searcher.replay(graph, lookup.entry, signature)
             result.cache_tier = lookup.tier
+            result.lookup_s = lookup.elapsed_s
             return result
         seed = (
             decode_ordering(lookup.entry, signature)
@@ -334,6 +336,7 @@ class OnlinePlanner:
         result = self.searcher.search(graph, seed_ordering=seed or None,
                                       budget_evaluations=budget)
         result.signature = signature.digest
+        result.lookup_s = lookup.elapsed_s
         self.cache.store(encode_plan(result, signature, graph))
         return result
 

@@ -79,6 +79,10 @@ class SearchResult:
     signature: Optional[str] = None
     memo_hits: int = 0
     cache_tier: Optional[str] = None
+    #: Wall-clock seconds the planner spent in the cache lookup that
+    #: preceded this result (0.0 when no cache was consulted) — feeds the
+    #: request-tracing cache-lookup span.
+    lookup_s: float = 0.0
 
     @property
     def trace(self) -> List:

@@ -43,7 +43,21 @@ from repro.trace.events import Trace
 class FleetFailoverWarning(RuntimeWarning):
     """A shard was unreachable and its requests moved to the ring
     successor — coalescing locality for those signatures is temporarily
-    lost until the shard returns."""
+    lost until the shard returns.
+
+    Carries the failure's structure alongside the message so telemetry
+    and tests need not parse the text: the failed shard ``address``,
+    its ``ring_position`` (index into the ring's node list, ``-1``
+    when unknown), and the 1-based ``attempts`` count that failed so
+    far for this request.
+    """
+
+    def __init__(self, message: str, address: Optional[str] = None,
+                 ring_position: int = -1, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.address = address
+        self.ring_position = ring_position
+        self.attempts = attempts
 
 
 #: Transport-shaped failures that justify trying the next shard.  A
@@ -71,6 +85,10 @@ class FleetClient:
         failover: Retry unreachable shards' requests on ring successors
             (loudly).  ``False`` surfaces shard loss as a per-batch
             error instead.
+        tracer: Optional :class:`~repro.obs.tracing.RequestTracer`;
+            every routed submit then carries a distributed trace id and
+            the client-side spans land in the tracer for merging with
+            the shards' trace files.
     """
 
     def __init__(
@@ -83,6 +101,7 @@ class FleetClient:
         timeout_s: float = 300.0,
         vnodes: int = DEFAULT_VNODES,
         failover: bool = True,
+        tracer=None,
     ) -> None:
         self.ring = HashRing([str(a) for a in addresses], vnodes=vnodes)
         self.job = job
@@ -96,12 +115,24 @@ class FleetClient:
                                        expect_job=job)
             for address in self.ring.nodes
         }
+        self.tracer = tracer
         self.records: List[ReplicaRecord] = []
         self.errors: List[tuple] = []
         #: (signature digest, serving shard) per planned batch — the
         #: routing audit trail tests and the CLI assert on.
         self.routes: List[Tuple[str, str]] = []
         self.failovers = 0
+        #: Structured audit trail: one dict per routing event
+        #: (``kind="route"`` on success, ``kind="failover"`` when a
+        #: shard was skipped), ordered by a timestamp-free monotonic
+        #: ``seq`` so event order survives serialisation.
+        self.audit: List[Dict] = []
+        self._audit_seq = 0
+
+    def _audit_event(self, kind: str, **fields) -> None:
+        self._audit_seq += 1
+        self.audit.append({"seq": self._audit_seq, "kind": kind,
+                           **fields})
 
     # -- routing -------------------------------------------------------------
 
@@ -133,26 +164,42 @@ class FleetClient:
         last_error: Optional[BaseException] = None
         for nth, address in enumerate(attempts):
             if nth:
+                failed = attempts[nth - 1]
+                try:
+                    ring_position = self.ring.nodes.index(failed)
+                except ValueError:
+                    ring_position = -1
                 self.failovers += 1
+                self._audit_event(
+                    "failover", signature=digest, address=failed,
+                    ring_position=ring_position, attempts=nth,
+                    successor=address, error=repr(last_error),
+                )
                 warnings.warn(
-                    f"fleet shard {attempts[nth - 1]} unreachable "
-                    f"({last_error!r}); retrying signature "
-                    f"{digest[:12]} on ring successor {address} — "
-                    f"coalescing locality is temporarily lost for this "
-                    f"signature until the shard returns",
-                    FleetFailoverWarning,
+                    FleetFailoverWarning(
+                        f"fleet shard {failed} (ring position "
+                        f"{ring_position}, attempt {nth}) unreachable "
+                        f"({last_error!r}); retrying signature "
+                        f"{digest[:12]} on ring successor {address} — "
+                        f"coalescing locality is temporarily lost for "
+                        f"this signature until the shard returns",
+                        address=failed, ring_position=ring_position,
+                        attempts=nth,
+                    ),
                     stacklevel=2,
                 )
             try:
                 result, report = submit_and_replay(
                     self.connection(address).client(), self.job,
                     self.planner, prepared, batch, replica=self.replica,
-                    timeout_s=self.timeout_s,
+                    timeout_s=self.timeout_s, tracer=self.tracer,
                 )
             except FAILOVER_ERRORS as exc:
                 last_error = exc
                 continue
             self.routes.append((digest, address))
+            self._audit_event("route", signature=digest, address=address,
+                              attempts=nth + 1)
             return result, report
         raise last_error  # every shard in the preference order failed
 
@@ -298,17 +345,19 @@ def drive_fleet(
     planner_factory,
     timeout_s: float = 300.0,
     failover: bool = True,
+    tracer=None,
 ):
     """Hammer a fleet with ``replicas`` routed clients per job — the
     fleet twin of :func:`~repro.service.client.drive_remote_replicas`.
     Returns ``(DriveReport, clients)``; the clients are already closed
-    but keep their routing/stats state for inspection."""
+    but keep their routing/stats state for inspection.  A shared
+    ``tracer`` stamps every submit with a distributed trace id."""
     from repro.service.replica import run_clients
 
     clients = [
         FleetClient(addresses, job, replica, batches,
                     planner=planner_factory(job), timeout_s=timeout_s,
-                    failover=failover)
+                    failover=failover, tracer=tracer)
         for job, batches in streams.items()
         for replica in range(replicas)
     ]

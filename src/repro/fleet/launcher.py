@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs.registry import MetricsRegistry
 from repro.service.client import PlanServiceClient
 
 
@@ -81,6 +82,9 @@ class FleetConfig:
     legacy_eval: bool = False
     restart_crashed: bool = True
     max_restarts: int = 3
+    #: Directory every shard writes its request-trace span file into
+    #: (``--trace-dir``); ``None`` disables server-side span emission.
+    trace_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -144,6 +148,25 @@ class PlanFleet:
         ]
         self._stopping = False
         self._monitor: Optional[threading.Thread] = None
+        #: Launcher-side observability: restart counts and up/down
+        #: state per shard slot, scrapeable alongside the shards' own
+        #: ``metrics`` RPCs.
+        self.metrics = MetricsRegistry()
+        self._m_restarts = self.metrics.counter(
+            "repro_fleet_shard_restarts_total",
+            "Crash respawns per shard slot", labels=("shard",))
+        self._m_up = self.metrics.gauge(
+            "repro_fleet_shard_up",
+            "1 when the shard process is alive, else 0",
+            labels=("shard",))
+        for shard in self.shards:
+            self._m_restarts.set_value(0, shard=str(shard.index))
+            self._m_up.set(0, shard=str(shard.index))
+
+    def _observe_shards(self) -> None:
+        for shard in self.shards:
+            self._m_up.set(1 if shard.alive else 0,
+                           shard=str(shard.index))
 
     # -- spawning ------------------------------------------------------------
 
@@ -168,6 +191,13 @@ class PlanFleet:
             command += ["--serve-seconds", str(config.serve_seconds)]
         if config.legacy_eval:
             command += ["--legacy-eval"]
+        if config.trace_dir:
+            command += ["--trace-dir", config.trace_dir]
+        # Identity for the obs plane: the shard reports these over its
+        # ping/metrics RPCs.  restarts is read at spawn time, so a
+        # respawned process carries its incremented restart count.
+        command += ["--shard-index", str(shard.index),
+                    "--shard-restarts", str(shard.restarts)]
         return command
 
     def _environment(self) -> Dict[str, str]:
@@ -229,6 +259,7 @@ class PlanFleet:
                     f"shard {shard.index} ({shard.address}) did not "
                     f"become ready within {timeout_s}s; log tail:\n{tail}"
                 )
+        self._observe_shards()
         self._monitor = threading.Thread(target=self._monitor_loop,
                                          name="fleet-monitor", daemon=True)
         self._monitor.start()
@@ -260,9 +291,11 @@ class PlanFleet:
                         shard.gone = True
                         continue
                     shard.restarts += 1
+                    self._m_restarts.inc(shard=str(shard.index))
                     self._spawn(shard)
                 if shard.process is not None:
                     self._wait_ready(shard, timeout_s=60.0)
+            self._observe_shards()
             time.sleep(self.POLL_S)
 
     def restart(self, index: int) -> None:
@@ -356,6 +389,7 @@ class PlanFleet:
                     os.unlink(shard.address)
                 except OSError:
                     pass
+        self._observe_shards()
         return [s.process.returncode if s.process else None
                 for s in self.shards]
 

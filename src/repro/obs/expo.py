@@ -1,0 +1,175 @@
+"""Prometheus text exposition: render registry snapshots, parse them back.
+
+The renderer emits the version-0.0.4 text format (``# HELP`` / ``# TYPE``
+comments, ``name{label="value"} number`` samples, cumulative
+``_bucket{le=...}`` / ``_sum`` / ``_count`` triples for histograms).
+The parser is the other half of the contract: ``repro obs scrape
+--check`` and the CI smoke job round-trip every emitted line through it,
+so a malformed sample is a test failure, not a silent scrape gap.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, NamedTuple, Optional
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*'
+    r"(?P<sep>,|$)"
+)
+
+
+class Sample(NamedTuple):
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _unescape(value: str) -> str:
+    out: List[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{_escape(str(v))}"'
+                    for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def render_exposition(snapshot: Dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` (or a merged snapshot)
+    to Prometheus text exposition."""
+    lines: List[str] = []
+    for metric in snapshot.get("metrics", []):
+        name = metric["name"]
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {_escape(metric['help'])}")
+        lines.append(f"# TYPE {name} {metric['type']}")
+        if metric["type"] in ("counter", "gauge"):
+            for series in metric["series"]:
+                lines.append(
+                    f"{name}{_format_labels(series['labels'])} "
+                    f"{_format_value(series['value'])}"
+                )
+        elif metric["type"] == "histogram":
+            bounds = [float(b) for b in metric["buckets"]] + [math.inf]
+            for series in metric["series"]:
+                cumulative = 0
+                for bound, count in zip(bounds, series["counts"]):
+                    cumulative += count
+                    le = {**series["labels"], "le": _format_value(bound)}
+                    lines.append(f"{name}_bucket{_format_labels(le)} "
+                                 f"{cumulative}")
+                labels = _format_labels(series["labels"])
+                lines.append(f"{name}_sum{labels} "
+                             f"{_format_value(series['sum'])}")
+                lines.append(f"{name}_count{labels} {series['count']}")
+        else:
+            raise ValueError(f"unknown metric type {metric['type']!r}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(body: str, line_no: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(body):
+        match = _LABEL_RE.match(body, pos)
+        if match is None:
+            raise ValueError(
+                f"line {line_no}: malformed label pair at {body[pos:]!r}")
+        labels[match.group("name")] = _unescape(match.group("value"))
+        pos = match.end()
+    return labels
+
+
+def _parse_value(text: str, line_no: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"line {line_no}: bad sample value {text!r}")
+
+
+def parse_exposition(text: str) -> List[Sample]:
+    """Parse exposition text into samples; raises :class:`ValueError`
+    (with the offending line number) on any malformed line.  Histogram
+    ``_bucket``/``_sum``/``_count`` samples come back as ordinary
+    samples under their suffixed names."""
+    samples: List[Sample] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _NAME_RE.match(parts[2]):
+                    raise ValueError(
+                        f"line {line_no}: malformed {parts[1]} comment")
+                if parts[1] == "TYPE" and (
+                        len(parts) < 4 or parts[3].split()[0] not in
+                        ("counter", "gauge", "histogram", "summary",
+                         "untyped")):
+                    raise ValueError(f"line {line_no}: bad TYPE")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_no}: malformed sample {line!r}")
+        labels = _parse_labels(match.group("labels") or "", line_no)
+        value = _parse_value(match.group("value"), line_no)
+        samples.append(Sample(match.group("name"), labels, value))
+    return samples
+
+
+def sum_samples(samples: List[Sample], name: str,
+                where: Optional[Dict[str, str]] = None) -> float:
+    """Sum every parsed sample of ``name`` whose labels include
+    ``where`` — the check half of the tier-split-sums-to-total
+    assertions."""
+    total = 0.0
+    for sample in samples:
+        if sample.name != name:
+            continue
+        if where and any(sample.labels.get(k) != v
+                         for k, v in where.items()):
+            continue
+        total += sample.value
+    return total

@@ -1,0 +1,269 @@
+"""Fleet scraping: poll every shard's ``metrics``/``ping``/``stats``
+RPCs and merge them into one labelled view.
+
+The per-shard :class:`~repro.service.rpc.PlanServiceServer` exposes a
+``metrics`` RPC returning a registry snapshot (see
+:mod:`repro.obs.registry`).  This module is the puller side: connect to
+each address, collect the snapshot plus the shard's identity (pid,
+shard index, restarts, uptime, cache dir — all from the extended
+``ping``), stamp every series with a ``shard`` label, and merge
+label-wise into a fleet-wide snapshot that renders as Prometheus text
+exposition (:mod:`repro.obs.expo`) or a human health report.
+
+:func:`check_scrape` asserts the cross-subsystem consistency the
+acceptance tests (and the CI obs-smoke job) rely on: the tier-split
+service hit counters must sum to the stats RPC's hit totals, and the
+cache's tier-split hits must sum to its tier-blind lookup counter.
+
+.. note::
+   The planning-service client is imported *inside* the scrape
+   functions: :mod:`repro.service.rpc` imports the metrics registry
+   (and thereby this package), so a module-level import here would
+   close an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.expo import render_exposition
+from repro.obs.registry import (
+    histogram_quantile,
+    merge_snapshots,
+    sample_value,
+)
+
+__all__ = [
+    "ShardScrape",
+    "check_scrape",
+    "merged_snapshot",
+    "render_report",
+    "scrape_fleet",
+]
+
+
+@dataclass
+class ShardScrape:
+    """Everything one scrape learned about one shard.
+
+    ``ok`` is False when the shard could not be reached or any RPC
+    failed; ``error`` then carries the reason and the payload fields
+    stay empty — a dead shard must not take the whole scrape down.
+    """
+
+    address: str
+    ok: bool = False
+    error: str = ""
+    ping: Dict = field(default_factory=dict)
+    metrics: Dict = field(default_factory=dict)
+    stats: Dict = field(default_factory=dict)
+
+    @property
+    def shard_label(self) -> str:
+        """Stable ``shard`` label value: the server-reported shard
+        index when it has one, else the address itself."""
+        index = self.ping.get("shard_index")
+        if index is None:
+            return self.address
+        return str(index)
+
+
+def scrape_fleet(
+    addresses: Sequence[str],
+    timeout_s: float = 10.0,
+    include_stats: bool = True,
+) -> List[ShardScrape]:
+    """Poll ``ping`` + ``metrics`` (+ ``stats`` with samples) on every
+    address; returns one :class:`ShardScrape` per address, in order.
+
+    Unreachable shards come back ``ok=False`` with the error recorded
+    instead of raising — a scraper observes partial fleets.
+    """
+    # Imported lazily: service.rpc -> obs package -> this module.
+    from repro.service.client import PlanServiceClient
+
+    scrapes: List[ShardScrape] = []
+    for address in addresses:
+        scrape = ShardScrape(address=str(address))
+        try:
+            with PlanServiceClient(address, timeout_s=timeout_s) as client:
+                scrape.ping = client.ping()
+                response = client.call("metrics")
+                scrape.metrics = response.get("metrics") or {}
+                # metrics carries the identity too; prefer ping but
+                # backfill (an old server may answer ping without it).
+                for key in ("pid", "shard_index", "restarts",
+                            "uptime_ticks", "cache_dir"):
+                    scrape.ping.setdefault(key, response.get(key))
+                if include_stats:
+                    scrape.stats = client.call("stats", {"samples": True})
+            scrape.ok = True
+        except Exception as exc:  # noqa: BLE001 — partial fleets are fine
+            scrape.error = f"{type(exc).__name__}: {exc}"
+        scrapes.append(scrape)
+    return scrapes
+
+
+def merged_snapshot(scrapes: Sequence[ShardScrape]) -> Dict:
+    """Label-wise merge of every reachable shard's registry snapshot,
+    with each shard's series stamped ``shard="<index-or-address>"``."""
+    live = [s for s in scrapes if s.ok and s.metrics]
+    return merge_snapshots(
+        [s.metrics for s in live],
+        extra_labels=[{"shard": s.shard_label} for s in live],
+    )
+
+
+def _approx_equal(a: float, b: float) -> bool:
+    return abs(float(a) - float(b)) < 1e-9
+
+
+def check_scrape(scrapes: Sequence[ShardScrape]) -> List[str]:
+    """Cross-subsystem consistency problems, one message per violation
+    (empty list == healthy scrape).
+
+    Checked per reachable shard:
+
+    * service-side tier split sums to the stats RPC totals —
+      ``repro_service_cache_hits_total{tier="memory"|"disk"}`` equals
+      ``stats.service.memory_hits`` / ``disk_hits``;
+    * cache-side tier split sums to the tier-blind lookup counter —
+      ``repro_cache_hits_total{tier="memory"} + {tier="disk"}`` equals
+      ``repro_cache_lookups_total{result="hit"}``.
+    """
+    problems: List[str] = []
+    for scrape in scrapes:
+        where = f"shard {scrape.shard_label} ({scrape.address})"
+        if not scrape.ok:
+            problems.append(f"{where}: unreachable: {scrape.error}")
+            continue
+        metrics = scrape.metrics
+        mem = sample_value(metrics, "repro_service_cache_hits_total",
+                           {"tier": "memory"}, default=0.0)
+        disk = sample_value(metrics, "repro_service_cache_hits_total",
+                            {"tier": "disk"}, default=0.0)
+        service = (scrape.stats or {}).get("service") or {}
+        if service:
+            want_mem = service.get("memory_hits", 0)
+            want_disk = service.get("disk_hits", 0)
+            if not (_approx_equal(mem, want_mem)
+                    and _approx_equal(disk, want_disk)):
+                problems.append(
+                    f"{where}: metrics hit counters (memory={mem:g}, "
+                    f"disk={disk:g}) disagree with the stats RPC "
+                    f"(memory={want_mem}, disk={want_disk})"
+                )
+        cache_mem = sample_value(metrics, "repro_cache_hits_total",
+                                 {"tier": "memory"})
+        cache_disk = sample_value(metrics, "repro_cache_hits_total",
+                                  {"tier": "disk"})
+        lookups_hit = sample_value(metrics, "repro_cache_lookups_total",
+                                   {"result": "hit"})
+        if lookups_hit is not None:
+            total = (cache_mem or 0.0) + (cache_disk or 0.0)
+            if not _approx_equal(total, lookups_hit):
+                problems.append(
+                    f"{where}: tier-split cache hits "
+                    f"(memory={cache_mem}, disk={cache_disk}) do not "
+                    f"sum to hit lookups ({lookups_hit:g})"
+                )
+    return problems
+
+
+def render_fleet_exposition(scrapes: Sequence[ShardScrape]) -> str:
+    """Prometheus text exposition of the merged fleet snapshot."""
+    return render_exposition(merged_snapshot(scrapes))
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    return f"{value * 1e3:.1f}ms"
+
+
+def _percentiles(scrape: ShardScrape) -> tuple:
+    """(p50, p99) plan latency in seconds: prefer the stats RPC's
+    retained samples, fall back to the latency histogram."""
+    service = (scrape.stats or {}).get("service") or {}
+    samples = service.get("latency_samples_s")
+    if samples:
+        ordered = sorted(float(s) for s in samples)
+
+        def nearest(q: float) -> float:
+            rank = max(0, min(len(ordered) - 1,
+                              int(round(q / 100.0 * len(ordered))) - 1))
+            return ordered[rank]
+
+        return nearest(50), nearest(99)
+    for metric in (scrape.metrics or {}).get("metrics", ()):
+        if (metric.get("name") == "repro_service_latency_seconds"
+                and metric.get("type") == "histogram"):
+            return (histogram_quantile(metric, 0.50,
+                                       {"stage": "total"}),
+                    histogram_quantile(metric, 0.99,
+                                       {"stage": "total"}))
+    return None, None
+
+
+def render_report(scrapes: Sequence[ShardScrape]) -> str:
+    """Human health summary: one block per shard plus a fleet roll-up."""
+    lines: List[str] = []
+    totals = {"submitted": 0, "completed": 0, "searches": 0,
+              "memory_hits": 0, "disk_hits": 0, "restarts": 0}
+    up = 0
+    for scrape in scrapes:
+        head = f"shard {scrape.shard_label}  {scrape.address}"
+        if not scrape.ok:
+            lines.append(f"{head}  DOWN ({scrape.error})")
+            continue
+        up += 1
+        ping = scrape.ping
+        service = (scrape.stats or {}).get("service") or {}
+        submitted = int(service.get("submitted", 0))
+        completed = int(service.get("completed", 0))
+        searches = int(service.get("searches", 0))
+        memory_hits = int(service.get("memory_hits", 0))
+        disk_hits = int(service.get("disk_hits", 0))
+        restarts = int(ping.get("restarts") or 0)
+        hits = memory_hits + disk_hits
+        hit_rate = hits / completed if completed else 0.0
+        p50, p99 = _percentiles(scrape)
+        uptime_ticks = ping.get("uptime_ticks")
+        uptime = (f"{uptime_ticks / 1000.0:.1f}s"
+                  if isinstance(uptime_ticks, (int, float)) else "-")
+        lines.append(
+            f"{head}  UP pid={ping.get('pid')} uptime={uptime} "
+            f"restarts={restarts}"
+        )
+        lines.append(
+            f"  queue depth {service.get('queue_depth', 0)} "
+            f"(peak {service.get('max_queue_depth', 0)})  "
+            f"submitted {submitted}  completed {completed}  "
+            f"searches {searches}"
+        )
+        lines.append(
+            f"  hits {hits} (memory {memory_hits}, disk {disk_hits}, "
+            f"rate {hit_rate:.0%})  latency p50 {_fmt_seconds(p50)} "
+            f"p99 {_fmt_seconds(p99)}"
+        )
+        if ping.get("cache_dir"):
+            lines.append(f"  cache dir {ping['cache_dir']}")
+        totals["submitted"] += submitted
+        totals["completed"] += completed
+        totals["searches"] += searches
+        totals["memory_hits"] += memory_hits
+        totals["disk_hits"] += disk_hits
+        totals["restarts"] += restarts
+    fleet_hits = totals["memory_hits"] + totals["disk_hits"]
+    fleet_rate = (fleet_hits / totals["completed"]
+                  if totals["completed"] else 0.0)
+    lines.append(
+        f"fleet: {up}/{len(scrapes)} shards up  "
+        f"completed {totals['completed']}  searches {totals['searches']}  "
+        f"hits {fleet_hits} ({fleet_rate:.0%})  "
+        f"restarts {totals['restarts']}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""Cross-process request tracing over the PR 2 span schema.
+
+Every plan request gets a 16-hex **trace id** minted by the client; the
+RPC envelope carries ``{"trace": {"id", "span"}}`` so the shard that
+serves the request tags its server-side spans (queue-wait, cache-lookup,
+leader-search / replay, coalesce-wait) with the same id.  Each process
+appends its spans to a :class:`RequestTracer` and writes one
+``obs-<role>-<pid>.trace.json`` file in the PR 2 *native* trace format;
+:func:`merge_obs_chrome` then joins any number of those files into a
+single Chrome/Perfetto timeline — one Chrome pid per source process,
+timestamps rebased to the earliest span, and a flow arrow per trace id
+from the client's submit span to the owning shard's first span.
+
+Obs spans are ``kind="comm"`` on rank 0: comm spans are the one kind the
+schema lets overlap freely (concurrent requests do), and the Chrome
+validator demands no extra args of them.  Timestamps are wall-clock
+milliseconds (monotonic readings are rebased through the tracer's
+birth instant) so spans from different processes share one clock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.trace.events import KIND_COMM, Span, Trace, TraceMeta
+from repro.trace.export import chrome_events
+
+OBS_SOURCE = "obs"
+
+
+def new_trace_id() -> str:
+    """16 hex chars — unique per plan request, minted client-side."""
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    return uuid.uuid4().hex[:8]
+
+
+class RequestTracer:
+    """Thread-safe span sink for one process (client or shard).
+
+    Callers hand in ``time.monotonic()`` readings (the clock every
+    ticket/timeout in the request path already uses); the tracer anchors
+    them to the wall clock captured at construction so independently
+    started processes land on one timeline.
+    """
+
+    def __init__(self, role: str, label: str = "",
+                 pid: Optional[int] = None) -> None:
+        self.role = role
+        self.pid = os.getpid() if pid is None else pid
+        self.label = label or f"obs-{role}-{self.pid}"
+        self._t0_wall = time.time()
+        self._t0_mono = time.monotonic()
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+
+    def wall_ms(self, monotonic_s: float) -> float:
+        return (self._t0_wall + (monotonic_s - self._t0_mono)) * 1e3
+
+    def record(self, name: str, start_mono_s: float, end_mono_s: float,
+               trace_id: str, span_id: Optional[str] = None,
+               parent: str = "", **attrs: object) -> str:
+        """Record one finished interval; returns its span id."""
+        span_id = span_id or new_span_id()
+        span = Span(
+            rank=0, kind=KIND_COMM, name=name,
+            start_ms=self.wall_ms(start_mono_s),
+            end_ms=self.wall_ms(max(start_mono_s, end_mono_s)),
+            attrs={
+                "trace_id": trace_id,
+                "span_id": span_id,
+                "parent_span": parent,
+                "role": self.role,
+                "pid": self.pid,
+                **attrs,
+            },
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span_id
+
+    @property
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def build(self) -> Trace:
+        meta = TraceMeta(label=self.label, source=OBS_SOURCE, num_ranks=1,
+                         extra={"role": self.role, "pid": self.pid})
+        return Trace(meta, self.spans)
+
+    def save(self, path: str) -> str:
+        """Write the native-format span file (``Trace.save``)."""
+        return self.build().save(path)
+
+    def default_filename(self) -> str:
+        return f"obs-{self.role}-{self.pid}.trace.json"
+
+
+# -- merging -----------------------------------------------------------------
+
+
+def _as_trace(source: Union[str, Trace, RequestTracer]) -> Trace:
+    if isinstance(source, RequestTracer):
+        return source.build()
+    if isinstance(source, Trace):
+        return source
+    return Trace.load(source)
+
+
+def _process_identity(trace: Trace) -> Tuple[str, int]:
+    extra = trace.meta.extra or {}
+    return (str(extra.get("role", "?")), int(extra.get("pid", 0)))
+
+
+def merge_obs_chrome(
+    sources: Sequence[Union[str, Trace, RequestTracer]],
+) -> Dict:
+    """Join per-process obs traces into one Chrome-trace JSON object.
+
+    Each source becomes one Chrome process (clients first, so the
+    request origin reads top-down in the UI); all timestamps are rebased
+    to the earliest span across every source.  For every trace id seen
+    in more than one process, a flow pair links the origin span (the one
+    with no parent, i.e. the client submit) to the earliest same-id span
+    in each other process — the cross-process arrow the single-process
+    exporters cannot draw.
+    """
+    traces = [_as_trace(source) for source in sources]
+    traces.sort(key=lambda t: (_process_identity(t)[0] != "client",
+                               _process_identity(t)))
+    t0 = min((s.start_ms for t in traces for s in t.spans), default=0.0)
+
+    events: List[Dict] = []
+    flow_id = 0
+    # (trace_id, process index) -> earliest span, plus per-id origin.
+    earliest: Dict[Tuple[str, int], Span] = {}
+    origin: Dict[str, Tuple[int, Span]] = {}
+    shifted_traces: List[Trace] = []
+    for pidx, trace in enumerate(traces):
+        role, pid = _process_identity(trace)
+        shifted = Trace(trace.meta, [
+            replace(span, start_ms=span.start_ms - t0,
+                    end_ms=span.end_ms - t0)
+            for span in trace.spans
+        ])
+        shifted_traces.append(shifted)
+        trace_events, flow_id = chrome_events(
+            shifted, process_name=f"{role} (pid {pid})", flows=False,
+            pid=pidx, flow_id_start=flow_id,
+            thread_prefix="requests",
+        )
+        events.extend(trace_events)
+        for span in shifted.spans:
+            trace_id = str(span.attrs.get("trace_id", ""))
+            if not trace_id:
+                continue
+            key = (trace_id, pidx)
+            seen = earliest.get(key)
+            if seen is None or span.start_ms < seen.start_ms:
+                earliest[key] = span
+            if not span.attrs.get("parent_span"):
+                held = origin.get(trace_id)
+                if held is None or span.start_ms < held[1].start_ms:
+                    origin[trace_id] = (pidx, span)
+
+    num_ranks = 1  # every obs trace is single-rank; comm tid is 1
+    for trace_id, (src_pidx, src_span) in sorted(origin.items()):
+        targets = sorted(
+            (pidx, span) for (tid_, pidx), span in earliest.items()
+            if tid_ == trace_id and pidx != src_pidx
+        )
+        for dst_pidx, dst_span in targets:
+            flow_id += 1
+            base = {"name": f"trace {trace_id}", "cat": "obs-flow",
+                    "id": flow_id}
+            events.append({**base, "ph": "s", "pid": src_pidx,
+                           "tid": num_ranks + src_span.rank,
+                           "ts": src_span.start_ms * 1e3})
+            events.append({**base, "ph": "f", "bp": "e", "pid": dst_pidx,
+                           "tid": num_ranks + dst_span.rank,
+                           "ts": dst_span.start_ms * 1e3})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def merge_trace_files(paths: Sequence[str],
+                      output: Optional[str] = None) -> Dict:
+    """Merge native obs trace files; optionally write the Chrome JSON."""
+    payload = merge_obs_chrome(list(paths))
+    if output:
+        with open(output, "w") as f:
+            json.dump(payload, f)
+    return payload
+
+
+def spans_for_trace(
+    sources: Sequence[Union[str, Trace, RequestTracer]], trace_id: str,
+) -> List[Span]:
+    """Every span tagged with ``trace_id`` across ``sources``, sorted by
+    start time — the test-side accessor for end-to-end assertions."""
+    spans = [
+        span
+        for source in sources
+        for span in _as_trace(source).spans
+        if span.attrs.get("trace_id") == trace_id
+    ]
+    return sorted(spans, key=lambda s: s.start_ms)

@@ -127,8 +127,13 @@ class PlanServiceClient:
         except OSError:
             pass
 
-    def call(self, method: str, params: Optional[Dict] = None) -> Dict:
+    def call(self, method: str, params: Optional[Dict] = None,
+             trace: Optional[Dict] = None) -> Dict:
         """One request/response round trip; raises the mapped error.
+
+        ``trace`` (``{"id", "span"}``) rides the envelope as transport
+        metadata so the server can tag its spans with the request's
+        distributed trace id (see :mod:`repro.obs.tracing`).
 
         Reads are bounded by the connection's ``timeout_s``; a server
         that goes silent raises :class:`TimeoutError` and the
@@ -141,7 +146,8 @@ class PlanServiceClient:
             self._next_id += 1
             try:
                 send_frame(self._sock,
-                           request_envelope(request_id, method, params))
+                           request_envelope(request_id, method, params,
+                                            trace=trace))
                 response = recv_frame(self._sock, self.max_frame_bytes)
             except socket.timeout as exc:
                 self.close()
@@ -202,6 +208,7 @@ class PlanServiceClient:
         replica: int = 0,
         block: bool = True,
         timeout_s: Optional[float] = None,
+        trace: Optional[Dict] = None,
     ) -> Dict:
         """Submit a batch; returns the raw wire result (signature
         payload + canonical plan + report)."""
@@ -217,7 +224,7 @@ class PlanServiceClient:
         if timeout_s is not None:
             params["timeout_s"] = timeout_s
             params["result_timeout_s"] = timeout_s
-        return self.call("submit", params)
+        return self.call("submit", params, trace=trace)
 
     def prewarm_raw(self, job: str, batch: GlobalBatch) -> bool:
         params = {"job": job}
@@ -342,7 +349,8 @@ class ServiceConnection:
 def submit_and_replay(client: PlanServiceClient, job: str,
                       planner: OnlinePlanner, prepared, batch: GlobalBatch,
                       replica: int = 0,
-                      timeout_s: Optional[float] = None) -> tuple:
+                      timeout_s: Optional[float] = None,
+                      tracer=None, trace_id: Optional[str] = None) -> tuple:
     """Ship one prepared batch to a server and re-materialize its plan.
 
     The round-trip core shared by :class:`RemotePlanClient` and the
@@ -351,9 +359,26 @@ def submit_and_replay(client: PlanServiceClient, job: str,
     mismatch means the processes plan under different contexts —
     replaying would be silently wrong), then replay the canonical plan
     onto the locally built graph.  Returns ``(SearchResult, report)``.
+
+    With a :class:`~repro.obs.tracing.RequestTracer`, the request gets
+    a distributed trace id (minted here unless ``trace_id`` pins one):
+    the envelope carries it to the server, and the client records its
+    own ``submit`` (wire round trip) and ``client-replay`` (local plan
+    re-materialization) spans so the merged timeline shows both sides
+    of the process boundary.
     """
+    trace_ctx = None
+    span_id = ""
+    if tracer is not None:
+        from repro.obs.tracing import new_span_id, new_trace_id
+        if trace_id is None:
+            trace_id = new_trace_id()
+        span_id = new_span_id()
+        trace_ctx = {"id": trace_id, "span": span_id}
+    t0 = time.monotonic()
     response = client.submit_raw(job, batch, replica=replica, block=True,
-                                 timeout_s=timeout_s)
+                                 timeout_s=timeout_s, trace=trace_ctx)
+    t1 = time.monotonic()
     remote_sig = signature_from_dict(response["signature"])
     if remote_sig.digest != prepared.signature.digest:
         raise SignatureMismatchError(
@@ -365,9 +390,23 @@ def submit_and_replay(client: PlanServiceClient, job: str,
     plan = plan_from_dict(response["plan"])
     result = planner.searcher.replay(prepared.graph, plan,
                                      prepared.signature)
+    t2 = time.monotonic()
     result.signature = prepared.signature.digest
     report = response.get("report") or {}
     result.cache_tier = report.get("cache_tier")
+    if tracer is not None:
+        tracer.record(
+            "submit", t0, t1, trace_id, span_id=span_id,
+            job=job, replica=replica,
+            signature=prepared.signature.digest[:12],
+            outcome=report.get("outcome") or "",
+            tier=report.get("cache_tier") or "",
+            address=str(getattr(client, "address", "")),
+        )
+        tracer.record(
+            "client-replay", t1, t2, trace_id, parent=span_id,
+            job=job, replica=replica,
+        )
     return result, report
 
 
@@ -388,6 +427,9 @@ class RemotePlanClient:
             planning context as the server's job, and with its plan
             cache enabled (signatures are what cross the wire).
         timeout_s: Per-request bound (connect, submit and result).
+        tracer: Optional :class:`~repro.obs.tracing.RequestTracer`;
+            every submit then carries a distributed trace id and the
+            client-side spans land in the tracer for later merging.
     """
 
     def __init__(
@@ -399,6 +441,7 @@ class RemotePlanClient:
         planner: OnlinePlanner,
         timeout_s: float = 300.0,
         client: Optional[PlanServiceClient] = None,
+        tracer=None,
     ) -> None:
         self.address = address
         self.job = job
@@ -406,6 +449,7 @@ class RemotePlanClient:
         self.batches = list(batches)
         self.planner = planner
         self.timeout_s = timeout_s
+        self.tracer = tracer
         self._conn = ServiceConnection(address, timeout_s=timeout_s,
                                        client=client)
         self.records: List[ReplicaRecord] = []
@@ -438,7 +482,8 @@ class RemotePlanClient:
             )
         return submit_and_replay(self.client, self.job, self.planner,
                                  prepared, batch, replica=self.replica,
-                                 timeout_s=self.timeout_s)
+                                 timeout_s=self.timeout_s,
+                                 tracer=self.tracer)
 
     def run(self) -> List[ReplicaRecord]:
         for i, batch in enumerate(self.batches):

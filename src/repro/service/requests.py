@@ -68,6 +68,10 @@ class PlanTicket:
         # PlanService.submit).  The RPC layer needs it to encode the
         # delivered plan into canonical signature space for the wire.
         self.prepared: Optional[PreparedIteration] = None
+        # Distributed-tracing context ({"id", "span"}) when the client
+        # stamped the request; the service tags its server-side spans
+        # (queue-wait, cache-lookup, search/replay) with it.
+        self.trace: Optional[dict] = None
         self._event = threading.Event()
         self._result: Optional[SearchResult] = None
         self._error: Optional[BaseException] = None

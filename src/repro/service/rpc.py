@@ -64,6 +64,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.plancache import encode_plan, plan_to_dict, signature_to_dict
 from repro.core.signature import SIGNATURE_VERSION
 from repro.data.batching import GlobalBatch, Microbatch
+from repro.obs.registry import MetricsRegistry
 from repro.service.requests import (
     REMOTE_PENDING,
     ProtocolError,
@@ -188,14 +189,27 @@ def recv_frame(
 
 
 def request_envelope(request_id: Optional[int], method: str,
-                     params: Optional[Dict] = None) -> Dict:
-    return {
+                     params: Optional[Dict] = None,
+                     trace: Optional[Dict] = None) -> Dict:
+    """Build a request envelope.
+
+    ``trace`` is an optional distributed-tracing context
+    (``{"id": <trace id>, "span": <client span id>}``) carried at the
+    envelope level — transport metadata, not method params — so every
+    method can be traced without touching its params schema.  Servers
+    that predate it simply ignore the key (envelope validation only
+    checks format/version).
+    """
+    envelope = {
         "format": WIRE_FORMAT,
         "version": WIRE_VERSION,
         "id": request_id,
         "method": method,
         "params": params or {},
     }
+    if trace is not None:
+        envelope["trace"] = trace
+    return envelope
 
 
 def ok_response(request_id: Optional[int], result: Dict) -> Dict:
@@ -312,6 +326,11 @@ class PlanServiceServer:
         result_timeout_s: Server-side bound on how long one submit may
             wait for its plan before failing the request.
         cache_path: Default target of the ``save-cache`` method.
+        shard_index: Fleet slot this server occupies (carried in
+            ``ping``/``metrics`` responses so scrapers identify shards
+            without parsing address files); ``None`` outside a fleet.
+        restarts: How many times this shard slot has been respawned
+            (the launcher passes its counter at spawn time).
     """
 
     def __init__(
@@ -322,6 +341,8 @@ class PlanServiceServer:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         result_timeout_s: float = 600.0,
         cache_path: Optional[str] = None,
+        shard_index: Optional[int] = None,
+        restarts: int = 0,
     ) -> None:
         if (listen is None) == (uds is None):
             raise ValueError("pass exactly one of listen= or uds=")
@@ -329,7 +350,22 @@ class PlanServiceServer:
         self.max_frame_bytes = max_frame_bytes
         self.result_timeout_s = result_timeout_s
         self.cache_path = cache_path
+        self.shard_index = shard_index
+        self.restarts = restarts
+        self.started_mono = time.monotonic()
         self.remote = RemoteStats()
+        #: Live + bridged metrics served by the ``metrics`` RPC.  The
+        #: wire-level series (frames, per-method latency) are observed
+        #: on the hot path; everything else is bridged from the existing
+        #: stats objects at snapshot time (see :meth:`_handle_metrics`).
+        self.metrics = MetricsRegistry()
+        self._m_frames = self.metrics.counter(
+            "repro_rpc_frames_total",
+            "Wire frames by direction", labels=("direction",))
+        self._m_method_latency = self.metrics.histogram(
+            "repro_rpc_method_latency_seconds",
+            "Server-side handler latency per RPC method",
+            labels=("method",))
         self._closing = threading.Event()
         self.closed = threading.Event()
         self._close_lock = threading.Lock()
@@ -475,6 +511,7 @@ class PlanServiceServer:
         try:
             conn.bytes_out += send_frame(sock, payload)
             conn.responses += 1
+            self._m_frames.inc(direction="out")
             return True
         except OSError:
             return False
@@ -496,6 +533,7 @@ class PlanServiceServer:
                     return  # client hung up between frames
                 message, wire_bytes = sized
                 conn.bytes_in += wire_bytes
+                self._m_frames.inc(direction="in")
                 try:
                     check_envelope(message)
                 except ProtocolError as exc:
@@ -528,8 +566,13 @@ class PlanServiceServer:
                         send_failed = True
                         return
                     continue  # envelope was sound; keep the connection
+                trace_ctx = message.get("trace")
+                if not isinstance(trace_ctx, dict):
+                    trace_ctx = None
+                handler_started = time.perf_counter()
                 try:
-                    result = handler(self, params, conn, request_id)
+                    result = handler(self, params, conn, request_id,
+                                     trace_ctx)
                     response = ok_response(request_id, result)
                 except ServiceOverloadError as exc:
                     conn.errors += 1
@@ -553,6 +596,8 @@ class PlanServiceServer:
                     conn.errors += 1
                     response = error_response(request_id, ERROR_INTERNAL,
                                               repr(exc))
+                self._m_method_latency.observe(
+                    time.perf_counter() - handler_started, method=method)
                 if not self._try_send(sock, conn, response):
                     send_failed = True
                     return
@@ -606,18 +651,34 @@ class PlanServiceServer:
                                   f"(registered: {self.service.jobs})")
         return name
 
+    def _identity(self) -> Dict:
+        """Who/where this server is — enough for a scraper to identify
+        the shard without parsing address files."""
+        cache = self.service.cache
+        cache_dir = ""
+        if cache is not None and cache.disk_tier is not None:
+            cache_dir = getattr(cache.disk_tier, "directory", "") or ""
+        return {
+            "pid": os.getpid(),
+            "shard_index": self.shard_index,
+            "restarts": self.restarts,
+            "uptime_ticks": int(
+                (time.monotonic() - self.started_mono) * 1000),
+            "cache_dir": cache_dir,
+        }
+
     def _handle_ping(self, params: Dict, conn: ConnectionStats,
-                     request_id) -> Dict:
+                     request_id, trace_ctx=None) -> Dict:
         return {
             "format": WIRE_FORMAT,
             "version": WIRE_VERSION,
             "signature_version": SIGNATURE_VERSION,
             "jobs": self.service.jobs,
-            "pid": os.getpid(),
+            **self._identity(),
         }
 
     def _handle_submit(self, params: Dict, conn: ConnectionStats,
-                       request_id) -> Dict:
+                       request_id, trace_ctx=None) -> Dict:
         job = self._job(params)
         declared = params.get("signature_version")
         if declared != SIGNATURE_VERSION:
@@ -647,6 +708,7 @@ class PlanServiceServer:
                 replica=int(params.get("replica", 0)),
                 block=block,
                 timeout=submit_timeout,
+                trace=trace_ctx,
             )
             request.ticket = ticket
             timeout = params.get("result_timeout_s") or self.result_timeout_s
@@ -691,7 +753,7 @@ class PlanServiceServer:
             self._unregister(request)
 
     def _handle_prewarm(self, params: Dict, conn: ConnectionStats,
-                        request_id) -> Dict:
+                        request_id, trace_ctx=None) -> Dict:
         job = self._job(params)
         batch = batch_from_dict(params)
         ticket = self.service.prewarm(job, batch,
@@ -699,7 +761,7 @@ class PlanServiceServer:
         return {"accepted": ticket is not None}
 
     def _handle_observe(self, params: Dict, conn: ConnectionStats,
-                        request_id) -> Dict:
+                        request_id, trace_ctx=None) -> Dict:
         job = self._job(params)
         trace = Trace.from_dict(params.get("trace"))
         event = self.service.observe(job, trace)
@@ -724,7 +786,7 @@ class PlanServiceServer:
         return {"event": payload}
 
     def _handle_stats(self, params: Dict, conn: ConnectionStats,
-                      request_id) -> Dict:
+                      request_id, trace_ctx=None) -> Dict:
         # params["samples"] additionally ships the retained latency/wait
         # samples — a fleet aggregator merges percentiles from samples,
         # not from per-shard percentiles.
@@ -741,8 +803,28 @@ class PlanServiceServer:
             "pid": os.getpid(),
         }
 
+    def _handle_metrics(self, params: Dict, conn: ConnectionStats,
+                        request_id, trace_ctx=None) -> Dict:
+        """Snapshot every metric this server knows about.
+
+        Live wire-level series already sit in ``self.metrics``; the
+        planning/cache/remote subsystems keep counting in their own
+        stats objects and are bridged in with absolute values here, so
+        repeated scrapes never double-count.
+        """
+        registry = self.metrics
+        self.service.stats.export_metrics(registry)
+        if self.service.cache is not None:
+            self.service.cache.export_metrics(registry)
+        self.remote.export_metrics(registry)
+        registry.gauge(
+            "repro_rpc_uptime_seconds",
+            "Seconds since this server started", agg="max",
+        ).set(time.monotonic() - self.started_mono)
+        return {"metrics": registry.snapshot(), **self._identity()}
+
     def _handle_save_cache(self, params: Dict, conn: ConnectionStats,
-                           request_id) -> Dict:
+                           request_id, trace_ctx=None) -> Dict:
         path = params.get("path") or self.cache_path
         if not path:
             raise RemotePlanError(
@@ -753,7 +835,7 @@ class PlanServiceServer:
         return {"path": saved, "entries": len(self.service.cache)}
 
     def _handle_shutdown(self, params: Dict, conn: ConnectionStats,
-                         request_id) -> Dict:
+                         request_id, trace_ctx=None) -> Dict:
         return {"closing": True}
 
     _METHODS = {
@@ -762,6 +844,7 @@ class PlanServiceServer:
         "prewarm": _handle_prewarm,
         "observe": _handle_observe,
         "stats": _handle_stats,
+        "metrics": _handle_metrics,
         "save-cache": _handle_save_cache,
         "shutdown": _handle_shutdown,
     }

@@ -184,6 +184,11 @@ class PlanService:
         self.coalesce = coalesce
         self.recalibration = recalibration
         self.stats = ServiceStats()
+        #: Optional :class:`repro.obs.tracing.RequestTracer` (set by the
+        #: serving layer).  When a submitted request carries a trace
+        #: context, the service emits queue-wait / cache-lookup /
+        #: search / replay spans into it, tagged with the trace id.
+        self.tracer = None
         self._jobs: Dict[str, RegisteredJob] = {}
         self._mutex = threading.Lock()
         self._not_empty = threading.Condition(self._mutex)
@@ -318,6 +323,7 @@ class PlanService:
         replica: int = 0,
         block: bool = False,
         timeout: Optional[float] = None,
+        trace: Optional[Dict] = None,
     ) -> PlanTicket:
         """Request a plan for ``batch``; returns a waitable ticket.
 
@@ -328,6 +334,10 @@ class PlanService:
         slot.  When the queue is full the request is rejected with
         :class:`ServiceOverloadError` unless ``block`` asks to wait for
         space (``timeout`` bounds the wait).
+
+        ``trace`` is an optional distributed-tracing context
+        (``{"id", "span"}``) stamped by the client; with a tracer
+        attached the service tags its server-side spans with it.
         """
         job = self._jobs[job_name]
         if self._closed:
@@ -336,6 +346,7 @@ class PlanService:
             job=job_name, replica=replica,
             priority=job.priority if priority is None else priority,
         )
+        ticket.trace = trace
         with job.lock:
             prepared = job.planner.prepare(batch)
         ticket.prepared = prepared
@@ -501,6 +512,11 @@ class PlanService:
                                  else "memory_hits")
             if result.memo_hits:
                 self.stats.count("memo_hits", result.memo_hits)
+            # Spans are recorded *before* the ticket completes: delivery
+            # unblocks the remote submit handler, and the client must be
+            # able to read a fully written trace the moment its RPC
+            # returns.
+            self._emit_leader_spans(entry.ticket, result, outcome)
             self._deliver(entry.ticket, result, outcome)
             if entry.waiters:
                 self._fan_out(entry, result)
@@ -542,7 +558,69 @@ class PlanService:
                 self.stats.count("failed")
                 continue
             self.stats.count("replays")
+            self._emit_waiter_spans(ticket)
             self._deliver(ticket, replayed, OUTCOME_COALESCED)
+
+    # -- request tracing -----------------------------------------------------
+
+    def _trace_context(self, ticket: PlanTicket):
+        """(trace_id, parent_span) when this ticket is traced and a
+        tracer is attached; ``None`` otherwise."""
+        ctx = ticket.trace
+        if self.tracer is None or not isinstance(ctx, dict):
+            return None
+        trace_id = str(ctx.get("id") or "")
+        if not trace_id:
+            return None
+        return trace_id, str(ctx.get("span") or "")
+
+    def _emit_leader_spans(self, ticket: PlanTicket,
+                           result: SearchResult, outcome: str) -> None:
+        """Server-side spans for a traced leader: queue-wait, the cache
+        lookup, then the search or replay that served it — all tagged
+        with the client's trace id so the obs merger can join them
+        across the process boundary.
+
+        Runs *before* delivery (which unblocks the remote handler), so
+        the request's end is read from the clock here rather than the
+        not-yet-stamped ticket.
+        """
+        ctx = self._trace_context(ticket)
+        if ctx is None:
+            return
+        trace_id, parent = ctx
+        done_s = time.monotonic()
+        common = {"job": ticket.job, "replica": ticket.replica}
+        self.tracer.record("queue-wait", ticket.submitted_s,
+                           ticket.started_s, trace_id, parent=parent,
+                           **common)
+        lookup_end = min(done_s,
+                         ticket.started_s + max(0.0, result.lookup_s))
+        self.tracer.record("cache-lookup", ticket.started_s, lookup_end,
+                           trace_id, parent=parent,
+                           tier=result.cache_tier or "", **common)
+        name = "replay" if result.cache_hit else "leader-search"
+        self.tracer.record(name, lookup_end, done_s, trace_id,
+                           parent=parent, tier=result.cache_tier or "",
+                           outcome=outcome,
+                           evaluations=result.evaluations, **common)
+
+    def _emit_waiter_spans(self, ticket: PlanTicket) -> None:
+        """Spans for a traced coalesced waiter: the wait on its leader,
+        then its own fan-out replay.  Runs before delivery, like
+        :meth:`_emit_leader_spans`."""
+        ctx = self._trace_context(ticket)
+        if ctx is None:
+            return
+        trace_id, parent = ctx
+        done_s = time.monotonic()
+        common = {"job": ticket.job, "replica": ticket.replica}
+        self.tracer.record("coalesce-wait", ticket.submitted_s,
+                           ticket.started_s, trace_id, parent=parent,
+                           **common)
+        self.tracer.record("replay", ticket.started_s, done_s,
+                           trace_id, parent=parent, coalesced=True,
+                           outcome=OUTCOME_COALESCED, **common)
 
     # -- observation / recalibration -----------------------------------------
 

@@ -194,6 +194,49 @@ class ServiceStats:
             merged._waits_s.extend(waits)
         return merged
 
+    def export_metrics(self, registry) -> None:
+        """Bridge the service counters into a metrics registry.
+
+        Absolute values via ``set_value`` (idempotent across repeated
+        ``metrics`` RPCs).  The tier-labelled
+        ``repro_service_cache_hits_total`` series mirror
+        ``memory_hits``/``disk_hits`` exactly — the scrape checker
+        asserts their sum equals what the ``stats`` RPC reports.
+        Latency histograms are rebuilt from the retained sample windows
+        so fleet merges aggregate distributions, not percentiles.
+        """
+        with self._lock:
+            counters = {name: getattr(self, name) for name in self.COUNTERS}
+            queue_depth = self.queue_depth
+            max_queue_depth = self.max_queue_depth
+            latencies = list(self._latencies_s)
+            waits = list(self._waits_s)
+        hits = registry.counter(
+            "repro_service_cache_hits_total",
+            "Requests served by an exact cache hit, by serving tier",
+            labels=("tier",))
+        hits.set_value(counters["memory_hits"], tier="memory")
+        hits.set_value(counters["disk_hits"], tier="disk")
+        for name, value in counters.items():
+            registry.counter(
+                f"repro_service_{name}_total",
+                f"ServiceStats counter {name!r}",
+            ).set_value(value)
+        registry.gauge(
+            "repro_service_queue_depth",
+            "Pending leaders currently queued",
+        ).set(queue_depth)
+        registry.gauge(
+            "repro_service_max_queue_depth",
+            "High-water queued leaders", agg="max",
+        ).set(max_queue_depth)
+        latency = registry.histogram(
+            "repro_service_latency_seconds",
+            "Submit-to-completion latency over the retained window",
+            labels=("stage",))
+        latency.set_from_values(latencies, stage="total")
+        latency.set_from_values(waits, stage="queue")
+
     def describe(self) -> str:
         snap = self.snapshot()
         return (
@@ -304,3 +347,24 @@ class RemoteStats:
             }
         totals["connections"] = live
         return totals
+
+    def export_metrics(self, registry) -> None:
+        """Bridge wire totals (live connections folded in) into a
+        metrics registry."""
+        snap = self.snapshot()
+        for name in ("connections_opened", "connections_closed",
+                     "disconnects_mid_request", "requests", "errors",
+                     "protocol_errors"):
+            registry.counter(
+                f"repro_rpc_{name}_total",
+                f"RemoteStats counter {name!r}",
+            ).set_value(snap[name])
+        rpc_bytes = registry.counter(
+            "repro_rpc_bytes_total",
+            "Wire bytes by direction", labels=("direction",))
+        rpc_bytes.set_value(snap["bytes_in"], direction="in")
+        rpc_bytes.set_value(snap["bytes_out"], direction="out")
+        registry.gauge(
+            "repro_rpc_connections_active",
+            "Currently connected socket clients",
+        ).set(snap["connections_active"])

@@ -32,6 +32,7 @@ from repro.trace.events import (
     TraceValidationError,
 )
 from repro.trace.export import (
+    chrome_events,
     save_chrome,
     to_chrome,
     validate_chrome_trace,
@@ -56,6 +57,7 @@ __all__ = [
     "trace_from_engine",
     "merge_traces",
     "to_chrome",
+    "chrome_events",
     "save_chrome",
     "validate_chrome_trace",
     "validate_chrome_trace_file",

@@ -9,7 +9,7 @@ P2P transfers (which legitimately overlap compute).
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.trace.events import (
     KIND_COMM,
@@ -35,26 +35,24 @@ def _slice_args(span: Span) -> Dict:
     return args
 
 
-def to_chrome(trace: Trace, process_name: str = "",
-              flows: bool = True) -> Dict:
-    """Build a Chrome-tracing JSON object from a trace.
+def chrome_events(trace: Trace, process_name: str = "",
+                  flows: bool = True, pid: int = 0,
+                  flow_id_start: int = 0,
+                  thread_prefix: str = "PP rank",
+                  ) -> Tuple[List[Dict], int]:
+    """Build the trace-event list for one trace on Chrome process ``pid``.
 
-    Thread ids: rank ``r`` holds compute + stall slices at ``tid=r``;
-    its comm slices live at ``tid=num_ranks + r`` so asynchronous
-    transfers don't nest under compute.
-
-    With ``flows`` (the default), every P2P transfer additionally emits a
-    Perfetto flow pair — ``ph: "s"`` anchored on the producing rank's
-    compute track at the moment the transfer starts, ``ph: "f"``
-    (``bp: "e"``) on the consuming rank's track at arrival — so the UI
-    draws an arrow from the producer slice to the consumer slice across
-    rank tracks.
+    The reusable core of :func:`to_chrome`: multi-process mergers (the
+    obs timeline joins one trace per OS process) call it once per
+    source with a distinct ``pid`` and thread the running ``flow_id``
+    through so flow ids never collide across processes.  Returns the
+    events plus the next free flow id.
     """
     num_ranks = trace.num_ranks
     events: List[Dict] = [{
         "name": "process_name",
         "ph": "M",
-        "pid": 0,
+        "pid": pid,
         "args": {"name": process_name or trace.meta.label or "pipeline"},
     }]
     comm_tids = sorted(
@@ -64,19 +62,19 @@ def to_chrome(trace: Trace, process_name: str = "",
         events.append({
             "name": "thread_name",
             "ph": "M",
-            "pid": 0,
+            "pid": pid,
             "tid": rank,
-            "args": {"name": f"PP rank {rank}"},
+            "args": {"name": f"{thread_prefix} {rank}"},
         })
     for rank in comm_tids:
         events.append({
             "name": "thread_name",
             "ph": "M",
-            "pid": 0,
+            "pid": pid,
             "tid": num_ranks + rank,
-            "args": {"name": f"PP rank {rank} (comm)"},
+            "args": {"name": f"{thread_prefix} {rank} (comm)"},
         })
-    flow_id = 0
+    flow_id = flow_id_start
     for span in trace.spans:
         if span.kind == KIND_COMPUTE:
             tid = span.rank
@@ -95,7 +93,7 @@ def to_chrome(trace: Trace, process_name: str = "",
             "name": span.name,
             "cat": cat,
             "ph": "X",
-            "pid": 0,
+            "pid": pid,
             "tid": tid,
             "ts": span.start_ms * 1e3,  # Chrome timestamps are in us
             "dur": span.duration_ms * 1e3,
@@ -112,7 +110,7 @@ def to_chrome(trace: Trace, process_name: str = "",
                 "cat": "p2p-flow",
                 "ph": "s",
                 "id": flow_id,
-                "pid": 0,
+                "pid": pid,
                 "tid": src_rank,
                 "ts": span.start_ms * 1e3,
             })
@@ -122,10 +120,29 @@ def to_chrome(trace: Trace, process_name: str = "",
                 "ph": "f",
                 "bp": "e",
                 "id": flow_id,
-                "pid": 0,
+                "pid": pid,
                 "tid": span.rank,
                 "ts": span.end_ms * 1e3,
             })
+    return events, flow_id
+
+
+def to_chrome(trace: Trace, process_name: str = "",
+              flows: bool = True) -> Dict:
+    """Build a Chrome-tracing JSON object from a trace.
+
+    Thread ids: rank ``r`` holds compute + stall slices at ``tid=r``;
+    its comm slices live at ``tid=num_ranks + r`` so asynchronous
+    transfers don't nest under compute.
+
+    With ``flows`` (the default), every P2P transfer additionally emits a
+    Perfetto flow pair — ``ph: "s"`` anchored on the producing rank's
+    compute track at the moment the transfer starts, ``ph: "f"``
+    (``bp: "e"``) on the consuming rank's track at arrival — so the UI
+    draws an arrow from the producer slice to the consumer slice across
+    rank tracks.
+    """
+    events, _ = chrome_events(trace, process_name, flows=flows)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
