@@ -1,0 +1,42 @@
+"""Chaos engineering for the planning fleet: deterministic fault
+injection plus an invariant-checking driver.
+
+Two pieces:
+
+* :mod:`repro.chaos.faults` — :class:`FaultPlan`, a seedable,
+  replay-verifiable fault schedule.  The RPC server and the disk cache
+  tier consult it at their injection sites (response send, request
+  receive, tier get/put); every decision is a pure function of
+  ``(seed, site, per-site op index)``, so the exact injected-fault
+  sequence of any run can be re-derived from the seed and checked
+  against the shards' fault logs.
+* :mod:`repro.chaos.drive` — ``repro chaos drive``: spin up a live
+  fleet under a named scenario (crash-restart, straggler, partition,
+  blackout, disk-errors, corruption), hammer it with routed clients,
+  and assert the resilience invariants: every submit terminates within
+  its deadline with either a canonical plan *bit-identical* to the
+  fault-free baseline or a typed error; degraded-mode local plans have
+  makespans identical to fleet-served ones; the fault logs replay.
+"""
+
+from repro.chaos.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultDecision,
+    FaultPlan,
+    FaultSpec,
+    SCENARIOS,
+    Scenario,
+    scenario_by_name,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultSpec",
+    "SCENARIOS",
+    "Scenario",
+    "scenario_by_name",
+]

@@ -1,0 +1,420 @@
+"""Deterministic, seedable fault injection for the planning fleet.
+
+A :class:`FaultPlan` is a schedule of faults that the serving stack
+consults at fixed *injection sites*:
+
+* ``rpc.response`` — just before the server sends a response frame
+  (:meth:`~repro.service.rpc.PlanServiceServer._try_send`): ``slow``
+  delays the send (straggler shard), ``drop`` closes the connection
+  without responding, ``corrupt`` flips bytes inside the frame body so
+  the client sees a framing violation.
+* ``rpc.recv`` — after the server receives a request frame: ``stall``
+  delays processing (slow shard), ``drop`` closes the connection
+  without reading further (partition: the request is lost).
+* ``disk.get`` / ``disk.put`` — inside
+  :class:`~repro.core.cachetier.DiskCacheTier`: ``error`` makes the
+  operation behave as an I/O failure (the tier already degrades to a
+  pass-through; the fault proves it).
+
+Determinism is the whole point: whether operation *n* at a site faults
+is a pure function of ``(seed, site, n)`` — a SHA-256 of that triple,
+scaled to [0, 1) and compared against the spec's rate.  Two runs with
+the same seed inject the identical fault sequence; the chaos driver
+re-derives every decision from the seed and asserts the shards' fault
+logs match (:meth:`FaultPlan.verify_log`).  No wall-clock, no RNG
+state, no cross-site coupling.
+
+``FaultSpec.shards`` scopes a spec to particular shard indices — one
+fleet-wide plan JSON can make shard 0 a straggler while leaving its
+siblings clean.  Windows (``after``/``until``) and ``max_events`` are
+in per-site *operation counts*, not seconds, for the same determinism
+reason.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+FAULT_KINDS = ("drop", "stall", "slow", "corrupt", "error")
+FAULT_SITES = ("rpc.response", "rpc.recv", "disk.get", "disk.put")
+
+#: Kinds that make sense per site (checked at spec construction so a
+#: typo'd scenario fails loudly, not silently never-fires).
+_SITE_KINDS = {
+    "rpc.response": ("slow", "drop", "corrupt"),
+    "rpc.recv": ("stall", "drop"),
+    "disk.get": ("error",),
+    "disk.put": ("error",),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: *where*, *what*, *how often*, *when*.
+
+    Args:
+        site: Injection site (see :data:`FAULT_SITES`).
+        kind: Fault kind, valid for the site (see :data:`FAULT_KINDS`).
+        rate: Probability in [0, 1] that an in-window operation faults
+            (1.0 = every operation).
+        delay_s: Sleep length for ``slow``/``stall`` faults.
+        after: First per-site operation index (0-based) the spec arms
+            at.
+        until: Operation index the spec disarms at (exclusive);
+            ``None`` = never.
+        max_events: Cap on faults this spec may fire; ``None`` = no
+            cap.
+        shards: Shard indices the spec applies to; ``None`` = all.
+    """
+
+    site: str
+    kind: str
+    rate: float = 1.0
+    delay_s: float = 0.0
+    after: int = 0
+    until: Optional[int] = None
+    max_events: Optional[int] = None
+    shards: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {self.site!r} "
+                             f"(sites: {FAULT_SITES})")
+        if self.kind not in _SITE_KINDS[self.site]:
+            raise ValueError(
+                f"fault kind {self.kind!r} is not valid at site "
+                f"{self.site!r} (valid: {_SITE_KINDS[self.site]})")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        if self.shards is not None:
+            object.__setattr__(self, "shards",
+                               tuple(int(s) for s in self.shards))
+
+    def applies_to_shard(self, shard_index: Optional[int]) -> bool:
+        if self.shards is None:
+            return True
+        return shard_index is not None and shard_index in self.shards
+
+    def in_window(self, index: int) -> bool:
+        if index < self.after:
+            return False
+        return self.until is None or index < self.until
+
+    def to_dict(self) -> Dict:
+        payload = asdict(self)
+        if payload["shards"] is not None:
+            payload["shards"] = list(payload["shards"])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultSpec":
+        shards = payload.get("shards")
+        return cls(
+            site=payload["site"],
+            kind=payload["kind"],
+            rate=float(payload.get("rate", 1.0)),
+            delay_s=float(payload.get("delay_s", 0.0)),
+            after=int(payload.get("after", 0)),
+            until=(int(payload["until"])
+                   if payload.get("until") is not None else None),
+            max_events=(int(payload["max_events"])
+                        if payload.get("max_events") is not None else None),
+            shards=tuple(shards) if shards is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One fired fault: which operation it hit and what it did.
+    Exactly what the shards' fault logs record (JSONL, one per line)
+    and what :meth:`FaultPlan.verify_log` replays."""
+
+    site: str
+    index: int  # per-site operation index the fault fired at
+    kind: str
+    delay_s: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+def _unit_hash(seed: int, site: str, index: int) -> float:
+    """Deterministic uniform draw in [0, 1) for one operation."""
+    digest = hashlib.sha256(
+        f"{seed}:{site}:{index}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class FaultPlan:
+    """A seeded fault schedule plus its per-site operation counters.
+
+    One instance lives inside each faulted process (server or tier
+    owner); :meth:`decide` is called once per operation at each site
+    and returns the :class:`FaultDecision` to apply, or ``None``.
+    Decisions are appended to :attr:`events` so the process can dump a
+    fault log for replay verification.
+
+    The pure-function twin :meth:`expected_decision` computes what
+    operation ``n`` *would* do without advancing any state — the chaos
+    driver uses it to re-derive a run's entire fault sequence from the
+    seed.
+    """
+
+    def __init__(self, seed: int = 0,
+                 specs: Sequence[FaultSpec] = (),
+                 shard_index: Optional[int] = None) -> None:
+        self.seed = int(seed)
+        self.specs = list(specs)
+        self.shard_index = shard_index
+        self.events: List[FaultDecision] = []
+        self._counters: Dict[str, int] = {site: 0 for site in FAULT_SITES}
+        self._fired: Dict[int, int] = {}  # spec position -> events fired
+        self._lock = threading.Lock()
+
+    # -- the decision function ----------------------------------------------
+
+    def expected_decision(self, site: str,
+                          index: int) -> Optional[FaultDecision]:
+        """What operation ``index`` at ``site`` does under this plan —
+        stateless except for ``max_events`` accounting, which callers
+        replaying a whole run get for free by iterating indices in
+        order (see :meth:`replay_site`)."""
+        draw = _unit_hash(self.seed, site, index)
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            if not spec.applies_to_shard(self.shard_index):
+                continue
+            if not spec.in_window(index):
+                continue
+            if draw < spec.rate:
+                return FaultDecision(site=site, index=index,
+                                     kind=spec.kind,
+                                     delay_s=spec.delay_s)
+        return None
+
+    def replay_site(self, site: str, count: int) -> List[FaultDecision]:
+        """The full deterministic fault sequence for the first
+        ``count`` operations at ``site`` (honouring ``max_events``)."""
+        fired_by_spec: Dict[int, int] = {}
+        out: List[FaultDecision] = []
+        for index in range(count):
+            decision = self._decide_stateless(site, index, fired_by_spec)
+            if decision is not None:
+                out.append(decision)
+        return out
+
+    def _decide_stateless(self, site: str, index: int,
+                          fired_by_spec: Dict[int, int],
+                          ) -> Optional[FaultDecision]:
+        draw = _unit_hash(self.seed, site, index)
+        for pos, spec in enumerate(self.specs):
+            if spec.site != site:
+                continue
+            if not spec.applies_to_shard(self.shard_index):
+                continue
+            if not spec.in_window(index):
+                continue
+            if (spec.max_events is not None
+                    and fired_by_spec.get(pos, 0) >= spec.max_events):
+                continue
+            if draw < spec.rate:
+                fired_by_spec[pos] = fired_by_spec.get(pos, 0) + 1
+                return FaultDecision(site=site, index=index,
+                                     kind=spec.kind,
+                                     delay_s=spec.delay_s)
+        return None
+
+    def decide(self, site: str) -> Optional[FaultDecision]:
+        """Consume one operation at ``site``; the live injection hook."""
+        with self._lock:
+            index = self._counters[site]
+            self._counters[site] = index + 1
+            decision = self._decide_stateless(site, index, self._fired)
+            if decision is not None:
+                self.events.append(decision)
+            return decision
+
+    def operation_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    # -- replay verification -------------------------------------------------
+
+    def verify_log(self, entries: Iterable[Dict]) -> List[str]:
+        """Check a fault log (dicts shaped like
+        :meth:`FaultDecision.to_dict`) against the deterministic
+        schedule; returns one message per disagreement (empty ==
+        faithful replay).
+
+        Verifies both directions per site: every logged event must be
+        exactly what the schedule predicts at its index, and no
+        predicted event below the highest logged/observed index may be
+        missing from the log.
+        """
+        problems: List[str] = []
+        by_site: Dict[str, List[Dict]] = {}
+        for entry in entries:
+            site = entry.get("site")
+            if site not in FAULT_SITES:
+                problems.append(f"log entry with unknown site: {entry!r}")
+                continue
+            by_site.setdefault(site, []).append(entry)
+        for site, logged in by_site.items():
+            top = max(int(e.get("index", -1)) for e in logged) + 1
+            expected = {d.index: d for d in self.replay_site(site, top)}
+            seen = set()
+            for entry in logged:
+                index = int(entry.get("index", -1))
+                seen.add(index)
+                want = expected.get(index)
+                if want is None:
+                    problems.append(
+                        f"{site}[{index}]: logged "
+                        f"{entry.get('kind')!r} but the schedule "
+                        f"predicts no fault there")
+                    continue
+                if (entry.get("kind") != want.kind
+                        or abs(float(entry.get("delay_s", 0.0))
+                               - want.delay_s) > 1e-9):
+                    problems.append(
+                        f"{site}[{index}]: logged "
+                        f"{entry.get('kind')!r}/{entry.get('delay_s')} "
+                        f"!= scheduled {want.kind!r}/{want.delay_s}")
+            for index, want in expected.items():
+                if index not in seen:
+                    problems.append(
+                        f"{site}[{index}]: schedule predicts "
+                        f"{want.kind!r} but the log has no event there")
+        return problems
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "shard_index": self.shard_index,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultPlan":
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            specs=[FaultSpec.from_dict(s)
+                   for s in payload.get("specs", ())],
+            shard_index=payload.get("shard_index"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("fault plan JSON must be an object")
+        return cls.from_dict(payload)
+
+
+# -- named scenarios ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named chaos experiment: server-side fault specs plus
+    driver-side actions (shard kills) and knobs the chaos driver
+    applies uniformly.
+
+    ``crash_points`` are *client progress counts*: after the driver has
+    collected that many planned batches fleet-wide, it SIGKILLs the
+    named shard — progress-based, not time-based, so the experiment is
+    reproducible across machine speeds.
+    """
+
+    name: str
+    description: str
+    specs: Tuple[FaultSpec, ...] = ()
+    crash_points: Tuple[Tuple[int, int], ...] = ()  # (progress, shard)
+    #: Deadline handed to every submit (seconds); scenarios with long
+    #: stalls need more road than clean ones.
+    deadline_s: float = 60.0
+
+    def shard_specs(self) -> List[Dict]:
+        return [spec.to_dict() for spec in self.specs]
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="crash-restart",
+            description=(
+                "SIGKILL one shard mid-drive; the launcher respawns it "
+                "with a cold memory tier and requests fail over along "
+                "the ring meanwhile"),
+            crash_points=((3, 0),),
+        ),
+        Scenario(
+            name="straggler",
+            description=(
+                "shard 0 answers slowly (injected response delay on "
+                "roughly half its responses); plans must stay "
+                "bit-identical and within deadline"),
+            specs=(FaultSpec(site="rpc.response", kind="slow",
+                             rate=0.5, delay_s=0.25, shards=(0,)),),
+        ),
+        Scenario(
+            name="partition",
+            description=(
+                "shard 0 drops a window of requests after receiving "
+                "them (one-way partition); clients see dead "
+                "connections and retry ring successors"),
+            specs=(FaultSpec(site="rpc.recv", kind="drop",
+                             rate=1.0, after=2, until=8, shards=(0,)),),
+        ),
+        Scenario(
+            name="blackout",
+            description=(
+                "every shard drops every request — the entire ring "
+                "preference list goes dark and every plan must come "
+                "from degraded-mode local search"),
+            specs=(FaultSpec(site="rpc.recv", kind="drop", rate=1.0,
+                             after=1),),
+        ),
+        Scenario(
+            name="disk-errors",
+            description=(
+                "the shared disk tier fails every read and write; the "
+                "cache degrades to a pass-through and planning "
+                "continues (more searches, same plans)"),
+            specs=(FaultSpec(site="disk.get", kind="error", rate=1.0),
+                   FaultSpec(site="disk.put", kind="error", rate=1.0)),
+        ),
+        Scenario(
+            name="corruption",
+            description=(
+                "a third of shard 0's response frames are "
+                "byte-corrupted; clients must reject them as protocol "
+                "errors and retry, never mis-deliver a plan"),
+            specs=(FaultSpec(site="rpc.response", kind="corrupt",
+                             rate=0.34, shards=(0,),
+                             max_events=4),),
+        ),
+    )
+}
+
+
+def scenario_by_name(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos scenario {name!r} "
+            f"(available: {', '.join(sorted(SCENARIOS))})") from None

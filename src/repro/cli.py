@@ -413,7 +413,21 @@ def cmd_trace_validate(args) -> int:
     return 0
 
 
-def _service_with_jobs(args, models, budget=None):
+def _parse_fault_plan(args):
+    """``--fault-plan`` accepts inline JSON or ``@/path/to/plan.json``;
+    returns a :class:`~repro.chaos.faults.FaultPlan` or ``None``."""
+    spec = getattr(args, "fault_plan", None)
+    if not spec:
+        return None
+    from repro.chaos.faults import FaultPlan
+
+    if spec.startswith("@"):
+        with open(spec[1:], encoding="utf-8") as handle:
+            spec = handle.read()
+    return FaultPlan.from_json(spec)
+
+
+def _service_with_jobs(args, models, budget=None, fault_plan=None):
     """Build a PlanService with one registered job per model name."""
     from repro.service import PlanService, RecalibrationPolicy
 
@@ -429,7 +443,10 @@ def _service_with_jobs(args, models, budget=None):
     if cache_dir:
         from repro.core.cachetier import DiskCacheTier
 
-        disk_tier = DiskCacheTier(cache_dir)
+        # One FaultPlan instance serves the whole process (RPC server
+        # and disk tier), so per-site operation counters and the fault
+        # log stay unified.
+        disk_tier = DiskCacheTier(cache_dir, fault_plan=fault_plan)
     near_miss = getattr(args, "near_miss", True)
     if cache_file:
         shared_cache = PlanCache.load(cache_file, capacity=args.cache_size,
@@ -461,7 +478,12 @@ def _serve_socket(args, models) -> int:
     """
     from repro.service import PlanServiceServer
 
-    service = _service_with_jobs(args, models)
+    try:
+        fault_plan = _parse_fault_plan(args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"bad --fault-plan: {exc}", file=sys.stderr)
+        return 2
+    service = _service_with_jobs(args, models, fault_plan=fault_plan)
     tracer = None
     trace_dir = getattr(args, "trace_dir", None)
     if trace_dir:
@@ -480,6 +502,8 @@ def _serve_socket(args, models) -> int:
             cache_path=getattr(args, "cache_file", None),
             shard_index=getattr(args, "shard_index", None),
             restarts=getattr(args, "shard_restarts", 0) or 0,
+            fault_plan=fault_plan,
+            fault_log=getattr(args, "fault_log", None),
         )
     except (OSError, ValueError) as exc:
         print(f"cannot serve on "
@@ -762,7 +786,19 @@ def cmd_fleet_drive(args) -> int:
         addresses, streams, replicas=args.replicas,
         planner_factory=planner_factory, timeout_s=args.timeout,
         failover=not args.no_failover, tracer=tracer,
+        deadline_s=args.deadline, degraded=args.degraded,
     )
+    if args.client_metrics_out:
+        import json
+
+        from repro.obs.registry import merge_snapshots
+
+        merged_clients = merge_snapshots(
+            [c.metrics_snapshot() for c in clients])
+        with open(args.client_metrics_out, "w", encoding="utf-8") as f:
+            json.dump(merged_clients, f, indent=2)
+        print(f"wrote client metrics snapshot to "
+              f"{args.client_metrics_out}")
     if tracer is not None:
         import os
 
@@ -904,13 +940,39 @@ def cmd_obs_scrape(args) -> int:
         sys.stdout.write(text)
     failed = False
     if args.check:
-        problems = check_scrape(scrapes)
+        client_metrics = _load_client_metrics(args)
+        if client_metrics is _BAD_CLIENT_METRICS:
+            return 2
+        problems = check_scrape(scrapes, client_metrics=client_metrics)
         for problem in problems:
             print(f"CHECK FAILED: {problem}", file=sys.stderr)
         failed = bool(problems)
         if not problems:
-            print(f"checks passed on {len(scrapes)} shard(s)")
+            extra = (" + client metrics"
+                     if client_metrics is not None else "")
+            print(f"checks passed on {len(scrapes)} shard(s){extra}")
     return 1 if failed else 0
+
+
+#: Sentinel for "the --client-metrics file could not be read" — lets
+#: callers tell a missing flag (None) from a broken file.
+_BAD_CLIENT_METRICS = object()
+
+
+def _load_client_metrics(args):
+    """Read the --client-metrics JSON snapshot, if the flag was given."""
+    import json
+
+    path = getattr(args, "client_metrics", None)
+    if not path:
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read client metrics {path}: {exc}",
+              file=sys.stderr)
+        return _BAD_CLIENT_METRICS
 
 
 def cmd_obs_report(args) -> int:
@@ -922,7 +984,10 @@ def cmd_obs_report(args) -> int:
               "--address-file PATH", file=sys.stderr)
         return 2
     scrapes = scrape_fleet(addresses, timeout_s=args.timeout)
-    print(render_report(scrapes))
+    client_metrics = _load_client_metrics(args)
+    if client_metrics is _BAD_CLIENT_METRICS:
+        return 2
+    print(render_report(scrapes, client_metrics=client_metrics))
     return 0 if any(s.ok for s in scrapes) else 1
 
 
@@ -963,6 +1028,72 @@ def cmd_obs(args) -> int:
         "merge": cmd_obs_merge,
     }
     return handlers[args.obs_command](args)
+
+
+def cmd_chaos_scenarios(_args) -> int:
+    from repro.chaos import SCENARIOS
+
+    for scenario in SCENARIOS.values():
+        print(f"{scenario.name:14s} {len(scenario.specs)} fault "
+              f"spec(s), {len(scenario.crash_points)} crash point(s), "
+              f"deadline {scenario.deadline_s:.0f}s")
+        print(f"{'':14s} {scenario.description}")
+    return 0
+
+
+def cmd_chaos_drive(args) -> int:
+    import json
+
+    from repro.chaos import scenario_by_name
+    from repro.chaos.drive import render_report, run_scenario
+
+    try:
+        scenario = scenario_by_name(args.scenario)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.runtime_dir:
+        runtime_dir = args.runtime_dir
+    else:
+        import tempfile
+
+        runtime_dir = tempfile.mkdtemp(
+            prefix=f"repro-chaos-{scenario.name}-")
+    report = run_scenario(
+        args.model,
+        scenario,
+        shards=args.shards,
+        replicas=args.replicas,
+        iterations=args.iterations,
+        microbatches=args.microbatches,
+        budget=args.budget,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        runtime_dir=runtime_dir,
+        deadline_s=args.deadline,
+        cache_size=args.cache_size,
+        use_kernel=_use_kernel(args),
+        slack_s=args.slack,
+    )
+    print(render_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"wrote JSON report to {args.json}")
+    if args.expect_degraded and report.degraded_plans < args.expect_degraded:
+        print(f"only {report.degraded_plans} degraded plan(s), "
+              f"expected at least {args.expect_degraded}",
+              file=sys.stderr)
+        return 1
+    return 0 if report.ok() else 1
+
+
+def cmd_chaos(args) -> int:
+    handlers = {
+        "scenarios": cmd_chaos_scenarios,
+        "drive": cmd_chaos_drive,
+    }
+    return handlers[args.chaos_command](args)
 
 
 def cmd_service_bench(args) -> int:
@@ -1269,6 +1400,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="crash respawns this shard slot has seen "
                             "(reported over ping/metrics; set by the "
                             "fleet launcher)")
+    serve.add_argument("--fault-plan", default=None, metavar="JSON|@FILE",
+                       help="chaos: arm this server with a deterministic "
+                            "FaultPlan (inline JSON or @file); faults "
+                            "fire at rpc.response/rpc.recv/disk.* sites "
+                            "(set by the chaos driver)")
+    serve.add_argument("--fault-log", default=None, metavar="PATH",
+                       help="chaos: append fired-fault decisions as "
+                            "JSONL to PATH on shutdown, for replay "
+                            "verification against the plan's seed")
 
     pclient = sub.add_parser(
         "plan-client",
@@ -1427,6 +1567,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "trace id and save the client-side span "
                              "file here (merge with the shards' files "
                              "via 'repro obs merge')")
+    fdrive.add_argument("--deadline", type=float, default=None,
+                        help="per-submit deadline (seconds), carried "
+                             "in the RPC envelope; shards shed expired "
+                             "work instead of searching for a waiter "
+                             "that already gave up")
+    fdrive.add_argument("--degraded", action="store_true",
+                        help="when a signature's whole ring preference "
+                             "list is down/open, plan locally on the "
+                             "client mirror (flagged degraded) instead "
+                             "of erroring")
+    fdrive.add_argument("--client-metrics-out", default=None,
+                        metavar="PATH",
+                        help="write the merged client-side metrics "
+                             "snapshot (breaker states, retry/"
+                             "degraded counters) as JSON for 'repro "
+                             "obs scrape --check --client-metrics' / "
+                             "'repro obs report --client-metrics'")
     legacy_eval_arg(fdrive)
 
     fbench = fsub.add_parser(
@@ -1488,13 +1645,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit nonzero unless cross-subsystem "
                               "consistency holds on every shard "
                               "(tier-split hits sum to totals, metrics "
-                              "agree with the stats RPC)")
+                              "agree with the stats RPC, shed counter "
+                              "matches)")
+    oscrape.add_argument("--client-metrics", default=None,
+                         metavar="PATH",
+                         help="client-side metrics snapshot JSON "
+                              "('repro fleet drive "
+                              "--client-metrics-out') to include in "
+                              "--check (breaker state codes legal, "
+                              "resilience counters sane)")
 
     oreport = osub.add_parser(
         "report",
         help="human health summary per shard: identity, uptime, "
-             "restarts, queue depth, hit rates, latency percentiles")
+             "restarts, queue depth, hit rates, shed counts, latency "
+             "percentiles — plus breaker states with --client-metrics")
     obs_addressing(oreport)
+    oreport.add_argument("--client-metrics", default=None,
+                         metavar="PATH",
+                         help="client-side metrics snapshot JSON to "
+                              "render a resilience section from "
+                              "(breaker states, retry/degraded "
+                              "counters)")
 
     omerge = osub.add_parser(
         "merge",
@@ -1509,6 +1681,57 @@ def build_parser() -> argparse.ArgumentParser:
     omerge.add_argument("--validate", action="store_true",
                         help="exit nonzero unless the merged timeline "
                              "passes the Chrome-trace validator")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos-test a live fleet: deterministic fault injection "
+             "(drops, stalls, corruption, crashes, disk errors) under "
+             "named scenarios, with resilience invariants asserted")
+    chsub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    chsub.add_parser("scenarios",
+                     help="list the named fault scenarios")
+
+    chdrive = chsub.add_parser(
+        "drive",
+        help="spin up a fleet under a scenario, drive a client "
+             "workload through it, and check that every submit "
+             "terminates in-deadline with a baseline-identical plan "
+             "or a typed error")
+    chdrive.add_argument("model", nargs="?", default="VLM-S",
+                         help="combination name (default: VLM-S)")
+    chdrive.add_argument("--scenario", required=True,
+                         help="scenario name (see 'repro chaos "
+                              "scenarios')")
+    chdrive.add_argument("--shards", type=_positive_int, default=2)
+    chdrive.add_argument("--replicas", type=_positive_int, default=2)
+    chdrive.add_argument("--iterations", type=_positive_int, default=4)
+    chdrive.add_argument("--microbatches", type=int, default=3)
+    chdrive.add_argument("--budget", type=int, default=8)
+    chdrive.add_argument("--cache-size", type=int, default=64)
+    chdrive.add_argument("--seed", type=int, default=0,
+                         help="workload + search seed (shared by the "
+                              "baseline, the shards and the mirrors)")
+    chdrive.add_argument("--fault-seed", type=int, default=1,
+                         help="base seed of the per-shard fault "
+                              "schedules (shard i uses fault-seed+i)")
+    chdrive.add_argument("--deadline", type=float, default=None,
+                         help="per-submit deadline (seconds); default "
+                              "is the scenario's")
+    chdrive.add_argument("--slack", type=float, default=30.0,
+                         help="termination-invariant slack on top of "
+                              "the deadline (seconds)")
+    chdrive.add_argument("--runtime-dir", default=None,
+                         help="sockets / cache / fault logs live here "
+                              "(default: fresh temp dir)")
+    chdrive.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the report as JSON")
+    chdrive.add_argument("--expect-degraded", type=int, default=None,
+                         metavar="N",
+                         help="exit nonzero unless at least N degraded "
+                              "local plans were served (CI gate)")
+    chdrive.add_argument("--legacy-eval", action="store_true",
+                         help="disable the compiled evaluation core")
 
     sbench = sub.add_parser(
         "service-bench",
@@ -1552,6 +1775,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan-client": cmd_plan_client,
         "fleet": cmd_fleet,
         "obs": cmd_obs,
+        "chaos": cmd_chaos,
         "service-bench": cmd_service_bench,
         "perf-bench": cmd_perf_bench,
     }

@@ -73,10 +73,15 @@ class DiskCacheTier:
             honours ``os.replace`` atomicity (i.e. a local disk).
     """
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, fault_plan=None) -> None:
         self.directory = os.path.abspath(directory)
         os.makedirs(self.directory, exist_ok=True)
         self.stats = TierStats()
+        #: Optional :class:`~repro.chaos.faults.FaultPlan` consulted at
+        #: ``disk.get`` / ``disk.put``; an injected fault takes the same
+        #: error path a full or failing disk would (count + degrade to
+        #: pass-through) — chaos exercises real code paths, not stubs.
+        self.fault_plan = fault_plan
         self._lock = threading.Lock()  # guards stats only; files are
         # cross-process safe on their own via os.replace.
 
@@ -108,6 +113,11 @@ class DiskCacheTier:
         (a file renamed by hand) all count as misses; genuinely
         unreadable files additionally bump ``stats.errors``.
         """
+        if (self.fault_plan is not None
+                and self.fault_plan.decide("disk.get") is not None):
+            self._count("misses")
+            self._count("errors")
+            return None
         try:
             with open(self.path_for(digest)) as f:
                 payload = json.load(f)
@@ -166,6 +176,10 @@ class DiskCacheTier:
             "context_digest": plan.signature.context_digest,
             "plan": plan_to_dict(plan),
         }
+        if (self.fault_plan is not None
+                and self.fault_plan.decide("disk.put") is not None):
+            self._count("errors")
+            return None
         try:
             path = atomic_write_json(self.path_for(plan.signature.digest),
                                      payload)

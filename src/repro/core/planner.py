@@ -113,6 +113,11 @@ class PlannerReport:
             ``None`` unless ``cache_hit``.  The tier-parity invariant:
             the label is the *only* thing allowed to differ between a
             memory- and a disk-served hit.
+        degraded: The plan was produced by *local* fallback search
+            because every fleet shard in the signature's preference
+            list was unreachable (circuit breakers open).  The plan is
+            still correct — same search, same context — just not
+            fleet-coalesced.
     """
 
     iteration: int
@@ -127,6 +132,7 @@ class PlannerReport:
     signature: Optional[str] = None
     memo_hits: int = 0
     cache_tier: Optional[str] = None
+    degraded: bool = False
 
 
 class OnlinePlanner:

@@ -21,22 +21,36 @@ scales it out while keeping the properties that make the service fast:
   bench`` both drive it).
 """
 
+from repro.fleet.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
 from repro.fleet.client import (
     FleetClient,
     FleetFailoverWarning,
+    WarningAggregator,
     drive_fleet,
     fleet_stats,
 )
 from repro.fleet.launcher import FleetConfig, PlanFleet, ShardHandle
 from repro.fleet.ring import HashRing
+from repro.service.retry import RetryPolicy
 
 __all__ = [
+    "CircuitBreaker",
     "FleetClient",
     "FleetFailoverWarning",
     "FleetConfig",
     "HashRing",
     "PlanFleet",
+    "RetryPolicy",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
     "ShardHandle",
+    "WarningAggregator",
     "drive_fleet",
     "fleet_stats",
 ]

@@ -1,0 +1,176 @@
+"""Per-shard circuit breaker: stop hammering a dead shard.
+
+The classic closed → open → half-open state machine, one instance per
+shard address inside :class:`~repro.fleet.client.FleetClient`:
+
+* **closed** — requests flow; consecutive transport failures are
+  counted, and ``failure_threshold`` of them in a row trip the breaker.
+* **open** — requests are refused locally (``allow()`` is False) for
+  ``recovery_s``; the client routes around the shard (ring successor)
+  or, when *every* shard in a signature's preference list is open,
+  falls back to degraded local planning.  No connection attempts reach
+  the shard, so a crashed process is not re-dialed hundreds of times a
+  second.
+* **half-open** — after ``recovery_s`` one probe request is let
+  through.  Success closes the breaker (and resets the failure count);
+  failure re-opens it for another ``recovery_s``.
+
+State codes are numeric on purpose (closed=0, half-open=1, open=2) so
+the breaker can be exported as a Prometheus-style gauge and asserted on
+by ``repro obs scrape --check``.
+
+The clock is injectable (monotonic by default) so tests and
+deterministic chaos replays can drive recovery without real sleeps.
+Thread-safe: one FleetClient is single-threaded, but breakers are also
+read by stats/metrics snapshots from other threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+STATE_CLOSED = "closed"
+STATE_HALF_OPEN = "half-open"
+STATE_OPEN = "open"
+
+#: Gauge encoding of the states (exported via the metrics registry and
+#: checked by ``repro obs scrape --check``).
+STATE_CODES = {STATE_CLOSED: 0, STATE_HALF_OPEN: 1, STATE_OPEN: 2}
+
+
+class CircuitBreaker:
+    """One shard's availability state machine.
+
+    Args:
+        failure_threshold: Consecutive transport failures (while
+            closed) that trip the breaker open.
+        recovery_s: How long an open breaker refuses traffic before
+            allowing a half-open probe.
+        clock: Monotonic time source (injectable for tests).
+        on_transition: Optional ``callback(old_state, new_state)``
+            invoked outside the lock after every state change — the
+            fleet client uses it to count transitions in its metrics
+            registry.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_s < 0:
+            raise ValueError("recovery_s must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._failures = 0  # consecutive, while closed
+        self._opened_at: Optional[float] = None
+        self._probe_inflight = False
+        #: (old, new) state changes in order — the audit trail tests
+        #: assert on.
+        self.transitions: List[Tuple[str, str]] = []
+
+    # -- reads ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    @property
+    def state_code(self) -> int:
+        return STATE_CODES[self.state]
+
+    def _effective_state(self) -> str:
+        """State with recovery applied lazily (no background timer):
+        an open breaker whose recovery window elapsed reads as
+        half-open."""
+        if (self._state == STATE_OPEN and self._opened_at is not None
+                and self._clock() - self._opened_at >= self.recovery_s):
+            return STATE_HALF_OPEN
+        return self._state
+
+    # -- transitions ---------------------------------------------------------
+
+    def _set_state(self, new_state: str) -> Optional[Tuple[str, str]]:
+        old = self._state
+        if old == new_state:
+            return None
+        self._state = new_state
+        self.transitions.append((old, new_state))
+        return (old, new_state)
+
+    def _notify(self, change: Optional[Tuple[str, str]]) -> None:
+        if change is not None and self._on_transition is not None:
+            self._on_transition(*change)
+
+    def allow(self) -> bool:
+        """Whether a request may be sent to this shard right now.
+
+        Half-open admits exactly one in-flight probe; every other
+        caller is refused until that probe's verdict lands
+        (:meth:`record_success` / :meth:`record_failure`).
+        """
+        change = None
+        with self._lock:
+            state = self._effective_state()
+            if state == STATE_CLOSED:
+                allowed = True
+            elif state == STATE_HALF_OPEN:
+                if self._probe_inflight:
+                    allowed = False
+                else:
+                    change = self._set_state(STATE_HALF_OPEN)
+                    self._probe_inflight = True
+                    allowed = True
+            else:
+                allowed = False
+        self._notify(change)
+        return allowed
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probe_inflight = False
+            self._opened_at = None
+            change = self._set_state(STATE_CLOSED)
+        self._notify(change)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            change = None
+            state = self._effective_state()
+            if state in (STATE_HALF_OPEN, STATE_OPEN):
+                # A failed probe (or a straggling in-flight request)
+                # restarts the recovery window.
+                self._probe_inflight = False
+                self._opened_at = self._clock()
+                change = self._set_state(STATE_OPEN)
+            else:
+                self._failures += 1
+                if self._failures >= self.failure_threshold:
+                    self._opened_at = self._clock()
+                    change = self._set_state(STATE_OPEN)
+        self._notify(change)
+
+    def trip(self) -> None:
+        """Force the breaker open (chaos drives use this to prove the
+        degraded-mode path without waiting for organic failures)."""
+        with self._lock:
+            self._probe_inflight = False
+            self._opened_at = self._clock()
+            change = self._set_state(STATE_OPEN)
+        self._notify(change)
+
+    def reset(self) -> None:
+        """Force the breaker closed, clearing all failure history."""
+        self.record_success()

@@ -18,24 +18,44 @@ but *temporarily splits the signature's home* — a loud
 (:class:`~repro.service.requests.SignatureMismatchError`) never fail
 over: a plan that replays wrongly on one shard replays wrongly on all
 of them.
+
+Resilience layers (outermost first):
+
+1. A :class:`~repro.service.retry.RetryPolicy` governs how many
+   transport-failed attempts one request may burn and spaces the walks
+   with decorrelated-jitter backoff — only transport-shaped errors
+   retry; deterministic outcomes (plan failures, signature mismatches,
+   spent deadlines) never do.
+2. A per-shard :class:`~repro.fleet.breaker.CircuitBreaker` stops the
+   client from re-dialing a dead shard on every request; open shards
+   are skipped in the preference walk.
+3. When retries are exhausted or *every* shard in the signature's
+   preference list is refused by its breaker, the client (optionally)
+   falls back to **degraded-mode local planning**: the same search on
+   the local planner mirror, flagged ``degraded`` in the report —
+   correct plans, temporarily without fleet coalescing.
 """
 
 from __future__ import annotations
 
 import time
 import warnings
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.planner import OnlinePlanner
 from repro.data.batching import GlobalBatch
+from repro.fleet.breaker import CircuitBreaker
 from repro.fleet.ring import DEFAULT_VNODES, HashRing
+from repro.obs.registry import MetricsRegistry
 from repro.service.client import ServiceConnection, submit_and_replay
 from repro.service.replica import ReplicaRecord
 from repro.service.requests import (
+    DeadlineExceededError,
     ProtocolError,
     RemotePlanError,
     ServiceClosedError,
 )
+from repro.service.retry import RetryPolicy
 from repro.service.stats import ServiceStats
 from repro.trace.events import Trace
 
@@ -48,16 +68,20 @@ class FleetFailoverWarning(RuntimeWarning):
     Carries the failure's structure alongside the message so telemetry
     and tests need not parse the text: the failed shard ``address``,
     its ``ring_position`` (index into the ring's node list, ``-1``
-    when unknown), and the 1-based ``attempts`` count that failed so
-    far for this request.
+    when unknown), the 1-based ``attempts`` count that failed so far
+    for this request, and ``suppressed`` — how many earlier warnings
+    for the same shard were rate-limited away since the last emitted
+    one (see :class:`WarningAggregator`).
     """
 
     def __init__(self, message: str, address: Optional[str] = None,
-                 ring_position: int = -1, attempts: int = 0) -> None:
+                 ring_position: int = -1, attempts: int = 0,
+                 suppressed: int = 0) -> None:
         super().__init__(message)
         self.address = address
         self.ring_position = ring_position
         self.attempts = attempts
+        self.suppressed = suppressed
 
 
 #: Transport-shaped failures that justify trying the next shard.  A
@@ -65,6 +89,44 @@ class FleetFailoverWarning(RuntimeWarning):
 #: deterministic and would just fail again elsewhere, at full cost.
 FAILOVER_ERRORS = (OSError, TimeoutError, ProtocolError,
                    ServiceClosedError)
+
+
+class WarningAggregator:
+    """Rate-limits repeat warnings per key (shard address).
+
+    A flapping shard in a tight drive loop would otherwise emit one
+    :class:`FleetFailoverWarning` per request — hundreds per second,
+    burying the signal.  The first occurrence for a key is always
+    emitted; later ones inside ``interval_s`` are counted and
+    suppressed, and the next emitted warning carries the suppressed
+    count.  The clock is injectable so tests need no real sleeps.
+    """
+
+    def __init__(self, interval_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.interval_s = interval_s
+        self._clock = clock
+        self._last_emit: Dict[str, float] = {}
+        #: Per-key counts of currently suppressed (not yet reported)
+        #: warnings and of warnings actually emitted.
+        self.suppressed: Dict[str, int] = {}
+        self.emitted: Dict[str, int] = {}
+
+    def should_emit(self, key: str) -> Tuple[bool, int]:
+        """Charge one warning occurrence for ``key``.
+
+        Returns ``(emit, suppressed_since_last)``: whether the caller
+        should emit now, and how many occurrences were swallowed since
+        the last emission (0 on the first).
+        """
+        now = self._clock()
+        last = self._last_emit.get(key)
+        if last is None or now - last >= self.interval_s:
+            self._last_emit[key] = now
+            self.emitted[key] = self.emitted.get(key, 0) + 1
+            return True, self.suppressed.pop(key, 0)
+        self.suppressed[key] = self.suppressed.get(key, 0) + 1
+        return False, 0
 
 
 class FleetClient:
@@ -89,6 +151,28 @@ class FleetClient:
             every routed submit then carries a distributed trace id and
             the client-side spans land in the tracer for merging with
             the shards' trace files.
+        retry_policy: Backoff/budget policy for transport-failed
+            attempts (defaults to :class:`RetryPolicy` defaults).
+        deadline_s: Per-batch deadline budget in seconds.  Propagated
+            on the wire (shards shed expired work) and enforced locally
+            — a batch that cannot be planned inside the budget fails
+            with the typed :class:`DeadlineExceededError`, never hangs.
+        attempt_timeout_s: Per-attempt socket bound; defaults to
+            ``timeout_s``.  Set it lower than ``deadline_s`` so several
+            attempts fit inside one deadline budget.
+        degraded: Enable degraded-mode *local* planning when retries
+            are exhausted or every shard in the signature's preference
+            list is refused by its circuit breaker.  Off by default —
+            surfacing fleet loss as an error is the conservative
+            choice; drives that prefer availability opt in.
+        degraded_budget: Evaluation budget for degraded local searches
+            (``None`` keeps the local searcher's own budget, which is
+            what makes degraded makespans identical to fleet-served
+            ones).
+        breaker_threshold / breaker_recovery_s: Per-shard circuit
+            breaker tuning (see :class:`CircuitBreaker`).
+        warn_interval_s: Rate limit for per-shard failover warnings
+            (see :class:`WarningAggregator`).
     """
 
     def __init__(
@@ -102,6 +186,15 @@ class FleetClient:
         vnodes: int = DEFAULT_VNODES,
         failover: bool = True,
         tracer=None,
+        retry_policy: Optional[RetryPolicy] = None,
+        deadline_s: Optional[float] = None,
+        attempt_timeout_s: Optional[float] = None,
+        degraded: bool = False,
+        degraded_budget: Optional[int] = None,
+        breaker_threshold: int = 3,
+        breaker_recovery_s: float = 5.0,
+        warn_interval_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.ring = HashRing([str(a) for a in addresses], vnodes=vnodes)
         self.job = job
@@ -110,8 +203,16 @@ class FleetClient:
         self.planner = planner
         self.timeout_s = timeout_s
         self.failover = failover
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.deadline_s = deadline_s
+        self.attempt_timeout_s = (timeout_s if attempt_timeout_s is None
+                                  else attempt_timeout_s)
+        self.degraded = degraded
+        self.degraded_budget = degraded_budget
+        self._clock = clock
         self._conns: Dict[str, ServiceConnection] = {
-            address: ServiceConnection(address, timeout_s=timeout_s,
+            address: ServiceConnection(address,
+                                       timeout_s=self.attempt_timeout_s,
                                        expect_job=job)
             for address in self.ring.nodes
         }
@@ -119,15 +220,62 @@ class FleetClient:
         self.records: List[ReplicaRecord] = []
         self.errors: List[tuple] = []
         #: (signature digest, serving shard) per planned batch — the
-        #: routing audit trail tests and the CLI assert on.
+        #: routing audit trail tests and the CLI assert on.  Degraded
+        #: local plans route to the sentinel address ``"local"``.
         self.routes: List[Tuple[str, str]] = []
         self.failovers = 0
+        self.retries = 0
+        self.degraded_plans = 0
+        self.deadline_failures = 0
         #: Structured audit trail: one dict per routing event
         #: (``kind="route"`` on success, ``kind="failover"`` when a
-        #: shard was skipped), ordered by a timestamp-free monotonic
-        #: ``seq`` so event order survives serialisation.
+        #: shard was skipped, ``kind="degraded"`` for local fallback),
+        #: ordered by a timestamp-free monotonic ``seq`` so event order
+        #: survives serialisation.
         self.audit: List[Dict] = []
         self._audit_seq = 0
+        self.warning_aggregator = WarningAggregator(
+            interval_s=warn_interval_s, clock=clock)
+        #: Client-side metrics registry: breaker states/transitions,
+        #: retry/failover/degraded/deadline counters.  Scraped by
+        #: ``repro obs`` via :meth:`metrics_snapshot`.
+        self.metrics = MetricsRegistry()
+        self._m_retries = self.metrics.counter(
+            "repro_fleet_client_retries_total",
+            "Transport-failed attempts that were retried",
+            labels=("address",))
+        self._m_failovers = self.metrics.counter(
+            "repro_fleet_client_failovers_total",
+            "Requests moved off an unreachable shard",
+            labels=("address",))
+        self._m_degraded = self.metrics.counter(
+            "repro_fleet_client_degraded_total",
+            "Plans produced by degraded-mode local search")
+        self._m_deadline = self.metrics.counter(
+            "repro_fleet_client_deadline_expired_total",
+            "Requests that failed typed on a spent deadline")
+        self._m_transitions = self.metrics.counter(
+            "repro_fleet_breaker_transitions_total",
+            "Circuit breaker state transitions",
+            labels=("address", "to"))
+        self._m_breaker_state = self.metrics.gauge(
+            "repro_fleet_breaker_state",
+            "Breaker state per shard (0 closed / 1 half-open / 2 open)",
+            labels=("address",), agg="max")
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        for address in self.ring.nodes:
+            self.breakers[address] = CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                recovery_s=breaker_recovery_s,
+                clock=clock,
+                on_transition=self._breaker_transition(address),
+            )
+            self._m_breaker_state.set(0, address=address)
+
+    def _breaker_transition(self, address: str):
+        def on_transition(_old: str, new: str) -> None:
+            self._m_transitions.inc(address=address, to=new)
+        return on_transition
 
     def _audit_event(self, kind: str, **fields) -> None:
         self._audit_seq += 1
@@ -151,7 +299,15 @@ class FleetClient:
 
     def plan_batch(self, batch: GlobalBatch) -> tuple:
         """Route one batch by its signature; returns
-        ``(SearchResult, report dict)`` replayed on the local graph."""
+        ``(SearchResult, report dict)`` replayed on the local graph.
+
+        The full resilience stack runs here: preference-order walks
+        over non-open shards, retry walks spaced by the policy's
+        backoff, deadline enforcement, and (when enabled) degraded
+        local fallback.  Deterministic outcomes — plan failures,
+        signature mismatches, spent deadlines — propagate immediately;
+        only transport-shaped errors burn retry budget.
+        """
         prepared = self.planner.prepare(batch)
         if prepared.signature is None:
             raise RemotePlanError(
@@ -159,49 +315,152 @@ class FleetClient:
                 "needs graph signatures"
             )
         digest = prepared.signature.digest
-        attempts = (self.ring.preference(digest) if self.failover
-                    else [self.ring.node_for(digest)])
+        preference = (self.ring.preference(digest) if self.failover
+                      else [self.ring.node_for(digest)])
+        deadline = (self._clock() + self.deadline_s
+                    if self.deadline_s is not None else None)
+        session = self.retry_policy.session()
         last_error: Optional[BaseException] = None
-        for nth, address in enumerate(attempts):
-            if nth:
-                failed = attempts[nth - 1]
+        while True:
+            allowed_any = False
+            for address in preference:
+                if deadline is not None and self._clock() >= deadline:
+                    self._raise_deadline(digest, deadline)
+                if session.attempts >= self.retry_policy.max_attempts:
+                    break
+                if not self.breakers[address].allow():
+                    continue
+                allowed_any = True
+                attempt = session.start_attempt()
                 try:
-                    ring_position = self.ring.nodes.index(failed)
-                except ValueError:
-                    ring_position = -1
-                self.failovers += 1
-                self._audit_event(
-                    "failover", signature=digest, address=failed,
-                    ring_position=ring_position, attempts=nth,
-                    successor=address, error=repr(last_error),
-                )
-                warnings.warn(
-                    FleetFailoverWarning(
-                        f"fleet shard {failed} (ring position "
-                        f"{ring_position}, attempt {nth}) unreachable "
-                        f"({last_error!r}); retrying signature "
-                        f"{digest[:12]} on ring successor {address} — "
-                        f"coalescing locality is temporarily lost for "
-                        f"this signature until the shard returns",
-                        address=failed, ring_position=ring_position,
-                        attempts=nth,
-                    ),
-                    stacklevel=2,
-                )
-            try:
-                result, report = submit_and_replay(
-                    self.connection(address).client(), self.job,
-                    self.planner, prepared, batch, replica=self.replica,
-                    timeout_s=self.timeout_s, tracer=self.tracer,
-                )
-            except FAILOVER_ERRORS as exc:
-                last_error = exc
-                continue
-            self.routes.append((digest, address))
-            self._audit_event("route", signature=digest, address=address,
-                              attempts=nth + 1)
-            return result, report
-        raise last_error  # every shard in the preference order failed
+                    result, report = submit_and_replay(
+                        self.connection(address).client(), self.job,
+                        self.planner, prepared, batch,
+                        replica=self.replica,
+                        timeout_s=self.attempt_timeout_s,
+                        tracer=self.tracer, deadline_s=deadline,
+                    )
+                except DeadlineExceededError:
+                    # The shard answered (or the budget died locally):
+                    # a typed, terminal outcome — never a shard fault.
+                    self._raise_deadline(digest, deadline)
+                except FAILOVER_ERRORS as exc:
+                    last_error = exc
+                    self._attempt_failed(address, digest, attempt, exc)
+                    continue
+                except RemotePlanError:
+                    # Deterministic planning outcome from a healthy,
+                    # responding shard — would fail identically on
+                    # every successor, at the cost of a full search.
+                    self.breakers[address].record_success()
+                    raise
+                self.breakers[address].record_success()
+                self.routes.append((digest, address))
+                self._audit_event("route", signature=digest,
+                                  address=address, attempts=attempt)
+                return result, report
+            if not allowed_any:
+                # Every shard in the preference list is refused by its
+                # breaker — the whole ring neighbourhood is down.
+                if self.degraded:
+                    return self._plan_degraded(prepared, digest,
+                                               "breakers-open")
+                raise (last_error if last_error is not None
+                       else ServiceClosedError(
+                           f"every shard in signature {digest[:12]}'s "
+                           f"preference list has an open circuit "
+                           f"breaker"))
+            if session.give_up(last_error):
+                if self.degraded:
+                    return self._plan_degraded(prepared, digest,
+                                               "retries-exhausted")
+                raise last_error
+            delay = session.next_delay_s()
+            if deadline is not None:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    self._raise_deadline(digest, deadline)
+                delay = min(delay, remaining)
+            if delay > 0:
+                time.sleep(delay)
+
+    def _raise_deadline(self, digest: str, deadline) -> None:
+        self.deadline_failures += 1
+        self._m_deadline.inc()
+        self._audit_event("deadline", signature=digest)
+        raise DeadlineExceededError(
+            f"deadline budget ({self.deadline_s}s) spent before "
+            f"signature {digest[:12]} could be planned"
+        )
+
+    def _attempt_failed(self, address: str, digest: str, attempt: int,
+                        error: BaseException) -> None:
+        """Account one transport-failed attempt: breaker, counters,
+        audit trail, and a rate-limited failover warning."""
+        self.breakers[address].record_failure()
+        self.retries += 1
+        self._m_retries.inc(address=address)
+        try:
+            ring_position = self.ring.nodes.index(address)
+        except ValueError:
+            ring_position = -1
+        if not self.failover:
+            return  # no successor to move to; run() records the error
+        self.failovers += 1
+        self._m_failovers.inc(address=address)
+        self._audit_event(
+            "failover", signature=digest, address=address,
+            ring_position=ring_position, attempts=attempt,
+            error=repr(error),
+        )
+        emit, suppressed = self.warning_aggregator.should_emit(address)
+        if not emit:
+            return
+        extra = (f" ({suppressed} earlier warnings for this shard "
+                 f"suppressed)" if suppressed else "")
+        warnings.warn(
+            FleetFailoverWarning(
+                f"fleet shard {address} (ring position "
+                f"{ring_position}, attempt {attempt}) unreachable "
+                f"({error!r}); retrying signature {digest[:12]} on the "
+                f"ring successor — coalescing locality is temporarily "
+                f"lost for this signature until the shard "
+                f"returns{extra}",
+                address=address, ring_position=ring_position,
+                attempts=attempt, suppressed=suppressed,
+            ),
+            stacklevel=3,
+        )
+
+    def _plan_degraded(self, prepared, digest: str, reason: str) -> tuple:
+        """Bounded local fallback: plan on the client's own mirror.
+
+        Same context, same search — the plan is correct (and, with the
+        default budget, bit-identical in makespan to what the fleet
+        would have served); what is lost is cross-process coalescing.
+        The report carries ``degraded=True`` so records and telemetry
+        can tell these plans apart.
+        """
+        searcher = self.planner.searcher
+        saved_budget = searcher.budget_evaluations
+        if self.degraded_budget is not None:
+            searcher.budget_evaluations = self.degraded_budget
+        try:
+            result = self.planner.plan_prepared(prepared)
+        finally:
+            searcher.budget_evaluations = saved_budget
+        self.degraded_plans += 1
+        self._m_degraded.inc()
+        self.routes.append((digest, "local"))
+        self._audit_event("degraded", signature=digest, reason=reason)
+        report = {
+            "outcome": "degraded",
+            "degraded": True,
+            "queue_wait_s": 0.0,
+            "cache_hit": result.cache_hit,
+            "cache_tier": result.cache_tier,
+        }
+        return result, report
 
     def run(self) -> List[ReplicaRecord]:
         for i, batch in enumerate(self.batches):
@@ -248,7 +507,32 @@ class FleetClient:
                     swapped = True
         return events
 
+    # -- chaos hooks ---------------------------------------------------------
+
+    def trip_breakers(self) -> None:
+        """Force every shard's breaker open — chaos drives use this to
+        prove the degraded-mode path deterministically instead of
+        waiting for organic failures."""
+        for breaker in self.breakers.values():
+            breaker.trip()
+
+    def reset_breakers(self) -> None:
+        for breaker in self.breakers.values():
+            breaker.reset()
+
     # -- telemetry -----------------------------------------------------------
+
+    def breaker_states(self) -> Dict[str, str]:
+        return {address: breaker.state
+                for address, breaker in self.breakers.items()}
+
+    def metrics_snapshot(self) -> Dict:
+        """Client-side metrics snapshot with breaker state gauges
+        bridged in at snapshot time (transition counters accumulate
+        live; the state gauge is a read of *now*)."""
+        for address, breaker in self.breakers.items():
+            self._m_breaker_state.set(breaker.state_code, address=address)
+        return self.metrics.snapshot()
 
     def stats(self) -> Dict:
         """Fleet-wide stats: per-shard raw snapshots + merged view.
@@ -282,6 +566,10 @@ class FleetClient:
             "shards": shards,
             "reachable": len(parts),
             "failovers": self.failovers,
+            "retries": self.retries,
+            "degraded_plans": self.degraded_plans,
+            "deadline_failures": self.deadline_failures,
+            "breakers": self.breaker_states(),
         }
 
     def ping_all(self) -> Dict[str, Dict]:
@@ -346,18 +634,21 @@ def drive_fleet(
     timeout_s: float = 300.0,
     failover: bool = True,
     tracer=None,
+    **client_kwargs,
 ):
     """Hammer a fleet with ``replicas`` routed clients per job — the
     fleet twin of :func:`~repro.service.client.drive_remote_replicas`.
     Returns ``(DriveReport, clients)``; the clients are already closed
     but keep their routing/stats state for inspection.  A shared
-    ``tracer`` stamps every submit with a distributed trace id."""
+    ``tracer`` stamps every submit with a distributed trace id.  Extra
+    keyword arguments (retry policy, deadline, degraded mode, breaker
+    tuning) pass straight through to every :class:`FleetClient`."""
     from repro.service.replica import run_clients
 
     clients = [
         FleetClient(addresses, job, replica, batches,
                     planner=planner_factory(job), timeout_s=timeout_s,
-                    failover=failover, tracer=tracer)
+                    failover=failover, tracer=tracer, **client_kwargs)
         for job, batches in streams.items()
         for replica in range(replicas)
     ]

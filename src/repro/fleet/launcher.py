@@ -85,6 +85,18 @@ class FleetConfig:
     #: Directory every shard writes its request-trace span file into
     #: (``--trace-dir``); ``None`` disables server-side span emission.
     trace_dir: Optional[str] = None
+    #: Chaos: fault specs every shard is armed with (scoped per shard
+    #: via ``FaultSpec.shards``).  Each shard gets its own
+    #: :class:`~repro.chaos.faults.FaultPlan` seeded ``fault_seed +
+    #: shard index`` — decorrelated across shards, reproducible from
+    #: the one base seed.
+    fault_specs: Optional[Sequence] = None
+    fault_seed: int = 0
+    #: Base path for the JSONL files shards append their fired-fault
+    #: decisions to on close; shard ``i`` writes
+    #: ``{fault_log}.shard{i}.jsonl`` so each log can be replayed
+    #: against that shard's own deterministic schedule.
+    fault_log: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -105,6 +117,12 @@ class ShardHandle:
     log_path: str = ""
     restarts: int = 0
     gone: bool = False  # exhausted restarts, or exited gracefully
+    #: The dead process object whose crash was last charged to the
+    #: restart budget — identity-tracked so one crash is counted once
+    #: even when the monitor re-observes it (a failed respawn, a kill
+    #: landing mid-poll).
+    last_crash: Optional[subprocess.Popen] = field(default=None,
+                                                   repr=False)
     lock: threading.Lock = field(default_factory=threading.Lock,
                                  repr=False)
 
@@ -147,6 +165,8 @@ class PlanFleet:
             for i in range(config.shards)
         ]
         self._stopping = False
+        self._stop_lock = threading.Lock()
+        self._stop_codes: Optional[List[Optional[int]]] = None
         self._monitor: Optional[threading.Thread] = None
         #: Launcher-side observability: restart counts and up/down
         #: state per shard slot, scrapeable alongside the shards' own
@@ -198,6 +218,18 @@ class PlanFleet:
         # respawned process carries its incremented restart count.
         command += ["--shard-index", str(shard.index),
                     "--shard-restarts", str(shard.restarts)]
+        if config.fault_specs:
+            from repro.chaos.faults import FaultPlan
+            plan = FaultPlan(seed=config.fault_seed + shard.index,
+                             specs=list(config.fault_specs),
+                             shard_index=shard.index)
+            command += ["--fault-plan", plan.to_json()]
+        if config.fault_log:
+            # Per-shard files: log entries carry no shard id, and the
+            # replay verifier must check each shard's log against that
+            # shard's own (seed, specs, shard_index) schedule.
+            command += ["--fault-log",
+                        f"{config.fault_log}.shard{shard.index}.jsonl"]
         return command
 
     def _environment(self) -> Dict[str, str]:
@@ -290,9 +322,18 @@ class PlanFleet:
                             or shard.restarts >= self.config.max_restarts):
                         shard.gone = True
                         continue
-                    shard.restarts += 1
-                    self._m_restarts.inc(shard=str(shard.index))
-                    self._spawn(shard)
+                    # Charge the crash to the budget exactly once per
+                    # dead process object: a kill landing mid-poll or a
+                    # respawn that itself fails must not be re-counted
+                    # when the monitor sees the same corpse again.
+                    if shard.process is not shard.last_crash:
+                        shard.last_crash = shard.process
+                        shard.restarts += 1
+                        self._m_restarts.inc(shard=str(shard.index))
+                    try:
+                        self._spawn(shard)
+                    except OSError:
+                        continue  # retry next poll, crash already counted
                 if shard.process is not None:
                     self._wait_ready(shard, timeout_s=60.0)
             self._observe_shards()
@@ -306,6 +347,9 @@ class PlanFleet:
             if shard.process is not None and shard.alive:
                 shard.process.kill()
                 shard.process.wait()
+            # The corpse is accounted for: the monitor must not charge
+            # this operator action to the crash budget.
+            shard.last_crash = shard.process
             shard.gone = False
             self._spawn(shard)
         if not self._wait_ready(shard, timeout_s=60.0):
@@ -315,6 +359,17 @@ class PlanFleet:
             )
 
     # -- access --------------------------------------------------------------
+
+    def kill_shard(self, index: int) -> None:
+        """SIGKILL one shard's process — the chaos driver's crash
+        injection.  The shard is *not* marked gone: the monitor sees a
+        non-zero exit and (policy permitting) respawns it, exercising
+        the real crash-restart path."""
+        shard = self.shards[index]
+        with shard.lock:
+            if shard.process is not None and shard.alive:
+                shard.process.kill()
+                shard.process.wait()
 
     @property
     def addresses(self) -> List[str]:
@@ -352,46 +407,63 @@ class PlanFleet:
         Three escalation steps per shard: ``shutdown`` RPC (the server
         drains in-flight remote requests deterministically), then
         ``terminate()``, then ``kill()``.
+
+        Idempotent, and safe against a concurrent crash-restart: the
+        whole teardown runs under one lock (a second caller blocks and
+        then gets the cached exit codes), ``_stopping`` is raised
+        *before* any shard is touched, and each shard is finalised
+        under its own lock — so a monitor thread mid-respawn finishes
+        first and the teardown kills the *newest* process, never a
+        corpse while a fresh one slips through.
         """
-        self._stopping = True
-        for shard in self.shards:
-            if not shard.alive:
-                continue
-            try:
-                client = PlanServiceClient(shard.address, timeout_s=5.0)
-                try:
-                    client.shutdown()
-                finally:
-                    client.close()
-            except Exception:  # noqa: BLE001 — escalate below
-                pass
-        deadline = time.monotonic() + timeout_s
-        for shard in self.shards:
-            if shard.process is None:
-                continue
-            remaining = max(0.1, deadline - time.monotonic())
-            try:
-                shard.process.wait(timeout=remaining)
-            except subprocess.TimeoutExpired:
-                shard.process.terminate()
-                try:
-                    shard.process.wait(timeout=5.0)
-                except subprocess.TimeoutExpired:
-                    shard.process.kill()
-                    shard.process.wait()
-            shard.gone = True
-        if self._monitor is not None:
-            self._monitor.join(timeout=5.0)
-            self._monitor = None
-        if self.config.transport == "uds":
+        with self._stop_lock:
+            if self._stop_codes is not None:
+                return list(self._stop_codes)
+            self._stopping = True
             for shard in self.shards:
+                if not shard.alive:
+                    continue
                 try:
-                    os.unlink(shard.address)
-                except OSError:
+                    client = PlanServiceClient(shard.address,
+                                               timeout_s=5.0)
+                    try:
+                        client.shutdown()
+                    finally:
+                        client.close()
+                except Exception:  # noqa: BLE001 — escalate below
                     pass
-        self._observe_shards()
-        return [s.process.returncode if s.process else None
-                for s in self.shards]
+            deadline = time.monotonic() + timeout_s
+            for shard in self.shards:
+                with shard.lock:
+                    process = shard.process
+                    shard.gone = True
+                if process is None:
+                    continue
+                remaining = max(0.1, deadline - time.monotonic())
+                try:
+                    process.wait(timeout=remaining)
+                except subprocess.TimeoutExpired:
+                    process.terminate()
+                    try:
+                        process.wait(timeout=5.0)
+                    except subprocess.TimeoutExpired:
+                        process.kill()
+                        process.wait()
+            if self._monitor is not None:
+                self._monitor.join(timeout=5.0)
+                self._monitor = None
+            if self.config.transport == "uds":
+                for shard in self.shards:
+                    try:
+                        os.unlink(shard.address)
+                    except OSError:
+                        pass
+            self._observe_shards()
+            self._stop_codes = [
+                s.process.returncode if s.process else None
+                for s in self.shards
+            ]
+            return list(self._stop_codes)
 
     def __enter__(self) -> "PlanFleet":
         return self.start()

@@ -119,7 +119,21 @@ def _approx_equal(a: float, b: float) -> bool:
     return abs(float(a) - float(b)) < 1e-9
 
 
-def check_scrape(scrapes: Sequence[ShardScrape]) -> List[str]:
+def _metric_series(snapshot: Dict, name: str) -> List[Dict]:
+    """Every series of one metric in a snapshot (empty when absent)."""
+    for metric in (snapshot or {}).get("metrics", ()):
+        if metric.get("name") == name:
+            return list(metric.get("series", ()))
+    return []
+
+
+#: Breaker state gauge values → names (mirrors
+#: :data:`repro.fleet.breaker.STATE_CODES`).
+_BREAKER_STATES = {0: "closed", 1: "half-open", 2: "open"}
+
+
+def check_scrape(scrapes: Sequence[ShardScrape],
+                 client_metrics: Optional[Dict] = None) -> List[str]:
     """Cross-subsystem consistency problems, one message per violation
     (empty list == healthy scrape).
 
@@ -130,7 +144,17 @@ def check_scrape(scrapes: Sequence[ShardScrape]) -> List[str]:
       ``stats.service.memory_hits`` / ``disk_hits``;
     * cache-side tier split sums to the tier-blind lookup counter —
       ``repro_cache_hits_total{tier="memory"} + {tier="disk"}`` equals
-      ``repro_cache_lookups_total{result="hit"}``.
+      ``repro_cache_lookups_total{result="hit"}``;
+    * the deadline-shed counter agrees with the stats RPC —
+      ``repro_service_shed_total`` equals ``stats.service.shed``.
+
+    With ``client_metrics`` (a client-side registry snapshot, e.g. a
+    merged :meth:`~repro.fleet.client.FleetClient.metrics_snapshot`):
+
+    * every ``repro_fleet_breaker_state`` sample must be a legal state
+      code (0 closed / 1 half-open / 2 open);
+    * resilience counters (retries, failovers, degraded, deadline)
+      must be non-negative.
     """
     problems: List[str] = []
     for scrape in scrapes:
@@ -154,6 +178,15 @@ def check_scrape(scrapes: Sequence[ShardScrape]) -> List[str]:
                     f"disk={disk:g}) disagree with the stats RPC "
                     f"(memory={want_mem}, disk={want_disk})"
                 )
+        if service:
+            shed = sample_value(metrics, "repro_service_shed_total",
+                                default=0.0)
+            want_shed = service.get("shed", 0)
+            if not _approx_equal(shed, want_shed):
+                problems.append(
+                    f"{where}: shed counter metric ({shed:g}) "
+                    f"disagrees with the stats RPC ({want_shed})"
+                )
         cache_mem = sample_value(metrics, "repro_cache_hits_total",
                                  {"tier": "memory"})
         cache_disk = sample_value(metrics, "repro_cache_hits_total",
@@ -168,6 +201,26 @@ def check_scrape(scrapes: Sequence[ShardScrape]) -> List[str]:
                     f"(memory={cache_mem}, disk={cache_disk}) do not "
                     f"sum to hit lookups ({lookups_hit:g})"
                 )
+    if client_metrics is not None:
+        for series in _metric_series(client_metrics,
+                                     "repro_fleet_breaker_state"):
+            value = series.get("value")
+            if value not in _BREAKER_STATES:
+                problems.append(
+                    f"client metrics: breaker state "
+                    f"{series.get('labels')} has illegal code "
+                    f"{value!r} (want 0/1/2)"
+                )
+        for name in ("repro_fleet_client_retries_total",
+                     "repro_fleet_client_failovers_total",
+                     "repro_fleet_client_degraded_total",
+                     "repro_fleet_client_deadline_expired_total"):
+            for series in _metric_series(client_metrics, name):
+                if float(series.get("value", 0.0)) < 0:
+                    problems.append(
+                        f"client metrics: {name}{series.get('labels')} "
+                        f"is negative ({series.get('value')})"
+                    )
     return problems
 
 
@@ -208,11 +261,15 @@ def _percentiles(scrape: ShardScrape) -> tuple:
     return None, None
 
 
-def render_report(scrapes: Sequence[ShardScrape]) -> str:
-    """Human health summary: one block per shard plus a fleet roll-up."""
+def render_report(scrapes: Sequence[ShardScrape],
+                  client_metrics: Optional[Dict] = None) -> str:
+    """Human health summary: one block per shard plus a fleet roll-up;
+    with ``client_metrics``, a resilience section (breaker states per
+    shard address, retry/failover/degraded/deadline counters)."""
     lines: List[str] = []
     totals = {"submitted": 0, "completed": 0, "searches": 0,
-              "memory_hits": 0, "disk_hits": 0, "restarts": 0}
+              "memory_hits": 0, "disk_hits": 0, "restarts": 0,
+              "shed": 0}
     up = 0
     for scrape in scrapes:
         head = f"shard {scrape.shard_label}  {scrape.address}"
@@ -238,11 +295,12 @@ def render_report(scrapes: Sequence[ShardScrape]) -> str:
             f"{head}  UP pid={ping.get('pid')} uptime={uptime} "
             f"restarts={restarts}"
         )
+        shed = int(service.get("shed", 0))
         lines.append(
             f"  queue depth {service.get('queue_depth', 0)} "
             f"(peak {service.get('max_queue_depth', 0)})  "
             f"submitted {submitted}  completed {completed}  "
-            f"searches {searches}"
+            f"searches {searches}  shed {shed}"
         )
         lines.append(
             f"  hits {hits} (memory {memory_hits}, disk {disk_hits}, "
@@ -257,6 +315,7 @@ def render_report(scrapes: Sequence[ShardScrape]) -> str:
         totals["memory_hits"] += memory_hits
         totals["disk_hits"] += disk_hits
         totals["restarts"] += restarts
+        totals["shed"] += shed
     fleet_hits = totals["memory_hits"] + totals["disk_hits"]
     fleet_rate = (fleet_hits / totals["completed"]
                   if totals["completed"] else 0.0)
@@ -264,6 +323,32 @@ def render_report(scrapes: Sequence[ShardScrape]) -> str:
         f"fleet: {up}/{len(scrapes)} shards up  "
         f"completed {totals['completed']}  searches {totals['searches']}  "
         f"hits {fleet_hits} ({fleet_rate:.0%})  "
-        f"restarts {totals['restarts']}"
+        f"restarts {totals['restarts']}  shed {totals['shed']}"
     )
+    if client_metrics is not None:
+        lines.append("clients:")
+        states = _metric_series(client_metrics,
+                                "repro_fleet_breaker_state")
+        for series in states:
+            address = series.get("labels", {}).get("address", "?")
+            code = series.get("value")
+            name = _BREAKER_STATES.get(code, f"illegal({code!r})")
+            lines.append(f"  breaker {address}: {name}")
+        if not states:
+            lines.append("  no breaker state gauges in snapshot")
+
+        def total(name: str) -> float:
+            return sum(float(s.get("value", 0.0))
+                       for s in _metric_series(client_metrics, name))
+
+        lines.append(
+            f"  retries "
+            f"{total('repro_fleet_client_retries_total'):g}  "
+            f"failovers "
+            f"{total('repro_fleet_client_failovers_total'):g}  "
+            f"degraded "
+            f"{total('repro_fleet_client_degraded_total'):g}  "
+            f"deadline-expired "
+            f"{total('repro_fleet_client_deadline_expired_total'):g}"
+        )
     return "\n".join(lines)

@@ -44,6 +44,7 @@ from repro.service.requests import (
     OUTCOME_COALESCED,
     OUTCOME_HIT,
     OUTCOME_SEARCH,
+    DeadlineExceededError,
     PlanTicket,
     ProtocolError,
     RemotePlanError,
@@ -51,6 +52,12 @@ from repro.service.requests import (
     ServiceClosedError,
     ServiceOverloadError,
     SignatureMismatchError,
+)
+from repro.service.retry import (
+    TRANSPORT_ERRORS,
+    RetryPolicy,
+    RetrySession,
+    retryable,
 )
 from repro.service.rpc import PlanServiceServer
 from repro.service.service import PREWARM_PRIORITY, PlanService, RegisteredJob
@@ -74,6 +81,11 @@ __all__ = [
     "RemotePlanError",
     "RemoteRequest",
     "SignatureMismatchError",
+    "DeadlineExceededError",
+    "RetryPolicy",
+    "RetrySession",
+    "TRANSPORT_ERRORS",
+    "retryable",
     "RecalibrationPolicy",
     "RecalibrationEvent",
     "JobRecalibrator",

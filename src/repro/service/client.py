@@ -34,6 +34,7 @@ from repro.core.signature import SIGNATURE_VERSION
 from repro.data.batching import GlobalBatch
 from repro.service.replica import DriveReport, ReplicaRecord, run_clients
 from repro.service.requests import (
+    DeadlineExceededError,
     ProtocolError,
     RemotePlanError,
     ServiceClosedError,
@@ -43,6 +44,7 @@ from repro.service.requests import (
 from repro.service.rpc import (
     DEFAULT_MAX_FRAME_BYTES,
     ERROR_CLOSED,
+    ERROR_DEADLINE,
     ERROR_OVERLOAD,
     ERROR_PROTOCOL,
     batch_to_dict,
@@ -84,6 +86,11 @@ def _raise_wire_error(error: Dict) -> None:
         raise ServiceClosedError(message)
     if kind == ERROR_PROTOCOL:
         raise ProtocolError(message)
+    if kind == ERROR_DEADLINE:
+        # Checked before the RemotePlanError fallthrough on purpose:
+        # the server shed the work because the budget is spent, and the
+        # caller must see the typed (non-retryable) outcome.
+        raise DeadlineExceededError(message)
     raise RemotePlanError(message)
 
 
@@ -95,6 +102,7 @@ class PlanServiceClient:
     def __init__(self, address, timeout_s: float = 30.0,
                  max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
         self.address = address
+        self.timeout_s = timeout_s
         self.max_frame_bytes = max_frame_bytes
         self._sock = connect(address, timeout_s)
         self._lock = threading.Lock()
@@ -128,12 +136,20 @@ class PlanServiceClient:
             pass
 
     def call(self, method: str, params: Optional[Dict] = None,
-             trace: Optional[Dict] = None) -> Dict:
+             trace: Optional[Dict] = None,
+             deadline_s: Optional[float] = None) -> Dict:
         """One request/response round trip; raises the mapped error.
 
         ``trace`` (``{"id", "span"}``) rides the envelope as transport
         metadata so the server can tag its spans with the request's
         distributed trace id (see :mod:`repro.obs.tracing`).
+
+        ``deadline_s`` is an *absolute local monotonic* deadline.  The
+        remaining budget at send time rides the envelope (the server
+        re-anchors it on its own clock and sheds expired work), bounds
+        the socket read, and — when it runs out before a response lands
+        — raises :class:`DeadlineExceededError` instead of a retryable
+        :class:`TimeoutError`.
 
         Reads are bounded by the connection's ``timeout_s``; a server
         that goes silent raises :class:`TimeoutError` and the
@@ -142,15 +158,38 @@ class PlanServiceClient:
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("client connection is closed")
+            budget = None
+            if deadline_s is not None:
+                budget = deadline_s - time.monotonic()
+                if budget <= 0:
+                    raise DeadlineExceededError(
+                        f"deadline passed before {method!r} could be sent"
+                    )
             request_id = self._next_id
             self._next_id += 1
             try:
-                send_frame(self._sock,
-                           request_envelope(request_id, method, params,
-                                            trace=trace))
-                response = recv_frame(self._sock, self.max_frame_bytes)
+                if budget is not None:
+                    self._sock.settimeout(min(self.timeout_s, budget))
+                try:
+                    send_frame(self._sock,
+                               request_envelope(request_id, method, params,
+                                                trace=trace,
+                                                deadline_s=budget))
+                    response = recv_frame(self._sock, self.max_frame_bytes)
+                finally:
+                    if budget is not None and not self._closed:
+                        try:
+                            self._sock.settimeout(self.timeout_s)
+                        except OSError:
+                            pass
             except socket.timeout as exc:
                 self.close()
+                if (deadline_s is not None
+                        and time.monotonic() >= deadline_s):
+                    raise DeadlineExceededError(
+                        f"deadline passed waiting for {method!r} from "
+                        f"{self.address}"
+                    ) from exc
                 raise TimeoutError(
                     f"no response to {method!r} from {self.address} "
                     f"within the connection timeout"
@@ -166,9 +205,22 @@ class PlanServiceClient:
                     f"server closed the connection during {method!r}"
                 )
             check_envelope(response)
-            if response.get("id") not in (request_id, None):
+            response_id = response.get("id")
+            if response.get("ok"):
+                # An ok-response MUST name this request: a stale frame
+                # from an earlier (timed-out, abandoned) request on a
+                # reused connection must never be mis-delivered as this
+                # request's plan.
+                if response_id != request_id:
+                    raise ProtocolError(
+                        f"stale response id {response_id!r} on reused "
+                        f"connection (expected {request_id})"
+                    )
+            elif response_id not in (request_id, None):
+                # Error responses may carry id=None (the server could
+                # not parse the request far enough to learn the id).
                 raise ProtocolError(
-                    f"response id {response.get('id')!r} does not match "
+                    f"response id {response_id!r} does not match "
                     f"request id {request_id}"
                 )
         except ProtocolError:
@@ -209,9 +261,11 @@ class PlanServiceClient:
         block: bool = True,
         timeout_s: Optional[float] = None,
         trace: Optional[Dict] = None,
+        deadline_s: Optional[float] = None,
     ) -> Dict:
         """Submit a batch; returns the raw wire result (signature
-        payload + canonical plan + report)."""
+        payload + canonical plan + report).  ``deadline_s`` is an
+        absolute local monotonic deadline (see :meth:`call`)."""
         params = {
             "job": job,
             "signature_version": SIGNATURE_VERSION,
@@ -224,7 +278,8 @@ class PlanServiceClient:
         if timeout_s is not None:
             params["timeout_s"] = timeout_s
             params["result_timeout_s"] = timeout_s
-        return self.call("submit", params, trace=trace)
+        return self.call("submit", params, trace=trace,
+                         deadline_s=deadline_s)
 
     def prewarm_raw(self, job: str, batch: GlobalBatch) -> bool:
         params = {"job": job}
@@ -350,7 +405,8 @@ def submit_and_replay(client: PlanServiceClient, job: str,
                       planner: OnlinePlanner, prepared, batch: GlobalBatch,
                       replica: int = 0,
                       timeout_s: Optional[float] = None,
-                      tracer=None, trace_id: Optional[str] = None) -> tuple:
+                      tracer=None, trace_id: Optional[str] = None,
+                      deadline_s: Optional[float] = None) -> tuple:
     """Ship one prepared batch to a server and re-materialize its plan.
 
     The round-trip core shared by :class:`RemotePlanClient` and the
@@ -377,7 +433,8 @@ def submit_and_replay(client: PlanServiceClient, job: str,
         trace_ctx = {"id": trace_id, "span": span_id}
     t0 = time.monotonic()
     response = client.submit_raw(job, batch, replica=replica, block=True,
-                                 timeout_s=timeout_s, trace=trace_ctx)
+                                 timeout_s=timeout_s, trace=trace_ctx,
+                                 deadline_s=deadline_s)
     t1 = time.monotonic()
     remote_sig = signature_from_dict(response["signature"])
     if remote_sig.digest != prepared.signature.digest:

@@ -53,6 +53,20 @@ class SignatureMismatchError(RemotePlanError):
     server's canonical plan cannot be replayed onto the client graph."""
 
 
+class DeadlineExceededError(RemotePlanError):
+    """The request's deadline passed before a plan could be delivered.
+
+    Raised client-side when the budget is already spent before the wire
+    trip, and server-side when a request's propagated deadline expires
+    while it is queued or in flight (the server *sheds* such work —
+    searching for a plan nobody is still waiting on wastes a worker).
+
+    Subclasses :class:`RemotePlanError` deliberately: a blown deadline
+    is a terminal, typed outcome for this request — retrying or failing
+    over cannot un-spend the budget, so the failover machinery must
+    treat it like a deterministic error, not a transport fault."""
+
+
 class PlanTicket:
     """A client's handle on one in-flight planning request."""
 
@@ -72,6 +86,10 @@ class PlanTicket:
         # stamped the request; the service tags its server-side spans
         # (queue-wait, cache-lookup, search/replay) with it.
         self.trace: Optional[dict] = None
+        # Absolute monotonic deadline (this process's clock).  A worker
+        # popping a leader whose every rider's deadline has passed sheds
+        # the work instead of searching (see PlanService._process).
+        self.deadline_s: Optional[float] = None
         self._event = threading.Event()
         self._result: Optional[SearchResult] = None
         self._error: Optional[BaseException] = None

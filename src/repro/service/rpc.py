@@ -67,6 +67,7 @@ from repro.data.batching import GlobalBatch, Microbatch
 from repro.obs.registry import MetricsRegistry
 from repro.service.requests import (
     REMOTE_PENDING,
+    DeadlineExceededError,
     ProtocolError,
     RemotePlanError,
     RemoteRequest,
@@ -100,6 +101,11 @@ ERROR_PROTOCOL = "protocol"
 ERROR_UNSUPPORTED = "unsupported"
 ERROR_PLAN = "plan"
 ERROR_INTERNAL = "internal"
+#: The request's propagated deadline passed before a plan could be
+#: delivered; the server shed the work.  A *request-level* typed error
+#: on a connection that stays usable — and terminal for the request:
+#: clients must not retry or fail over (the budget is spent).
+ERROR_DEADLINE = "deadline"
 
 
 # -- frame codec -------------------------------------------------------------
@@ -190,7 +196,8 @@ def recv_frame(
 
 def request_envelope(request_id: Optional[int], method: str,
                      params: Optional[Dict] = None,
-                     trace: Optional[Dict] = None) -> Dict:
+                     trace: Optional[Dict] = None,
+                     deadline_s: Optional[float] = None) -> Dict:
     """Build a request envelope.
 
     ``trace`` is an optional distributed-tracing context
@@ -199,6 +206,14 @@ def request_envelope(request_id: Optional[int], method: str,
     method can be traced without touching its params schema.  Servers
     that predate it simply ignore the key (envelope validation only
     checks format/version).
+
+    ``deadline_s`` is the request's *remaining budget in seconds* at
+    send time.  Relative on the wire on purpose (the gRPC convention):
+    absolute monotonic timestamps do not cross process boundaries, and
+    wall clocks skew.  The server re-anchors it against its own
+    monotonic clock the moment the frame is received, then sheds the
+    request (``ERROR_DEADLINE``) anywhere past that point the budget
+    runs out.  Servers that predate the key ignore it.
     """
     envelope = {
         "format": WIRE_FORMAT,
@@ -209,6 +224,8 @@ def request_envelope(request_id: Optional[int], method: str,
     }
     if trace is not None:
         envelope["trace"] = trace
+    if deadline_s is not None:
+        envelope["deadline"] = float(deadline_s)
     return envelope
 
 
@@ -331,6 +348,12 @@ class PlanServiceServer:
             without parsing address files); ``None`` outside a fleet.
         restarts: How many times this shard slot has been respawned
             (the launcher passes its counter at spawn time).
+        fault_plan: Optional :class:`~repro.chaos.faults.FaultPlan`
+            consulted at the ``rpc.recv``/``rpc.response`` injection
+            sites (chaos testing; ``None`` in production).
+        fault_log: Path the injected-fault decisions are appended to
+            (JSONL) on :meth:`close` — the chaos driver replays the
+            plan's seed against it to prove determinism.
     """
 
     def __init__(
@@ -343,6 +366,8 @@ class PlanServiceServer:
         cache_path: Optional[str] = None,
         shard_index: Optional[int] = None,
         restarts: int = 0,
+        fault_plan=None,
+        fault_log: Optional[str] = None,
     ) -> None:
         if (listen is None) == (uds is None):
             raise ValueError("pass exactly one of listen= or uds=")
@@ -352,6 +377,8 @@ class PlanServiceServer:
         self.cache_path = cache_path
         self.shard_index = shard_index
         self.restarts = restarts
+        self.fault_plan = fault_plan
+        self.fault_log = fault_log
         self.started_mono = time.monotonic()
         self.remote = RemoteStats()
         #: Live + bridged metrics served by the ``metrics`` RPC.  The
@@ -479,7 +506,21 @@ class PlanServiceServer:
                 os.unlink(self._uds_path)
             except OSError:
                 pass
+        self._dump_fault_log()
         self.closed.set()
+
+    def _dump_fault_log(self) -> None:
+        """Append every injected-fault decision as JSONL so chaos
+        drivers can replay-verify the schedule against the seed."""
+        if self.fault_plan is None or not self.fault_log:
+            return
+        try:
+            with open(self.fault_log, "a", encoding="utf-8") as handle:
+                for event in self.fault_plan.events:
+                    handle.write(json.dumps(asdict(event),
+                                            separators=(",", ":")) + "\n")
+        except OSError:
+            pass  # best effort — chaos logging must never wedge close()
 
     # -- accept / serve ------------------------------------------------------
 
@@ -508,6 +549,31 @@ class PlanServiceServer:
 
     def _try_send(self, sock: socket.socket, conn: ConnectionStats,
                   payload: Dict) -> bool:
+        fault = (self.fault_plan.decide("rpc.response")
+                 if self.fault_plan is not None else None)
+        if fault is not None:
+            if fault.kind == "slow":
+                time.sleep(fault.delay_s)
+            elif fault.kind == "drop":
+                # Vanish without a response: the client sees EOF (or a
+                # timeout) — exactly what a crashed shard looks like.
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                return False
+            elif fault.kind == "corrupt":
+                data = bytearray(encode_frame(payload))
+                # Flip a byte inside the JSON body (never the length
+                # prefix — the client must read a full, garbled frame
+                # and reject it as a framing violation, not block).
+                data[HEADER.size + len(data) // 2] ^= 0xFF
+                try:
+                    sock.sendall(bytes(data))
+                    conn.bytes_out += len(data)
+                except OSError:
+                    pass
+                return False
         try:
             conn.bytes_out += send_frame(sock, payload)
             conn.responses += 1
@@ -534,6 +600,16 @@ class PlanServiceServer:
                 message, wire_bytes = sized
                 conn.bytes_in += wire_bytes
                 self._m_frames.inc(direction="in")
+                received_mono = time.monotonic()
+                fault = (self.fault_plan.decide("rpc.recv")
+                         if self.fault_plan is not None else None)
+                if fault is not None:
+                    if fault.kind == "stall":
+                        time.sleep(fault.delay_s)
+                    elif fault.kind == "drop":
+                        # Swallow the request whole (one-way partition):
+                        # no response, connection torn down.
+                        return
                 try:
                     check_envelope(message)
                 except ProtocolError as exc:
@@ -569,11 +645,30 @@ class PlanServiceServer:
                 trace_ctx = message.get("trace")
                 if not isinstance(trace_ctx, dict):
                     trace_ctx = None
+                # Re-anchor the wire's relative deadline budget against
+                # this process's monotonic clock, at frame receipt.
+                deadline_s = None
+                budget = message.get("deadline")
+                if isinstance(budget, (int, float)):
+                    deadline_s = received_mono + float(budget)
                 handler_started = time.perf_counter()
                 try:
+                    if (deadline_s is not None
+                            and time.monotonic() >= deadline_s):
+                        # Shed before dispatch: the client has already
+                        # given up, so queueing (or searching) for it
+                        # only steals a worker from live requests.
+                        self.service.stats.count("shed")
+                        raise DeadlineExceededError(
+                            f"deadline passed before {method!r} could "
+                            f"be dispatched (budget was {budget}s)")
                     result = handler(self, params, conn, request_id,
-                                     trace_ctx)
+                                     trace_ctx, deadline_s)
                     response = ok_response(request_id, result)
+                except DeadlineExceededError as exc:
+                    conn.errors += 1
+                    response = error_response(request_id, ERROR_DEADLINE,
+                                              str(exc))
                 except ServiceOverloadError as exc:
                     conn.errors += 1
                     response = error_response(request_id, ERROR_OVERLOAD,
@@ -668,7 +763,7 @@ class PlanServiceServer:
         }
 
     def _handle_ping(self, params: Dict, conn: ConnectionStats,
-                     request_id, trace_ctx=None) -> Dict:
+                     request_id, trace_ctx=None, deadline_s=None) -> Dict:
         return {
             "format": WIRE_FORMAT,
             "version": WIRE_VERSION,
@@ -678,7 +773,7 @@ class PlanServiceServer:
         }
 
     def _handle_submit(self, params: Dict, conn: ConnectionStats,
-                       request_id, trace_ctx=None) -> Dict:
+                       request_id, trace_ctx=None, deadline_s=None) -> Dict:
         job = self._job(params)
         declared = params.get("signature_version")
         if declared != SIGNATURE_VERSION:
@@ -696,6 +791,19 @@ class PlanServiceServer:
         submit_timeout = params.get("timeout_s")
         if block and submit_timeout is None:
             submit_timeout = self.result_timeout_s
+        # A propagated deadline bounds every wait in this handler: no
+        # point parking on queue space (or on the search) past the
+        # moment the client stops listening.
+        if deadline_s is not None:
+            remaining = deadline_s - time.monotonic()
+            if remaining <= 0:
+                self.service.stats.count("shed")
+                raise DeadlineExceededError(
+                    "deadline passed before submit could enqueue")
+            if submit_timeout is not None:
+                submit_timeout = min(float(submit_timeout), remaining)
+            elif block:
+                submit_timeout = remaining
         # Register *before* the (possibly blocking) submit: a request
         # parked on queue space is in flight too, and close()'s drain
         # must see it or it would tear the socket down under a request
@@ -709,15 +817,26 @@ class PlanServiceServer:
                 block=block,
                 timeout=submit_timeout,
                 trace=trace_ctx,
+                deadline_s=deadline_s,
             )
             request.ticket = ticket
             timeout = params.get("result_timeout_s") or self.result_timeout_s
+            timeout = min(timeout, self.result_timeout_s)
+            if deadline_s is not None:
+                timeout = min(timeout, max(0.0, deadline_s - time.monotonic()))
             try:
-                result = ticket.result(timeout=min(timeout,
-                                                   self.result_timeout_s))
-            except (ServiceOverloadError, ServiceClosedError):
+                result = ticket.result(timeout=timeout)
+            except (ServiceOverloadError, ServiceClosedError,
+                    DeadlineExceededError):
                 raise
             except TimeoutError as exc:
+                if (deadline_s is not None
+                        and time.monotonic() >= deadline_s):
+                    self.service.stats.count("shed")
+                    raise DeadlineExceededError(
+                        "deadline passed while waiting for the plan "
+                        "(the search may still complete for coalesced "
+                        "waiters)") from exc
                 raise RemotePlanError(str(exc)) from exc
             except BaseException as exc:  # search failure → plan error
                 raise RemotePlanError(
@@ -753,7 +872,7 @@ class PlanServiceServer:
             self._unregister(request)
 
     def _handle_prewarm(self, params: Dict, conn: ConnectionStats,
-                        request_id, trace_ctx=None) -> Dict:
+                        request_id, trace_ctx=None, deadline_s=None) -> Dict:
         job = self._job(params)
         batch = batch_from_dict(params)
         ticket = self.service.prewarm(job, batch,
@@ -761,7 +880,7 @@ class PlanServiceServer:
         return {"accepted": ticket is not None}
 
     def _handle_observe(self, params: Dict, conn: ConnectionStats,
-                        request_id, trace_ctx=None) -> Dict:
+                        request_id, trace_ctx=None, deadline_s=None) -> Dict:
         job = self._job(params)
         trace = Trace.from_dict(params.get("trace"))
         event = self.service.observe(job, trace)
@@ -786,7 +905,7 @@ class PlanServiceServer:
         return {"event": payload}
 
     def _handle_stats(self, params: Dict, conn: ConnectionStats,
-                      request_id, trace_ctx=None) -> Dict:
+                      request_id, trace_ctx=None, deadline_s=None) -> Dict:
         # params["samples"] additionally ships the retained latency/wait
         # samples — a fleet aggregator merges percentiles from samples,
         # not from per-shard percentiles.
@@ -804,7 +923,7 @@ class PlanServiceServer:
         }
 
     def _handle_metrics(self, params: Dict, conn: ConnectionStats,
-                        request_id, trace_ctx=None) -> Dict:
+                        request_id, trace_ctx=None, deadline_s=None) -> Dict:
         """Snapshot every metric this server knows about.
 
         Live wire-level series already sit in ``self.metrics``; the
@@ -824,7 +943,7 @@ class PlanServiceServer:
         return {"metrics": registry.snapshot(), **self._identity()}
 
     def _handle_save_cache(self, params: Dict, conn: ConnectionStats,
-                           request_id, trace_ctx=None) -> Dict:
+                           request_id, trace_ctx=None, deadline_s=None) -> Dict:
         path = params.get("path") or self.cache_path
         if not path:
             raise RemotePlanError(
@@ -835,7 +954,7 @@ class PlanServiceServer:
         return {"path": saved, "entries": len(self.service.cache)}
 
     def _handle_shutdown(self, params: Dict, conn: ConnectionStats,
-                         request_id, trace_ctx=None) -> Dict:
+                         request_id, trace_ctx=None, deadline_s=None) -> Dict:
         return {"closing": True}
 
     _METHODS = {

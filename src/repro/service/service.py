@@ -59,6 +59,7 @@ from repro.service.requests import (
     OUTCOME_COALESCED,
     OUTCOME_HIT,
     OUTCOME_SEARCH,
+    DeadlineExceededError,
     PendingPlan,
     PlanTicket,
     ServiceClosedError,
@@ -324,6 +325,7 @@ class PlanService:
         block: bool = False,
         timeout: Optional[float] = None,
         trace: Optional[Dict] = None,
+        deadline_s: Optional[float] = None,
     ) -> PlanTicket:
         """Request a plan for ``batch``; returns a waitable ticket.
 
@@ -338,6 +340,13 @@ class PlanService:
         ``trace`` is an optional distributed-tracing context
         (``{"id", "span"}``) stamped by the client; with a tracer
         attached the service tags its server-side spans with it.
+
+        ``deadline_s`` (absolute monotonic) is the request's propagated
+        deadline: a worker popping a leader whose every rider's
+        deadline has passed sheds the search instead of running it for
+        nobody (see :meth:`_process`).  Stamped on the ticket *before*
+        it becomes reachable from the queue — the worker may pop it the
+        instant the mutex drops.
         """
         job = self._jobs[job_name]
         if self._closed:
@@ -347,6 +356,7 @@ class PlanService:
             priority=job.priority if priority is None else priority,
         )
         ticket.trace = trace
+        ticket.deadline_s = deadline_s
         with job.lock:
             prepared = job.planner.prepare(batch)
         ticket.prepared = prepared
@@ -477,6 +487,8 @@ class PlanService:
 
     def _process(self, entry: PendingPlan) -> None:
         job = self._jobs[entry.job]
+        if self._shed_expired(entry):
+            return
         entry.ticket.mark_started()
         # The whole plan + fan-out section excludes cost-model swaps
         # (RegisteredJob.swap_cost_model waits for it to drain), so the
@@ -522,6 +534,35 @@ class PlanService:
                 self._fan_out(entry, result)
         finally:
             job.end_search()
+
+    def _shed_expired(self, entry: PendingPlan) -> bool:
+        """Shed a popped leader whose every rider's deadline passed.
+
+        A search serves the leader *and* all coalesced waiters, so it
+        only sheds when nobody is left listening: every ticket must
+        carry a deadline and every deadline must have passed.  One
+        rider without a deadline (or still inside its budget) keeps the
+        search alive for everyone.  Shed tickets fail with the typed
+        :class:`DeadlineExceededError`; each is counted both ``shed``
+        and ``failed``.
+        """
+        now = time.monotonic()
+        # Checked and retired under the queue mutex as one step: a
+        # waiter attaching between the snapshot and the retire would
+        # otherwise never be completed *or* failed.
+        with self._mutex:
+            tickets = [entry.ticket] + [t for t, _j, _p in entry.waiters]
+            if not all(t.deadline_s is not None and now >= t.deadline_s
+                       for t in tickets):
+                return False
+            if self._pending.get(entry.digest) is entry:
+                del self._pending[entry.digest]
+        for ticket in tickets:
+            ticket.fail(DeadlineExceededError(
+                "deadline passed while queued — search shed"))
+            self.stats.count("shed")
+            self.stats.count("failed")
+        return True
 
     def _retire(self, entry: PendingPlan) -> None:
         with self._mutex:

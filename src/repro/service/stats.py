@@ -31,6 +31,10 @@ class ServiceStats:
 
     Counters:
         submitted / rejected / completed / failed: request lifecycle.
+        shed: requests failed because their propagated deadline passed
+            before a worker could (or finished) serving them — counted
+            *in addition to* ``failed`` (shed work is a failure mode,
+            not a parallel lifecycle).
         coalesced: requests served by fan-out from a concurrent
             identical request (no queue slot, no search of their own).
         searches: schedule searches actually run (cold or warm).
@@ -59,9 +63,10 @@ class ServiceStats:
     #: ``max_queue_depth`` are gauges and handled separately by
     #: :meth:`merge`.
     COUNTERS = (
-        "submitted", "rejected", "completed", "failed", "coalesced",
-        "searches", "replays", "memory_hits", "disk_hits", "memo_hits",
-        "prewarms", "recalibrations", "recal_rollbacks", "invalidated",
+        "submitted", "rejected", "completed", "failed", "shed",
+        "coalesced", "searches", "replays", "memory_hits", "disk_hits",
+        "memo_hits", "prewarms", "recalibrations", "recal_rollbacks",
+        "invalidated",
     )
 
     def __init__(self) -> None:
